@@ -1,0 +1,86 @@
+//! # hpa-asm — assemblers for the Half-Price Architecture ISA
+//!
+//! Two front ends produce [`Program`]s for the [`hpa_isa`] instruction set:
+//!
+//! * [`Asm`], a programmatic builder with labels and forward references,
+//!   used by the `hpa-workloads` benchmark kernels;
+//! * [`parse_program`], a line-oriented text assembler (`.s` syntax) used by
+//!   examples and tests.
+//!
+//! # Example
+//!
+//! ```
+//! use hpa_asm::Asm;
+//! use hpa_isa::Reg;
+//!
+//! # fn main() -> Result<(), hpa_asm::AsmError> {
+//! let mut a = Asm::new();
+//! a.li(Reg::R1, 10);          // counter
+//! a.li(Reg::R2, 0);           // accumulator
+//! a.label("loop");
+//! a.add(Reg::R2, Reg::R2, Reg::R1);
+//! a.sub(Reg::R1, Reg::R1, 1);
+//! a.bgt(Reg::R1, "loop");
+//! a.halt();
+//! let program = a.assemble()?;
+//! assert_eq!(program.len(), 6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod program;
+mod text;
+
+pub use builder::Asm;
+pub use program::Program;
+pub use text::{disassemble, parse_program};
+
+use std::fmt;
+
+/// Errors produced while assembling.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AsmError {
+    /// A branch or call referenced a label that was never defined.
+    UndefinedLabel {
+        /// The label name.
+        label: String,
+    },
+    /// The same label was defined twice.
+    DuplicateLabel {
+        /// The label name.
+        label: String,
+    },
+    /// A branch target is further away than the 21-bit displacement reaches.
+    BranchOutOfRange {
+        /// The label name.
+        label: String,
+        /// The displacement in instruction slots that would be needed.
+        slots: i64,
+    },
+    /// The text assembler could not parse a line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel { label } => write!(f, "undefined label `{label}`"),
+            AsmError::DuplicateLabel { label } => write!(f, "duplicate label `{label}`"),
+            AsmError::BranchOutOfRange { label, slots } => {
+                write!(f, "branch to `{label}` out of range ({slots} slots)")
+            }
+            AsmError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}

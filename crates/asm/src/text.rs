@@ -1,0 +1,535 @@
+//! The line-oriented text assembler and the disassembler.
+//!
+//! The accepted syntax is exactly what the disassembler prints (operands in
+//! source…destination order, `;` comments, `label:` definitions), so
+//! `parse_program(&disassemble(p))` reproduces `p`.
+
+use crate::{Asm, AsmError, Program};
+use hpa_isa::{
+    AluOp, BranchCond, FpBinOp, FReg, Inst, JumpKind, MemWidth, Reg, RegOrLit, UnaryOp,
+};
+
+/// Renders a program as assembly text that [`parse_program`] accepts.
+#[must_use]
+pub fn disassemble(program: &Program) -> String {
+    program.to_string()
+}
+
+/// Parses assembly text into a program.
+///
+/// Besides instructions and `label:` definitions, three data directives
+/// are accepted: `.org ADDR` positions the data cursor, and `.byte v, ...`
+/// / `.quad v, ...` emit little-endian initialized data there.
+///
+/// # Errors
+///
+/// Returns [`AsmError::Parse`] with a line number for syntax errors, and
+/// label-resolution errors from the underlying builder.
+///
+/// # Example
+///
+/// ```
+/// let p = hpa_asm::parse_program(
+///     "
+///     .org 65536
+///     .quad 41, 1
+///     li r1, #5          ; counter
+/// loop:
+///     sub r1, #1, r1
+///     bgt r1, loop
+///     halt
+/// ",
+/// )?;
+/// assert_eq!(p.len(), 4);
+/// assert_eq!(p.data_segments().len(), 1);
+/// # Ok::<(), hpa_asm::AsmError>(())
+/// ```
+pub fn parse_program(source: &str) -> Result<Program, AsmError> {
+    let mut asm = Asm::new();
+    let mut data_cursor: u64 = 0;
+    for (idx, raw_line) in source.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw_line.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(directive) = line.strip_prefix('.') {
+            parse_directive(&mut asm, &mut data_cursor, directive, lineno)?;
+            continue;
+        }
+        let mut rest = line;
+        // Leading labels, possibly several on one line.
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let name = head.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                break;
+            }
+            if asm.assemble_labels_contains(name) {
+                return Err(AsmError::DuplicateLabel { label: name.to_string() });
+            }
+            asm.label(name);
+            rest = tail[1..].trim_start();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        parse_inst(&mut asm, rest, lineno)?;
+    }
+    asm.assemble()
+}
+
+impl Asm {
+    fn assemble_labels_contains(&self, _name: &str) -> bool {
+        // The builder panics on duplicates; pre-checking keeps text input
+        // error-returning instead. Probe by address lookup on a throwaway
+        // assemble is too costly; expose through a crate-private hook.
+        self.has_label(_name)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError::Parse { line, message: message.into() }
+}
+
+/// Handles `.org`, `.byte` and `.quad`.
+fn parse_directive(
+    asm: &mut Asm,
+    cursor: &mut u64,
+    directive: &str,
+    line: usize,
+) -> Result<(), AsmError> {
+    let mut parts = directive.splitn(2, char::is_whitespace);
+    let name = parts.next().unwrap_or("");
+    let rest = parts.next().unwrap_or("").trim();
+    let values = || -> Result<Vec<i64>, AsmError> {
+        rest.split(',')
+            .map(str::trim)
+            .filter(|v| !v.is_empty())
+            .map(|v| v.parse::<i64>().map_err(|_| err(line, format!("bad value `{v}`"))))
+            .collect()
+    };
+    match name {
+        "org" => {
+            *cursor = rest
+                .parse::<u64>()
+                .map_err(|_| err(line, format!("bad address `{rest}`")))?;
+        }
+        "byte" => {
+            let bytes: Vec<u8> = values()?.into_iter().map(|v| v as u8).collect();
+            let n = bytes.len() as u64;
+            asm.data_bytes(*cursor, &bytes);
+            *cursor += n;
+        }
+        "quad" => {
+            let words: Vec<u64> = values()?.into_iter().map(|v| v as u64).collect();
+            let n = words.len() as u64;
+            asm.data_u64s(*cursor, &words);
+            *cursor += 8 * n;
+        }
+        other => return Err(err(line, format!("unknown directive `.{other}`"))),
+    }
+    Ok(())
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let n: u8 = tok
+        .strip_prefix('r')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(line, format!("expected integer register, got `{tok}`")))?;
+    if n >= 32 {
+        return Err(err(line, format!("register `{tok}` out of range")));
+    }
+    Ok(Reg::new(n))
+}
+
+fn parse_freg(tok: &str, line: usize) -> Result<FReg, AsmError> {
+    let n: u8 = tok
+        .strip_prefix('f')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(line, format!("expected fp register, got `{tok}`")))?;
+    if n >= 32 {
+        return Err(err(line, format!("register `{tok}` out of range")));
+    }
+    Ok(FReg::new(n))
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<RegOrLit, AsmError> {
+    if let Some(lit) = tok.strip_prefix('#') {
+        let v: i64 = lit
+            .parse()
+            .map_err(|_| err(line, format!("bad literal `{tok}`")))?;
+        let v = i16::try_from(v)
+            .map_err(|_| err(line, format!("literal `{tok}` does not fit in 16 bits")))?;
+        Ok(RegOrLit::Lit(v))
+    } else {
+        Ok(RegOrLit::Reg(parse_reg(tok, line)?))
+    }
+}
+
+/// Parses `disp(base)`.
+fn parse_mem(tok: &str, line: usize) -> Result<(i16, Reg), AsmError> {
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected disp(base), got `{tok}`")))?;
+    let close = tok
+        .rfind(')')
+        .filter(|&c| c > open)
+        .ok_or_else(|| err(line, format!("unbalanced parens in `{tok}`")))?;
+    let disp_str = &tok[..open];
+    let disp: i16 = if disp_str.is_empty() {
+        0
+    } else {
+        disp_str
+            .parse()
+            .map_err(|_| err(line, format!("bad displacement in `{tok}`")))?
+    };
+    let base = parse_reg(&tok[open + 1..close], line)?;
+    Ok((disp, base))
+}
+
+enum Target {
+    Label(String),
+    Slots(i32),
+}
+
+fn parse_target(tok: &str, line: usize) -> Result<Target, AsmError> {
+    if tok.starts_with('+') || tok.starts_with('-') || tok.chars().all(|c| c.is_ascii_digit()) {
+        let slots: i32 = tok
+            .parse()
+            .map_err(|_| err(line, format!("bad branch target `{tok}`")))?;
+        Ok(Target::Slots(slots))
+    } else if tok.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        Ok(Target::Label(tok.to_string()))
+    } else {
+        Err(err(line, format!("bad branch target `{tok}`")))
+    }
+}
+
+fn lookup_alu(m: &str) -> Option<AluOp> {
+    AluOp::ALL.iter().copied().find(|o| o.mnemonic() == m)
+}
+
+fn lookup_unary(m: &str) -> Option<UnaryOp> {
+    UnaryOp::ALL.iter().copied().find(|o| o.mnemonic() == m)
+}
+
+fn lookup_fp(m: &str) -> Option<FpBinOp> {
+    FpBinOp::ALL.iter().copied().find(|o| o.mnemonic() == m)
+}
+
+fn lookup_branch(m: &str) -> Option<BranchCond> {
+    BranchCond::ALL.iter().copied().find(|c| c.mnemonic() == m)
+}
+
+fn parse_inst(asm: &mut Asm, text: &str, line: usize) -> Result<(), AsmError> {
+    let mut parts = text.splitn(2, char::is_whitespace);
+    let mnemonic = parts.next().unwrap();
+    let operands: Vec<&str> = parts
+        .next()
+        .unwrap_or("")
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    let want = |n: usize| -> Result<(), AsmError> {
+        if operands.len() == n {
+            Ok(())
+        } else {
+            Err(err(line, format!("`{mnemonic}` expects {n} operands, got {}", operands.len())))
+        }
+    };
+
+    // Three-operand integer operate: `add ra, rb|#lit, rc`.
+    if let Some(op) = lookup_alu(mnemonic) {
+        want(3)?;
+        let ra = parse_reg(operands[0], line)?;
+        let rb = parse_operand(operands[1], line)?;
+        let rc = parse_reg(operands[2], line)?;
+        asm.raw(Inst::Op { op, ra, rb, rc });
+        return Ok(());
+    }
+    // Unary operate: `popcnt ra, rc`.
+    if let Some(op) = lookup_unary(mnemonic) {
+        want(2)?;
+        let ra = parse_reg(operands[0], line)?;
+        let rc = parse_reg(operands[1], line)?;
+        asm.raw(Inst::Op1 { op, ra, rc });
+        return Ok(());
+    }
+    // FP operate: `fadd fa, fb, fc`.
+    if let Some(op) = lookup_fp(mnemonic) {
+        want(3)?;
+        let fa = parse_freg(operands[0], line)?;
+        let fb = parse_freg(operands[1], line)?;
+        let fc = parse_freg(operands[2], line)?;
+        asm.raw(Inst::FpOp { op, fa, fb, fc });
+        return Ok(());
+    }
+    // Integer conditional branch: `beq ra, target`.
+    if let Some(cond) = lookup_branch(mnemonic) {
+        want(2)?;
+        let ra = parse_reg(operands[0], line)?;
+        match parse_target(operands[1], line)? {
+            Target::Label(l) => {
+                asm.branch_to(cond, ra, l);
+            }
+            Target::Slots(disp) => {
+                asm.raw(Inst::Branch { cond, ra, disp });
+            }
+        }
+        return Ok(());
+    }
+    // FP conditional branch: `fbeq fa, target`.
+    if let Some(cond) = mnemonic.strip_prefix('f').and_then(lookup_branch) {
+        want(2)?;
+        let fa = parse_freg(operands[0], line)?;
+        match parse_target(operands[1], line)? {
+            Target::Label(l) => {
+                asm.fbranch_to(cond, fa, l);
+            }
+            Target::Slots(disp) => {
+                asm.raw(Inst::FBranch { cond, fa, disp });
+            }
+        }
+        return Ok(());
+    }
+
+    match mnemonic {
+        "ldbu" | "ldl" | "ldq" | "stb" | "stl" | "stq" => {
+            want(2)?;
+            let rt = parse_reg(operands[0], line)?;
+            let (disp, base) = parse_mem(operands[1], line)?;
+            let width = match &mnemonic[2..] {
+                "bu" | "b" => MemWidth::Byte,
+                "l" => MemWidth::Long,
+                _ => MemWidth::Quad,
+            };
+            if mnemonic.starts_with("ld") {
+                asm.raw(Inst::Load { width, rt, base, disp });
+            } else {
+                asm.raw(Inst::Store { width, rt, base, disp });
+            }
+        }
+        "ldt" | "stt" => {
+            want(2)?;
+            let ft = parse_freg(operands[0], line)?;
+            let (disp, base) = parse_mem(operands[1], line)?;
+            if mnemonic == "ldt" {
+                asm.raw(Inst::FLoad { ft, base, disp });
+            } else {
+                asm.raw(Inst::FStore { ft, base, disp });
+            }
+        }
+        "itof" => {
+            want(2)?;
+            let ra = parse_reg(operands[0], line)?;
+            let fc = parse_freg(operands[1], line)?;
+            asm.raw(Inst::Itof { ra, fc });
+        }
+        "ftoi" => {
+            want(2)?;
+            let fa = parse_freg(operands[0], line)?;
+            let rc = parse_reg(operands[1], line)?;
+            asm.raw(Inst::Ftoi { fa, rc });
+        }
+        "br" => {
+            want(1)?;
+            match parse_target(operands[0], line)? {
+                Target::Label(l) => {
+                    asm.br(l);
+                }
+                Target::Slots(disp) => {
+                    asm.raw(Inst::Br { ra: Reg::ZERO, disp });
+                }
+            }
+        }
+        "bsr" => {
+            want(2)?;
+            let ra = parse_reg(operands[0], line)?;
+            match parse_target(operands[1], line)? {
+                Target::Label(l) => {
+                    asm.bsr(ra, l);
+                }
+                Target::Slots(disp) => {
+                    asm.raw(Inst::Br { ra, disp });
+                }
+            }
+        }
+        "jmp" | "jsr" | "ret" => {
+            want(2)?;
+            let rt = parse_reg(operands[0], line)?;
+            let base_tok = operands[1]
+                .strip_prefix('(')
+                .and_then(|s| s.strip_suffix(')'))
+                .ok_or_else(|| err(line, "jump base must be written (rN)"))?;
+            let base = parse_reg(base_tok, line)?;
+            let kind = match mnemonic {
+                "jmp" => JumpKind::Jmp,
+                "jsr" => JumpKind::Jsr,
+                _ => JumpKind::Ret,
+            };
+            asm.raw(Inst::Jump { kind, rt, base });
+        }
+        "li" => {
+            want(2)?;
+            let rc = parse_reg(operands[0], line)?;
+            let lit = operands[1]
+                .strip_prefix('#')
+                .unwrap_or(operands[1])
+                .parse::<i64>()
+                .map_err(|_| err(line, format!("bad literal `{}`", operands[1])))?;
+            asm.li(rc, lit);
+        }
+        "mov" => {
+            want(2)?;
+            let ra = parse_reg(operands[0], line)?;
+            let rc = parse_reg(operands[1], line)?;
+            asm.mov(rc, ra);
+        }
+        "nop" => {
+            want(0)?;
+            asm.nop();
+        }
+        "halt" => {
+            want(0)?;
+            asm.halt();
+        }
+        other => return Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_program() {
+        let p = parse_program(
+            "
+            ; sum 1..10
+            li r1, 10
+            li r2, 0
+        loop:
+            add r2, r1, r2
+            sub r1, #1, r1
+            bgt r1, loop
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.label_addr("loop"), Some(8));
+        assert!(matches!(p.insts()[5], Inst::Halt));
+    }
+
+    #[test]
+    fn parse_memory_and_jumps() {
+        let p = parse_program(
+            "
+            ldq r1, 16(r2)
+            stb r3, -1(r4)
+            ldt f1, (r5)
+            jsr r26, (r27)
+            ret r31, (r26)
+            br +2
+            bsr r26, -4
+            fbne f1, +1
+        ",
+        )
+        .unwrap();
+        assert_eq!(
+            p.insts()[0],
+            Inst::Load { width: MemWidth::Quad, rt: Reg::R1, base: Reg::R2, disp: 16 }
+        );
+        assert_eq!(
+            p.insts()[2],
+            Inst::FLoad { ft: FReg::F1, base: Reg::R5, disp: 0 }
+        );
+        assert_eq!(
+            p.insts()[3],
+            Inst::Jump { kind: JumpKind::Jsr, rt: Reg::R26, base: Reg::R27 }
+        );
+        assert_eq!(p.insts()[5], Inst::Br { ra: Reg::ZERO, disp: 2 });
+        assert_eq!(
+            p.insts()[7],
+            Inst::FBranch { cond: BranchCond::Ne, fa: FReg::F1, disp: 1 }
+        );
+    }
+
+    #[test]
+    fn disassemble_parse_round_trip() {
+        let src = "
+            li r1, 100
+            and r1, #255, r2
+            popcnt r2, r3
+            fadd f1, f2, f3
+            itof r3, f4
+            ftoi f4, r5
+            ldq r6, 8(r7)
+            stq r6, 8(r7)
+            beq r6, +1
+            nop
+            jmp r31, (r6)
+            halt
+        ";
+        let p = parse_program(src).unwrap();
+        let text = disassemble(&p);
+        let p2 = parse_program(&text).unwrap();
+        assert_eq!(p.insts(), p2.insts());
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let e = parse_program("nop\nbogus r1, r2\n").unwrap_err();
+        assert_eq!(e, AsmError::Parse { line: 2, message: "unknown mnemonic `bogus`".into() });
+        let e = parse_program("add r1, r2\n").unwrap_err();
+        assert!(matches!(e, AsmError::Parse { line: 1, .. }));
+        let e = parse_program("ldq r1, r2\n").unwrap_err();
+        assert!(matches!(e, AsmError::Parse { line: 1, .. }));
+        let e = parse_program("add r1, #99999, r2\n").unwrap_err();
+        assert!(matches!(e, AsmError::Parse { line: 1, .. }));
+        let e = parse_program("x:\nx:\n").unwrap_err();
+        assert_eq!(e, AsmError::DuplicateLabel { label: "x".into() });
+    }
+
+    #[test]
+    fn data_directives() {
+        let p = parse_program(
+            "
+            .org 4096
+            .byte 1, 2, 255
+            .quad 500, -1
+            .org 8192
+            .byte 7
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 1);
+        let segs = p.data_segments();
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0], (4096, vec![1, 2, 255]));
+        let mut q = 500u64.to_le_bytes().to_vec();
+        q.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(segs[1], (4099, q)); // follows the .byte emission
+        assert_eq!(segs[2], (8192, vec![7]));
+
+        let e = parse_program(".bogus 1
+").unwrap_err();
+        assert!(matches!(e, AsmError::Parse { line: 1, .. }));
+        let e = parse_program(".org xyz
+").unwrap_err();
+        assert!(matches!(e, AsmError::Parse { line: 1, .. }));
+        let e = parse_program(".byte 1, nope
+").unwrap_err();
+        assert!(matches!(e, AsmError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let p = parse_program("; nothing\n\n   \nhalt ; stop\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+}

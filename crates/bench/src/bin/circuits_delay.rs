@@ -1,0 +1,51 @@
+//! Regenerates the circuit-delay claims of sections 3.3 and 4, plus
+//! ablation sweeps of the analytic models.
+use hpa_core::circuits::{EnergyModel, RegFileDelayModel, WakeupDelayModel};
+use hpa_core::report;
+
+fn main() {
+    println!("{}", report::circuit_claims());
+
+    let w = WakeupDelayModel::calibrated_018um();
+    println!("Wakeup delay sweep (ps): window x width, conventional -> sequential");
+    for entries in [32u32, 64, 128, 256] {
+        for width in [4u32, 8] {
+            println!(
+                "  {entries:>3} entries, {width}-wide: {:>6.0} -> {:>6.0}  ({:.1}% speedup)",
+                w.conventional(entries, width),
+                w.sequential_wakeup(entries, width),
+                w.speedup(entries, width) * 100.0
+            );
+        }
+    }
+
+    let r = RegFileDelayModel::calibrated_018um();
+    println!("\nRegister file access time sweep (ns): entries x ports");
+    for entries in [80u32, 160, 320] {
+        for ports in [8u32, 12, 16, 24, 32] {
+            print!("  {:>5.2}", r.access_time(entries, ports) / 1000.0);
+        }
+        println!("   ({entries} entries; ports 8/12/16/24/32)");
+    }
+
+    let e = EnergyModel::calibrated_018um();
+    println!("\nPer-event dynamic energy (first-order, 0.18um):");
+    println!(
+        "  wakeup broadcast, 64-entry: {:.1} pJ -> {:.1} pJ (fast bus)",
+        e.wakeup_broadcast(64, 2),
+        e.wakeup_broadcast(64, 1)
+    );
+    println!(
+        "  RF access, 160 entries: {:.1} pJ (24 ports) -> {:.1} pJ (16 ports)",
+        e.rf_access(160, 24),
+        e.rf_access(160, 16)
+    );
+    for (entries, width) in [(64u32, 4u32), (128, 8)] {
+        let (w, rf) = e.half_price_savings(entries, width);
+        println!(
+            "  half-price savings at {entries}-entry/{width}-wide: wakeup {:.0}%, RF {:.0}%",
+            w * 100.0,
+            rf * 100.0
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 3: 2-source-format breakdown by unique sources.
+use hpa_bench::{as_refs, base_runs, HarnessArgs};
+use hpa_core::{report, MachineWidth};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let base = base_runs(&args, MachineWidth::Four);
+    println!("{}", report::figure3(&as_refs(&base)));
+}

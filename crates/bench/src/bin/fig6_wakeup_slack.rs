@@ -1,0 +1,13 @@
+//! Regenerates Figure 6: wakeup slack of 2-pending-source instructions.
+use hpa_bench::{as_refs, base_runs, HarnessArgs};
+use hpa_core::report;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    for &width in &args.widths {
+        let base = base_runs(&args, width);
+        let mut t = report::figure6(&as_refs(&base));
+        t.title = format!("{} [{}]", t.title, width.label());
+        println!("{t}");
+    }
+}

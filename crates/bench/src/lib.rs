@@ -1,0 +1,158 @@
+//! # hpa-bench — shared plumbing for the experiment harness binaries
+//!
+//! Each `src/bin/*` binary regenerates one table or figure of the paper
+//! (see `DESIGN.md` §4 for the index). All binaries accept:
+//!
+//! ```text
+//! --scale tiny|default|large   simulation length per benchmark
+//! --width 4|8|both             machine width(s) to simulate
+//! --bench <name>...            subset of benchmarks (default: all 12)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hpa_core::workloads::{Scale, WORKLOAD_NAMES};
+use hpa_core::{run_workload, MachineWidth, RunResult, Scheme};
+use hpa_core::sim::SimStats;
+
+/// Parsed command-line options shared by every harness binary.
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// Simulation scale.
+    pub scale: Scale,
+    /// Widths to simulate.
+    pub widths: Vec<MachineWidth>,
+    /// Benchmarks to run.
+    pub benches: Vec<&'static str>,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`, exiting with a usage message on errors.
+    #[must_use]
+    pub fn parse() -> HarnessArgs {
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        HarnessArgs::parse_from(&argv)
+    }
+
+    /// Parses an explicit argument list (see [`HarnessArgs::parse`]).
+    #[must_use]
+    pub fn parse_from(argv: &[String]) -> HarnessArgs {
+        let mut args = HarnessArgs {
+            scale: Scale::Default,
+            widths: vec![MachineWidth::Four, MachineWidth::Eight],
+            benches: WORKLOAD_NAMES.to_vec(),
+        };
+        let mut it = argv.iter().map(String::as_str);
+        let mut benches: Vec<&'static str> = Vec::new();
+        while let Some(a) = it.next() {
+            match a {
+                "--scale" => {
+                    args.scale = match it.next() {
+                        Some("tiny") => Scale::Tiny,
+                        Some("default") => Scale::Default,
+                        Some("large") => Scale::Large,
+                        other => usage(&format!("bad --scale {other:?}")),
+                    }
+                }
+                "--width" => {
+                    args.widths = match it.next() {
+                        Some("4") => vec![MachineWidth::Four],
+                        Some("8") => vec![MachineWidth::Eight],
+                        Some("both") => vec![MachineWidth::Four, MachineWidth::Eight],
+                        other => usage(&format!("bad --width {other:?}")),
+                    }
+                }
+                "--bench" => {
+                    let name = it.next().unwrap_or_default();
+                    match WORKLOAD_NAMES.iter().find(|n| **n == name) {
+                        Some(n) => benches.push(n),
+                        None => usage(&format!("unknown benchmark `{name}`")),
+                    }
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown option `{other}`")),
+            }
+        }
+        if !benches.is_empty() {
+            args.benches = benches;
+        }
+        args
+    }
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!("usage: <bin> [--scale tiny|default|large] [--width 4|8|both] [--bench NAME]...");
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Runs the base machine over the selected benchmarks at one width,
+/// returning `(name, stats)` pairs for the characterization figures.
+#[must_use]
+pub fn base_runs(args: &HarnessArgs, width: MachineWidth) -> Vec<(&'static str, SimStats)> {
+    args.benches
+        .iter()
+        .map(|name| {
+            eprint!("  {name} ({})...", width.label());
+            let r = run_once(name, args.scale, width, Scheme::Base);
+            eprintln!(" ipc {:.3}", r.stats.ipc());
+            (*name, r.stats)
+        })
+        .collect()
+}
+
+/// Runs one workload/scheme, panicking on harness-level errors (bad name,
+/// checksum mismatch) since those are not recoverable mid-experiment.
+#[must_use]
+pub fn run_once(name: &str, scale: Scale, width: MachineWidth, scheme: Scheme) -> RunResult {
+    run_workload(name, scale, width, scheme).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Borrows `(name, stats)` pairs in the form the report functions take.
+#[must_use]
+pub fn as_refs<'a>(runs: &'a [(&'a str, SimStats)]) -> Vec<(&'a str, &'a SimStats)> {
+    runs.iter().map(|(n, s)| (*n, s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_cover_everything() {
+        let a = HarnessArgs::parse_from(&[]);
+        assert_eq!(a.scale, Scale::Default);
+        assert_eq!(a.widths, vec![MachineWidth::Four, MachineWidth::Eight]);
+        assert_eq!(a.benches.len(), 12);
+    }
+
+    #[test]
+    fn scale_width_and_bench_filters() {
+        let a = HarnessArgs::parse_from(&sv(&[
+            "--scale", "tiny", "--width", "8", "--bench", "mcf", "--bench", "gcc",
+        ]));
+        assert_eq!(a.scale, Scale::Tiny);
+        assert_eq!(a.widths, vec![MachineWidth::Eight]);
+        assert_eq!(a.benches, vec!["mcf", "gcc"]);
+        let b = HarnessArgs::parse_from(&sv(&["--width", "both", "--scale", "large"]));
+        assert_eq!(b.widths.len(), 2);
+        assert_eq!(b.scale, Scale::Large);
+    }
+
+    #[test]
+    fn as_refs_preserves_order() {
+        use hpa_core::sim::SimStats;
+        let runs = vec![("a", SimStats::default()), ("b", SimStats::default())];
+        let refs = as_refs(&runs);
+        assert_eq!(refs.len(), 2);
+        assert_eq!(refs[0].0, "a");
+        assert_eq!(refs[1].0, "b");
+    }
+}

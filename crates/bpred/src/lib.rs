@@ -1,0 +1,35 @@
+//! # hpa-bpred — predictors for the Half-Price Architecture study
+//!
+//! Two families of predictors:
+//!
+//! * **Branch prediction** per the paper's Table 1: a combined
+//!   bimodal(4k)/gshare(4k) predictor with a 4k-entry selector, a 1k-entry
+//!   4-way [`Btb`], and a 16-entry return-address stack ([`Ras`]).
+//! * **Last-arriving operand prediction** (paper §3.2): a PC-indexed,
+//!   direct-mapped bimodal table of 2-bit saturating counters that predicts
+//!   which of a 2-source instruction's operands will wake up last. Sequential
+//!   wakeup places the predicted operand on the fast wakeup bus; tag
+//!   elimination watches only that operand. [`LastArrivalBank`] runs several
+//!   table sizes side by side to regenerate the paper's Figure 7 sweep.
+//!
+//! # Example
+//!
+//! ```
+//! use hpa_bpred::{LastArrivalPredictor, Side};
+//!
+//! let mut p = LastArrivalPredictor::new(1024);
+//! // A static instruction whose right operand keeps arriving last trains
+//! // the predictor within two observations.
+//! p.update(0x40, Side::Right);
+//! p.update(0x40, Side::Right);
+//! assert_eq!(p.predict(0x40), Side::Right);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch;
+mod last_arrival;
+
+pub use branch::{Btb, CombinedPredictor, DirectionPredictor, Ras};
+pub use last_arrival::{LastArrivalBank, LastArrivalPredictor, LastArrivalStats, Side};

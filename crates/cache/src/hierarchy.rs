@@ -1,0 +1,210 @@
+//! The three-level hierarchy of the paper's Table 1.
+
+use crate::set_assoc::{Cache, CacheConfig, CacheStats};
+
+/// Configuration of the full memory system.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HierarchyConfig {
+    /// Instruction L1.
+    pub il1: CacheConfig,
+    /// Data L1.
+    pub dl1: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// Main-memory access latency in cycles.
+    pub memory_latency: u32,
+}
+
+impl HierarchyConfig {
+    /// The memory system of the paper's Table 1: 64 KB 2-way 32 B IL1 (2),
+    /// 64 KB 4-way 16 B DL1 (2), 512 KB 4-way 64 B unified L2 (8), memory
+    /// (50).
+    #[must_use]
+    pub fn table1() -> HierarchyConfig {
+        HierarchyConfig {
+            il1: CacheConfig { size_bytes: 64 << 10, line_bytes: 32, ways: 2, hit_latency: 2 },
+            dl1: CacheConfig { size_bytes: 64 << 10, line_bytes: 16, ways: 4, hit_latency: 2 },
+            l2: CacheConfig { size_bytes: 512 << 10, line_bytes: 64, ways: 4, hit_latency: 8 },
+            memory_latency: 50,
+        }
+    }
+}
+
+/// Per-level statistics snapshot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HierarchyStats {
+    /// Instruction L1 counters.
+    pub il1: CacheStats,
+    /// Data L1 counters.
+    pub dl1: CacheStats,
+    /// Unified L2 counters.
+    pub l2: CacheStats,
+    /// Accesses that went all the way to main memory.
+    pub memory_accesses: u64,
+}
+
+/// The IL1 + DL1 + unified L2 + memory timing model.
+///
+/// `data_read`/`data_write`/`inst_fetch` return the total access latency in
+/// cycles, filling lines along the way. Write-backs of dirty victims update
+/// L2 state but are not charged latency (they ride the write buffers, the
+/// standard sim-outorder simplification).
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    il1: Cache,
+    dl1: Cache,
+    l2: Cache,
+    memory_latency: u32,
+    memory_accesses: u64,
+}
+
+impl Hierarchy {
+    /// Builds an empty hierarchy.
+    #[must_use]
+    pub fn new(config: HierarchyConfig) -> Hierarchy {
+        Hierarchy {
+            il1: Cache::new(config.il1),
+            dl1: Cache::new(config.dl1),
+            l2: Cache::new(config.l2),
+            memory_latency: config.memory_latency,
+            memory_accesses: 0,
+        }
+    }
+
+    /// Latency of a data-side L1 access, filling on miss.
+    fn data_access(&mut self, addr: u64, write: bool) -> u32 {
+        let mut latency = self.dl1.config().hit_latency;
+        let l1 = self.dl1.access(addr, write);
+        if !l1.hit {
+            latency += self.level2(addr);
+            if let Some(wb) = l1.writeback {
+                // Dirty victim written back into L2 (no latency charge).
+                let _ = self.l2.access(wb, true);
+            }
+        }
+        latency
+    }
+
+    fn level2(&mut self, addr: u64) -> u32 {
+        let mut latency = self.l2.config().hit_latency;
+        let l2 = self.l2.access(addr, false);
+        if !l2.hit {
+            latency += self.memory_latency;
+            self.memory_accesses += 1;
+            // Write-backs from L2 go to memory; nothing further to model.
+        }
+        latency
+    }
+
+    /// Performs a data read at `addr`; returns total latency in cycles.
+    pub fn data_read(&mut self, addr: u64) -> u32 {
+        self.data_access(addr, false)
+    }
+
+    /// Performs a data write at `addr`; returns total latency in cycles.
+    pub fn data_write(&mut self, addr: u64) -> u32 {
+        self.data_access(addr, true)
+    }
+
+    /// Fetches the instruction line containing `addr`; returns total
+    /// latency in cycles.
+    pub fn inst_fetch(&mut self, addr: u64) -> u32 {
+        let mut latency = self.il1.config().hit_latency;
+        if !self.il1.access(addr, false).hit {
+            latency += self.level2(addr);
+        }
+        latency
+    }
+
+    /// Whether a data access at `addr` would hit in the DL1 right now.
+    #[must_use]
+    pub fn dl1_would_hit(&self, addr: u64) -> bool {
+        self.dl1.probe(addr)
+    }
+
+    /// The DL1 hit latency — the latency speculative scheduling assumes for
+    /// every load (paper §2.1).
+    #[must_use]
+    pub fn dl1_hit_latency(&self) -> u32 {
+        self.dl1.config().hit_latency
+    }
+
+    /// The IL1 line size, which bounds how many sequential instructions one
+    /// fetch cycle can deliver.
+    #[must_use]
+    pub fn il1_line_bytes(&self) -> u64 {
+        self.il1.config().line_bytes
+    }
+
+    /// The IL1 hit latency, pipelined into the fetch stages.
+    #[must_use]
+    pub fn il1_hit_latency(&self) -> u32 {
+        self.il1.config().hit_latency
+    }
+
+    /// Statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            il1: *self.il1.stats(),
+            dl1: *self.dl1.stats(),
+            l2: *self.l2.stats(),
+            memory_accesses: self.memory_accesses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_latencies_compose() {
+        let mut h = Hierarchy::new(HierarchyConfig::table1());
+        // Cold: DL1 miss + L2 miss + memory = 2 + 8 + 50.
+        assert_eq!(h.data_read(0x1000), 60);
+        // Warm DL1 hit.
+        assert_eq!(h.data_read(0x1000), 2);
+        // Neighboring line: misses DL1 (16B lines) but hits L2 (64B lines).
+        assert_eq!(h.data_read(0x1010), 10);
+        assert_eq!(h.stats().memory_accesses, 1);
+    }
+
+    #[test]
+    fn inst_fetch_uses_il1_then_l2() {
+        let mut h = Hierarchy::new(HierarchyConfig::table1());
+        assert_eq!(h.inst_fetch(0), 60);
+        assert_eq!(h.inst_fetch(4), 2, "same 32B line");
+        assert_eq!(h.inst_fetch(32), 10, "next line, same L2 line");
+    }
+
+    #[test]
+    fn unified_l2_shares_inst_and_data() {
+        let mut h = Hierarchy::new(HierarchyConfig::table1());
+        let _ = h.inst_fetch(0x4000);
+        // Data access to the same L2 line: DL1 misses, L2 hits.
+        assert_eq!(h.data_read(0x4000), 10);
+    }
+
+    #[test]
+    fn dl1_probe_matches_access_behavior() {
+        let mut h = Hierarchy::new(HierarchyConfig::table1());
+        assert!(!h.dl1_would_hit(0x2000));
+        h.data_write(0x2000);
+        assert!(h.dl1_would_hit(0x2000));
+        assert!(h.dl1_would_hit(0x200F));
+        assert!(!h.dl1_would_hit(0x2010));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut h = Hierarchy::new(HierarchyConfig::table1());
+        h.data_read(0);
+        h.data_read(0);
+        h.data_write(0);
+        let s = h.stats();
+        assert_eq!(s.dl1.accesses, 3);
+        assert_eq!(s.dl1.hits, 2);
+        assert_eq!(s.l2.accesses, 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # hpa-cache — set-associative cache and memory-hierarchy timing model
+//!
+//! Implements the memory system of the paper's Table 1: a 64 KB 2-way
+//! 32-byte-line instruction L1 (2-cycle), a 64 KB 4-way 16-byte-line data L1
+//! (2-cycle), a 512 KB 4-way 64-byte-line unified L2 (8-cycle) and a
+//! 50-cycle main memory, with LRU replacement and write-back/write-allocate
+//! data caches.
+//!
+//! The model is a *timing* model: it tracks which lines are resident and
+//! returns access latencies; data values live in `hpa-emu`'s memory.
+//!
+//! # Example
+//!
+//! ```
+//! use hpa_cache::{Hierarchy, HierarchyConfig};
+//!
+//! let mut mem = Hierarchy::new(HierarchyConfig::table1());
+//! let cold = mem.data_read(0x1000);
+//! let warm = mem.data_read(0x1000);
+//! assert!(cold > warm);
+//! assert_eq!(warm, 2); // DL1 hit latency from Table 1
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hierarchy;
+mod set_assoc;
+
+pub use hierarchy::{Hierarchy, HierarchyConfig, HierarchyStats};
+pub use set_assoc::{Cache, CacheConfig, CacheStats};

@@ -1,0 +1,286 @@
+//! A single set-associative cache with true-LRU replacement.
+
+/// Geometry and latency of one cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Hit latency in cycles.
+    pub hit_latency: u32,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (non-power-of-two line size,
+    /// or capacity not divisible into `ways` lines per set).
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(self.ways > 0, "associativity must be positive");
+        let lines = self.size_bytes / self.line_bytes;
+        assert_eq!(lines % u64::from(self.ways), 0, "capacity/ways mismatch");
+        let sets = lines / u64::from(self.ways);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Dirty lines evicted (write-backs to the next level).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Misses (`accesses - hits`).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Miss rate in `[0, 1]`; zero when there were no accesses.
+    #[must_use]
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses() as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Monotonic timestamp of the last touch; smallest = LRU victim.
+    last_use: u64,
+}
+
+const EMPTY_LINE: Line = Line { tag: 0, valid: false, dirty: false, last_use: 0 };
+
+/// The outcome of one cache access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct Access {
+    pub hit: bool,
+    /// Line address of a dirty line evicted by the fill, if any.
+    pub writeback: Option<u64>,
+}
+
+/// One level of set-associative cache.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    set_shift: u32,
+    set_mask: u64,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry; see [`CacheConfig::sets`].
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Cache {
+        let sets = config.sets();
+        Cache {
+            config,
+            lines: vec![EMPTY_LINE; (sets * u64::from(config.ways)) as usize],
+            set_shift: config.line_bytes.trailing_zeros(),
+            set_mask: sets - 1,
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The line-aligned address containing `addr`.
+    #[must_use]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.config.line_bytes - 1)
+    }
+
+    /// Whether the line containing `addr` is currently resident
+    /// (does not update LRU or statistics).
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.locate(addr);
+        self.set_lines(set).iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    fn locate(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.set_shift;
+        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+    }
+
+    fn set_lines(&self, set: usize) -> &[Line] {
+        let w = self.config.ways as usize;
+        &self.lines[set * w..(set + 1) * w]
+    }
+
+    /// Accesses `addr`, filling on miss; returns hit/miss and any
+    /// write-back caused by the eviction.
+    pub(crate) fn access(&mut self, addr: u64, write: bool) -> Access {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let (set, tag) = self.locate(addr);
+        let w = self.config.ways as usize;
+        let lines = &mut self.lines[set * w..(set + 1) * w];
+
+        if let Some(line) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.last_use = self.clock;
+            line.dirty |= write;
+            self.stats.hits += 1;
+            return Access { hit: true, writeback: None };
+        }
+
+        // Miss: evict the LRU way (preferring invalid ways, which have
+        // last_use 0 and are therefore naturally chosen).
+        let victim = lines
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_use } else { 0 })
+            .expect("ways > 0");
+        let mut writeback = None;
+        if victim.valid && victim.dirty {
+            let set_bits = self.set_mask.count_ones();
+            let victim_line = (victim.tag << set_bits) | set as u64;
+            writeback = Some(victim_line << self.set_shift);
+            self.stats.writebacks += 1;
+        }
+        *victim = Line { tag, valid: true, dirty: write, last_use: self.clock };
+        Access { hit: false, writeback }
+    }
+
+    /// Invalidates everything (keeps statistics).
+    pub fn flush(&mut self) {
+        self.lines.fill(EMPTY_LINE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 16-byte lines = 64 bytes.
+        Cache::new(CacheConfig { size_bytes: 64, line_bytes: 16, ways: 2, hit_latency: 1 })
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.config().sets(), 2);
+        assert_eq!(c.line_addr(0x37), 0x30);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheConfig { size_bytes: 48, line_bytes: 12, ways: 2, hit_latency: 1 });
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert!(!c.access(0x00, false).hit);
+        assert!(c.access(0x08, false).hit, "same line");
+        assert!(!c.access(0x20, false).hit, "same set, different tag");
+        assert!(c.access(0x00, false).hit, "both ways resident");
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().hits, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set 0 lines: 0x00, 0x20, 0x40 (tags 0,1,2).
+        c.access(0x00, false);
+        c.access(0x20, false);
+        c.access(0x00, false); // 0x20 is now LRU
+        c.access(0x40, false); // evicts 0x20
+        assert!(c.probe(0x00));
+        assert!(!c.probe(0x20));
+        assert!(c.probe(0x40));
+    }
+
+    #[test]
+    fn writeback_of_dirty_victim() {
+        let mut c = tiny();
+        c.access(0x00, true); // dirty
+        c.access(0x20, false);
+        c.access(0x20, false); // make 0x00 LRU? no: last_use 0x00=1, 0x20=3
+        let acc = c.access(0x40, false); // evicts 0x00 (dirty)
+        assert_eq!(acc.writeback, Some(0x00));
+        assert_eq!(c.stats().writebacks, 1);
+
+        // Clean eviction produces no writeback.
+        let acc = c.access(0x60, false); // evicts 0x20 (clean)
+        assert_eq!(acc.writeback, None);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0x00, false);
+        c.access(0x00, true); // dirty via hit
+        c.access(0x20, false);
+        c.access(0x40, false); // evict 0x00
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_state() {
+        let mut c = tiny();
+        c.access(0x00, false);
+        let before = *c.stats();
+        assert!(c.probe(0x00));
+        assert!(!c.probe(0x999));
+        assert_eq!(*c.stats(), before);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = tiny();
+        c.access(0x00, false);
+        c.flush();
+        assert!(!c.probe(0x00));
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = tiny();
+        assert_eq!(c.stats().miss_rate(), 0.0);
+        c.access(0x00, false);
+        c.access(0x00, false);
+        assert_eq!(c.stats().misses(), 1);
+        assert_eq!(c.stats().miss_rate(), 0.5);
+    }
+}

@@ -1,0 +1,223 @@
+//! Experiment execution: workloads × schemes, with architectural
+//! verification after every run.
+
+use crate::scheme::{MachineWidth, Scheme};
+use hpa_sim::{SimConfig, SimStats, Simulator};
+use hpa_workloads::{workload, Scale, Workload, CHECKSUM_REG};
+use std::fmt;
+
+/// Errors from [`run_workload`].
+#[derive(Clone, Debug)]
+pub enum RunError {
+    /// The workload name is not one of the twelve benchmarks.
+    UnknownWorkload {
+        /// The offending name.
+        name: String,
+    },
+    /// The timing simulation changed the architectural result — a
+    /// simulator bug, reported rather than panicking so sweeps can
+    /// surface it.
+    ChecksumMismatch {
+        /// The workload.
+        name: String,
+        /// Checksum computed under the timing simulator's emulator.
+        actual: u64,
+        /// Reference checksum.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::UnknownWorkload { name } => write!(f, "unknown workload `{name}`"),
+            RunError::ChecksumMismatch { name, actual, expected } => write!(
+                f,
+                "{name}: timing run checksum {actual:#x} != reference {expected:#x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The outcome of simulating one workload under one configuration.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Scheme that was simulated.
+    pub scheme: Scheme,
+    /// Machine width.
+    pub width: MachineWidth,
+    /// Full simulator statistics.
+    pub stats: SimStats,
+}
+
+/// Simulates one workload under a named scheme, verifying the checksum.
+///
+/// # Errors
+///
+/// [`RunError::UnknownWorkload`] for a bad name and
+/// [`RunError::ChecksumMismatch`] if timing altered semantics (never
+/// expected; would indicate a simulator bug).
+pub fn run_workload(
+    name: &str,
+    scale: Scale,
+    width: MachineWidth,
+    scheme: Scheme,
+) -> Result<RunResult, RunError> {
+    let w = workload(name, scale)
+        .ok_or_else(|| RunError::UnknownWorkload { name: name.to_string() })?;
+    run_prepared(&w, scheme.configure(width), scheme, width)
+}
+
+/// Simulates an already-built workload under an explicit configuration.
+///
+/// # Errors
+///
+/// [`RunError::ChecksumMismatch`] if timing altered semantics.
+pub fn run_prepared(
+    w: &Workload,
+    config: SimConfig,
+    scheme: Scheme,
+    width: MachineWidth,
+) -> Result<RunResult, RunError> {
+    let mut sim = Simulator::new(&w.program, config);
+    sim.run();
+    let actual = sim.emulator().reg(CHECKSUM_REG);
+    if actual != w.expected_checksum {
+        return Err(RunError::ChecksumMismatch {
+            name: w.name.to_string(),
+            actual,
+            expected: w.expected_checksum,
+        });
+    }
+    Ok(RunResult { workload: w.name, scheme, width, stats: sim.stats().clone() })
+}
+
+/// Results of a benchmarks × schemes sweep at one machine width.
+#[derive(Clone, Debug)]
+pub struct MatrixResult {
+    /// The machine width the matrix was collected at.
+    pub width: MachineWidth,
+    /// One row per workload, in [`hpa_workloads::WORKLOAD_NAMES`] order,
+    /// each holding one result per requested scheme (same order as the
+    /// `schemes` argument of [`run_matrix`]).
+    pub rows: Vec<Vec<RunResult>>,
+}
+
+impl MatrixResult {
+    /// The result for `(workload, scheme)`, if present.
+    #[must_use]
+    pub fn get(&self, workload: &str, scheme: Scheme) -> Option<&RunResult> {
+        self.rows
+            .iter()
+            .flatten()
+            .find(|r| r.workload == workload && r.scheme == scheme)
+    }
+
+    /// Normalized IPC (scheme / base) for one workload; requires both runs
+    /// to be present.
+    #[must_use]
+    pub fn normalized_ipc(&self, workload: &str, scheme: Scheme) -> Option<f64> {
+        let base = self.get(workload, Scheme::Base)?.stats.ipc();
+        let s = self.get(workload, scheme)?.stats.ipc();
+        (base > 0.0).then(|| s / base)
+    }
+
+    /// Average IPC degradation of a scheme across all workloads, as a
+    /// fraction (e.g. `0.022` for the paper's headline 2.2%).
+    #[must_use]
+    pub fn average_degradation(&self, scheme: Scheme) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for row in &self.rows {
+            if let Some(base) = row.iter().find(|r| r.scheme == Scheme::Base) {
+                if let Some(s) = row.iter().find(|r| r.scheme == scheme) {
+                    sum += 1.0 - s.stats.ipc() / base.stats.ipc();
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / f64::from(n)
+        }
+    }
+
+    /// The worst (largest) per-workload degradation of a scheme, with the
+    /// workload name.
+    #[must_use]
+    pub fn worst_degradation(&self, scheme: Scheme) -> Option<(&'static str, f64)> {
+        let mut worst: Option<(&'static str, f64)> = None;
+        for row in &self.rows {
+            let base = row.iter().find(|r| r.scheme == Scheme::Base)?;
+            let s = row.iter().find(|r| r.scheme == scheme)?;
+            let d = 1.0 - s.stats.ipc() / base.stats.ipc();
+            if worst.is_none_or(|(_, w)| d > w) {
+                worst = Some((s.workload, d));
+            }
+        }
+        worst
+    }
+}
+
+/// Runs `workload_names` × `schemes` at one width, calling `progress`
+/// after each simulation (for harness logging).
+///
+/// # Errors
+///
+/// Propagates the first [`RunError`].
+pub fn run_matrix(
+    workload_names: &[&str],
+    scale: Scale,
+    width: MachineWidth,
+    schemes: &[Scheme],
+    mut progress: impl FnMut(&RunResult),
+) -> Result<MatrixResult, RunError> {
+    let mut rows = Vec::with_capacity(workload_names.len());
+    for name in workload_names {
+        let w = workload(name, scale)
+            .ok_or_else(|| RunError::UnknownWorkload { name: (*name).to_string() })?;
+        let mut row = Vec::with_capacity(schemes.len());
+        for &scheme in schemes {
+            let r = run_prepared(&w, scheme.configure(width), scheme, width)?;
+            progress(&r);
+            row.push(r);
+        }
+        rows.push(row);
+    }
+    Ok(MatrixResult { width, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let e = run_workload("nonesuch", Scale::Tiny, MachineWidth::Four, Scheme::Base);
+        assert!(matches!(e, Err(RunError::UnknownWorkload { .. })));
+        assert!(e.unwrap_err().to_string().contains("nonesuch"));
+    }
+
+    #[test]
+    fn matrix_collects_and_normalizes() {
+        let m = run_matrix(
+            &["gcc"],
+            Scale::Tiny,
+            MachineWidth::Four,
+            &[Scheme::Base, Scheme::Combined],
+            |_| {},
+        )
+        .expect("runs");
+        let norm = m.normalized_ipc("gcc", Scheme::Combined).expect("both runs present");
+        assert!(norm > 0.85 && norm <= 1.01, "normalized IPC = {norm}");
+        let avg = m.average_degradation(Scheme::Combined);
+        let (wname, worst) = m.worst_degradation(Scheme::Combined).expect("present");
+        assert_eq!(wname, "gcc");
+        assert!((avg - worst).abs() < 1e-12, "single workload: avg == worst");
+    }
+}

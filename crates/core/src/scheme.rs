@@ -1,0 +1,154 @@
+//! Named machine configurations from the paper's evaluation.
+
+use hpa_sim::{RegFileScheme, SimConfig, WakeupScheme};
+
+/// The machine width presets of Table 1.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MachineWidth {
+    /// 4-wide, 64-entry RUU, 32-entry LSQ.
+    Four,
+    /// 8-wide, 128-entry RUU, 64-entry LSQ.
+    Eight,
+}
+
+impl MachineWidth {
+    /// Both widths, in the paper's order.
+    pub const ALL: [MachineWidth; 2] = [MachineWidth::Four, MachineWidth::Eight];
+
+    /// The corresponding base simulator configuration.
+    #[must_use]
+    pub fn base_config(self) -> SimConfig {
+        match self {
+            MachineWidth::Four => SimConfig::four_wide(),
+            MachineWidth::Eight => SimConfig::eight_wide(),
+        }
+    }
+
+    /// Short label ("4-wide" / "8-wide").
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            MachineWidth::Four => "4-wide",
+            MachineWidth::Eight => "8-wide",
+        }
+    }
+}
+
+/// Entries in the paper's Figure 7 sweep use a 1k-entry predictor for the
+/// evaluated schemes (§5.1).
+pub const EVAL_PREDICTOR_ENTRIES: usize = 1024;
+
+/// One evaluated machine organization, as named in the paper's Figures
+/// 14–16.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Scheme {
+    /// The conventional base machine (normalization reference).
+    Base,
+    /// Sequential wakeup with the 1k-entry last-arriving predictor
+    /// (Figure 14, left bars).
+    SeqWakeupPredictor,
+    /// Sequential wakeup with the static right-last policy
+    /// (Figure 14, right bars).
+    SeqWakeupStatic,
+    /// Tag elimination with the 1k-entry predictor (Figure 14, middle
+    /// bars; Ernst & Austin's scheme).
+    TagElimination,
+    /// Sequential register access (Figure 15, left bars).
+    SeqRegAccess,
+    /// Conventional register file with one extra pipeline stage
+    /// (Figure 15, middle bars).
+    ExtraRfStage,
+    /// Half the read ports behind a fully connected crossbar
+    /// (Figure 15, right bars).
+    HalfPortsCrossbar,
+    /// Sequential wakeup + sequential register access (Figure 16).
+    Combined,
+}
+
+impl Scheme {
+    /// Every scheme, base first.
+    pub const ALL: [Scheme; 8] = [
+        Scheme::Base,
+        Scheme::SeqWakeupPredictor,
+        Scheme::SeqWakeupStatic,
+        Scheme::TagElimination,
+        Scheme::SeqRegAccess,
+        Scheme::ExtraRfStage,
+        Scheme::HalfPortsCrossbar,
+        Scheme::Combined,
+    ];
+
+    /// Applies the scheme to a width's base configuration.
+    #[must_use]
+    pub fn configure(self, width: MachineWidth) -> SimConfig {
+        let base = width.base_config();
+        match self {
+            Scheme::Base => base,
+            Scheme::SeqWakeupPredictor => base.with_wakeup(WakeupScheme::SequentialWakeup {
+                predictor_entries: Some(EVAL_PREDICTOR_ENTRIES),
+            }),
+            Scheme::SeqWakeupStatic => {
+                base.with_wakeup(WakeupScheme::SequentialWakeup { predictor_entries: None })
+            }
+            Scheme::TagElimination => base.with_wakeup(WakeupScheme::TagElimination {
+                predictor_entries: EVAL_PREDICTOR_ENTRIES,
+            }),
+            Scheme::SeqRegAccess => base.with_regfile(RegFileScheme::SequentialAccess),
+            Scheme::ExtraRfStage => base.with_regfile(RegFileScheme::ExtraStage),
+            Scheme::HalfPortsCrossbar => base.with_regfile(RegFileScheme::SharedCrossbar),
+            Scheme::Combined => base
+                .with_wakeup(WakeupScheme::SequentialWakeup {
+                    predictor_entries: Some(EVAL_PREDICTOR_ENTRIES),
+                })
+                .with_regfile(RegFileScheme::SequentialAccess),
+        }
+    }
+
+    /// The label used in the paper's figures.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Base => "base",
+            Scheme::SeqWakeupPredictor => "seq wakeup",
+            Scheme::SeqWakeupStatic => "seq wakeup (no pred)",
+            Scheme::TagElimination => "tag elimination",
+            Scheme::SeqRegAccess => "seq RF access",
+            Scheme::ExtraRfStage => "1 extra RF stage",
+            Scheme::HalfPortsCrossbar => "reg + crossbar",
+            Scheme::Combined => "seq wakeup + seq RF",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_is_identity() {
+        let c = Scheme::Base.configure(MachineWidth::Four);
+        assert_eq!(c.wakeup, WakeupScheme::Conventional);
+        assert_eq!(c.regfile, RegFileScheme::DualPort);
+        assert_eq!(c.width, 4);
+    }
+
+    #[test]
+    fn combined_sets_both_techniques() {
+        let c = Scheme::Combined.configure(MachineWidth::Eight);
+        assert!(matches!(
+            c.wakeup,
+            WakeupScheme::SequentialWakeup { predictor_entries: Some(EVAL_PREDICTOR_ENTRIES) }
+        ));
+        assert_eq!(c.regfile, RegFileScheme::SequentialAccess);
+        assert_eq!(c.width, 8);
+        assert_eq!(c.ruu_size, 128);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<_> = Scheme::ALL.iter().map(|s| s.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), Scheme::ALL.len());
+    }
+}

@@ -1,0 +1,38 @@
+//! # hpa-emu — functional emulator for the Half-Price Architecture ISA
+//!
+//! Executes [`hpa_asm::Program`]s with precise architectural semantics. The
+//! emulator plays two roles in the workspace:
+//!
+//! 1. standalone, to validate the `hpa-workloads` benchmark kernels against
+//!    their self-checks;
+//! 2. as the *oracle* inside the `hpa-sim` timing simulator, which steps the
+//!    emulator at fetch time (execution-driven simulation) and attaches
+//!    timing to the resulting [`StepRecord`] stream.
+//!
+//! # Example
+//!
+//! ```
+//! use hpa_asm::Asm;
+//! use hpa_emu::Emulator;
+//! use hpa_isa::Reg;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut a = Asm::new();
+//! a.li(Reg::R1, 6);
+//! a.mul(Reg::R1, Reg::R1, 7);
+//! a.halt();
+//! let mut emu = Emulator::new(&a.assemble()?);
+//! emu.run(1_000)?;
+//! assert_eq!(emu.reg(Reg::R1), 42);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod machine;
+mod memory;
+
+pub use machine::{EmuError, Emulator, RunOutcome, StepRecord};
+pub use memory::Memory;

@@ -1,0 +1,136 @@
+//! Sparse paged data memory.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u64 = 12;
+const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
+const PAGE_MASK: u64 = PAGE_SIZE - 1;
+
+/// A sparse, byte-addressed 64-bit memory backed by 4 KiB pages.
+///
+/// Reads of untouched memory return zero, so programs can rely on
+/// zero-initialized buffers. All multi-byte accesses are little-endian and
+/// may straddle page boundaries.
+#[derive(Clone, Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    #[must_use]
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of resident pages (for footprint diagnostics).
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(page) => page[(addr & PAGE_MASK) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE as usize]));
+        page[(addr & PAGE_MASK) as usize] = value;
+    }
+
+    /// Reads `N` little-endian bytes starting at `addr`.
+    #[must_use]
+    pub fn read_bytes<const N: usize>(&self, addr: u64) -> [u8; N] {
+        let mut out = [0u8; N];
+        // Fast path: within one page.
+        let off = (addr & PAGE_MASK) as usize;
+        if off + N <= PAGE_SIZE as usize {
+            if let Some(page) = self.pages.get(&(addr >> PAGE_SHIFT)) {
+                out.copy_from_slice(&page[off..off + N]);
+            }
+            return out;
+        }
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u64));
+        }
+        out
+    }
+
+    /// Writes `N` little-endian bytes starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    #[must_use]
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        u32::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Reads a little-endian `u64`.
+    #[must_use]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        u64::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_on_untouched() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(0), 0);
+        assert_eq!(m.read_u64(0xDEAD_BEEF), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_back_values() {
+        let mut m = Memory::new();
+        m.write_u64(0x1000, 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.read_u64(0x1000), 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.read_u8(0x1000), 0xEF, "little-endian layout");
+        assert_eq!(m.read_u32(0x1004), 0x0123_4567);
+        assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = Memory::new();
+        let addr = PAGE_SIZE - 4; // straddles the first page boundary
+        m.write_u64(addr, u64::MAX - 1);
+        assert_eq!(m.read_u64(addr), u64::MAX - 1);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn partial_overwrite() {
+        let mut m = Memory::new();
+        m.write_u64(8, u64::MAX);
+        m.write_u8(9, 0);
+        assert_eq!(m.read_u64(8), 0xFFFF_FFFF_FFFF_00FF);
+    }
+}

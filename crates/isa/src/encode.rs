@@ -1,0 +1,360 @@
+//! Packed 32-bit binary encoding.
+//!
+//! Every instruction encodes into one 32-bit word, mirroring Alpha's fixed
+//! 32-bit format. The top six bits select a major opcode; conditional
+//! branches get one major opcode per condition so that, as on Alpha, a full
+//! 21-bit slot displacement fits, and literal-form operates get one major
+//! opcode per ALU operation so that a 16-bit literal fits.
+
+use crate::inst::{Inst, RegOrLit};
+use crate::op::{AluOp, BranchCond, FpBinOp, JumpKind, MemWidth, UnaryOp};
+use crate::reg::{FReg, Reg};
+use std::fmt;
+
+/// Error returned by [`decode`] for words that do not correspond to any
+/// instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// The offending word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Major opcodes.
+const MAJ_HALT: u32 = 0;
+const MAJ_OP_REG: u32 = 1;
+const MAJ_OP1: u32 = 2;
+const MAJ_FPOP: u32 = 3;
+const MAJ_ITOF: u32 = 4;
+const MAJ_FTOI: u32 = 5;
+const MAJ_LOAD_B: u32 = 6; // 6,7,8 = byte/long/quad
+const MAJ_STORE_B: u32 = 9; // 9,10,11
+const MAJ_FLOAD: u32 = 12;
+const MAJ_FSTORE: u32 = 13;
+const MAJ_BR_INT: u32 = 16; // 16..24: one per BranchCond
+const MAJ_BR_FP: u32 = 24; // 24..32
+const MAJ_BR: u32 = 32;
+const MAJ_JMP: u32 = 33; // 33,34,35 = jmp/jsr/ret
+const MAJ_OP_LIT: u32 = 36; // 36..36+19: one per AluOp
+
+const DISP21_MAX: i32 = (1 << 20) - 1;
+const DISP21_MIN: i32 = -(1 << 20);
+
+fn major(word: u32) -> u32 {
+    word >> 26
+}
+
+fn field(word: u32, lsb: u32, bits: u32) -> u32 {
+    (word >> lsb) & ((1 << bits) - 1)
+}
+
+fn reg_at(word: u32, lsb: u32) -> Reg {
+    Reg::new(field(word, lsb, 5) as u8)
+}
+
+fn freg_at(word: u32, lsb: u32) -> FReg {
+    FReg::new(field(word, lsb, 5) as u8)
+}
+
+fn width_of(index: u32) -> MemWidth {
+    match index {
+        0 => MemWidth::Byte,
+        1 => MemWidth::Long,
+        _ => MemWidth::Quad,
+    }
+}
+
+fn width_index(w: MemWidth) -> u32 {
+    match w {
+        MemWidth::Byte => 0,
+        MemWidth::Long => 1,
+        MemWidth::Quad => 2,
+    }
+}
+
+fn alu_index(op: AluOp) -> u32 {
+    AluOp::ALL.iter().position(|&o| o == op).expect("op in ALL") as u32
+}
+
+/// Encodes one instruction into its 32-bit word.
+///
+/// # Panics
+///
+/// Panics if a branch displacement exceeds the signed 21-bit range — the
+/// assembler is responsible for staying within it.
+#[must_use]
+pub fn encode(inst: &Inst) -> u32 {
+    let maj = |m: u32| m << 26;
+    match *inst {
+        Inst::Halt => maj(MAJ_HALT),
+        Inst::Op { op, ra, rb: RegOrLit::Reg(rb), rc } => {
+            maj(MAJ_OP_REG)
+                | (alu_index(op) << 21)
+                | (u32::from(ra.number()) << 16)
+                | (u32::from(rb.number()) << 11)
+                | (u32::from(rc.number()) << 6)
+        }
+        Inst::Op { op, ra, rb: RegOrLit::Lit(lit), rc } => {
+            maj(MAJ_OP_LIT + alu_index(op))
+                | (u32::from(ra.number()) << 21)
+                | (u32::from(rc.number()) << 16)
+                | u32::from(lit as u16)
+        }
+        Inst::Op1 { op, ra, rc } => {
+            let f = UnaryOp::ALL.iter().position(|&o| o == op).expect("op in ALL") as u32;
+            maj(MAJ_OP1)
+                | (f << 21)
+                | (u32::from(ra.number()) << 16)
+                | (u32::from(rc.number()) << 11)
+        }
+        Inst::FpOp { op, fa, fb, fc } => {
+            let f = FpBinOp::ALL.iter().position(|&o| o == op).expect("op in ALL") as u32;
+            maj(MAJ_FPOP)
+                | (f << 21)
+                | (u32::from(fa.number()) << 16)
+                | (u32::from(fb.number()) << 11)
+                | (u32::from(fc.number()) << 6)
+        }
+        Inst::Itof { ra, fc } => {
+            maj(MAJ_ITOF) | (u32::from(ra.number()) << 21) | (u32::from(fc.number()) << 16)
+        }
+        Inst::Ftoi { fa, rc } => {
+            maj(MAJ_FTOI) | (u32::from(fa.number()) << 21) | (u32::from(rc.number()) << 16)
+        }
+        Inst::Load { width, rt, base, disp } => {
+            maj(MAJ_LOAD_B + width_index(width))
+                | (u32::from(rt.number()) << 21)
+                | (u32::from(base.number()) << 16)
+                | u32::from(disp as u16)
+        }
+        Inst::Store { width, rt, base, disp } => {
+            maj(MAJ_STORE_B + width_index(width))
+                | (u32::from(rt.number()) << 21)
+                | (u32::from(base.number()) << 16)
+                | u32::from(disp as u16)
+        }
+        Inst::FLoad { ft, base, disp } => {
+            maj(MAJ_FLOAD)
+                | (u32::from(ft.number()) << 21)
+                | (u32::from(base.number()) << 16)
+                | u32::from(disp as u16)
+        }
+        Inst::FStore { ft, base, disp } => {
+            maj(MAJ_FSTORE)
+                | (u32::from(ft.number()) << 21)
+                | (u32::from(base.number()) << 16)
+                | u32::from(disp as u16)
+        }
+        Inst::Branch { cond, ra, disp } => {
+            let c = BranchCond::ALL.iter().position(|&x| x == cond).expect("cond") as u32;
+            assert!(
+                (DISP21_MIN..=DISP21_MAX).contains(&disp),
+                "branch displacement {disp} out of 21-bit range"
+            );
+            maj(MAJ_BR_INT + c) | (u32::from(ra.number()) << 21) | (disp as u32 & 0x1F_FFFF)
+        }
+        Inst::FBranch { cond, fa, disp } => {
+            let c = BranchCond::ALL.iter().position(|&x| x == cond).expect("cond") as u32;
+            assert!(
+                (DISP21_MIN..=DISP21_MAX).contains(&disp),
+                "branch displacement {disp} out of 21-bit range"
+            );
+            maj(MAJ_BR_FP + c) | (u32::from(fa.number()) << 21) | (disp as u32 & 0x1F_FFFF)
+        }
+        Inst::Br { ra, disp } => {
+            assert!(
+                (DISP21_MIN..=DISP21_MAX).contains(&disp),
+                "branch displacement {disp} out of 21-bit range"
+            );
+            maj(MAJ_BR) | (u32::from(ra.number()) << 21) | (disp as u32 & 0x1F_FFFF)
+        }
+        Inst::Jump { kind, rt, base } => {
+            let k = match kind {
+                JumpKind::Jmp => 0,
+                JumpKind::Jsr => 1,
+                JumpKind::Ret => 2,
+            };
+            maj(MAJ_JMP + k) | (u32::from(rt.number()) << 21) | (u32::from(base.number()) << 16)
+        }
+    }
+}
+
+fn sext21(raw: u32) -> i32 {
+    ((raw << 11) as i32) >> 11
+}
+
+/// Decodes one 32-bit word back into an instruction.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] if the word's major opcode or function field does
+/// not correspond to any instruction.
+pub fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let err = DecodeError { word };
+    let m = major(word);
+    Ok(match m {
+        MAJ_HALT => Inst::Halt,
+        MAJ_OP_REG => {
+            let op = *AluOp::ALL.get(field(word, 21, 5) as usize).ok_or(err)?;
+            Inst::Op {
+                op,
+                ra: reg_at(word, 16),
+                rb: RegOrLit::Reg(reg_at(word, 11)),
+                rc: reg_at(word, 6),
+            }
+        }
+        MAJ_OP1 => {
+            let op = *UnaryOp::ALL.get(field(word, 21, 5) as usize).ok_or(err)?;
+            Inst::Op1 { op, ra: reg_at(word, 16), rc: reg_at(word, 11) }
+        }
+        MAJ_FPOP => {
+            let op = *FpBinOp::ALL.get(field(word, 21, 5) as usize).ok_or(err)?;
+            Inst::FpOp { op, fa: freg_at(word, 16), fb: freg_at(word, 11), fc: freg_at(word, 6) }
+        }
+        MAJ_ITOF => Inst::Itof { ra: reg_at(word, 21), fc: freg_at(word, 16) },
+        MAJ_FTOI => Inst::Ftoi { fa: freg_at(word, 21), rc: reg_at(word, 16) },
+        m @ MAJ_LOAD_B..=8 => Inst::Load {
+            width: width_of(m - MAJ_LOAD_B),
+            rt: reg_at(word, 21),
+            base: reg_at(word, 16),
+            disp: field(word, 0, 16) as u16 as i16,
+        },
+        m @ MAJ_STORE_B..=11 => Inst::Store {
+            width: width_of(m - MAJ_STORE_B),
+            rt: reg_at(word, 21),
+            base: reg_at(word, 16),
+            disp: field(word, 0, 16) as u16 as i16,
+        },
+        MAJ_FLOAD => Inst::FLoad {
+            ft: freg_at(word, 21),
+            base: reg_at(word, 16),
+            disp: field(word, 0, 16) as u16 as i16,
+        },
+        MAJ_FSTORE => Inst::FStore {
+            ft: freg_at(word, 21),
+            base: reg_at(word, 16),
+            disp: field(word, 0, 16) as u16 as i16,
+        },
+        m @ MAJ_BR_INT..=23 => Inst::Branch {
+            cond: BranchCond::ALL[(m - MAJ_BR_INT) as usize],
+            ra: reg_at(word, 21),
+            disp: sext21(field(word, 0, 21)),
+        },
+        m @ MAJ_BR_FP..=31 => Inst::FBranch {
+            cond: BranchCond::ALL[(m - MAJ_BR_FP) as usize],
+            fa: freg_at(word, 21),
+            disp: sext21(field(word, 0, 21)),
+        },
+        MAJ_BR => Inst::Br { ra: reg_at(word, 21), disp: sext21(field(word, 0, 21)) },
+        m @ MAJ_JMP..=35 => Inst::Jump {
+            kind: match m - MAJ_JMP {
+                0 => JumpKind::Jmp,
+                1 => JumpKind::Jsr,
+                _ => JumpKind::Ret,
+            },
+            rt: reg_at(word, 21),
+            base: reg_at(word, 16),
+        },
+        m if (MAJ_OP_LIT..MAJ_OP_LIT + AluOp::ALL.len() as u32).contains(&m) => {
+            let op = AluOp::ALL[(m - MAJ_OP_LIT) as usize];
+            Inst::Op {
+                op,
+                ra: reg_at(word, 21),
+                rb: RegOrLit::Lit(field(word, 0, 16) as u16 as i16),
+                rc: reg_at(word, 16),
+            }
+        }
+        _ => return Err(err),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_sample_insts() -> Vec<Inst> {
+        let mut v = Vec::new();
+        for &op in &AluOp::ALL {
+            v.push(Inst::Op { op, ra: Reg::R1, rb: RegOrLit::Reg(Reg::R30), rc: Reg::R17 });
+            v.push(Inst::Op { op, ra: Reg::R31, rb: RegOrLit::Lit(-1234), rc: Reg::R0 });
+            v.push(Inst::Op { op, ra: Reg::R9, rb: RegOrLit::Lit(i16::MAX), rc: Reg::R9 });
+        }
+        for &op in &UnaryOp::ALL {
+            v.push(Inst::Op1 { op, ra: Reg::R13, rc: Reg::R14 });
+        }
+        for &op in &FpBinOp::ALL {
+            v.push(Inst::FpOp { op, fa: FReg::F1, fb: FReg::F2, fc: FReg::F3 });
+        }
+        v.push(Inst::Itof { ra: Reg::R4, fc: FReg::F5 });
+        v.push(Inst::Ftoi { fa: FReg::F6, rc: Reg::R7 });
+        for w in [MemWidth::Byte, MemWidth::Long, MemWidth::Quad] {
+            v.push(Inst::Load { width: w, rt: Reg::R1, base: Reg::R2, disp: -8 });
+            v.push(Inst::Store { width: w, rt: Reg::R3, base: Reg::R4, disp: 32 });
+        }
+        v.push(Inst::FLoad { ft: FReg::F8, base: Reg::R9, disp: 16 });
+        v.push(Inst::FStore { ft: FReg::F10, base: Reg::R11, disp: -16 });
+        for &cond in &BranchCond::ALL {
+            v.push(Inst::Branch { cond, ra: Reg::R5, disp: -100 });
+            v.push(Inst::FBranch { cond, fa: FReg::F5, disp: 100 });
+        }
+        v.push(Inst::Br { ra: Reg::R26, disp: 12345 });
+        v.push(Inst::Br { ra: Reg::ZERO, disp: -12345 });
+        for kind in [JumpKind::Jmp, JumpKind::Jsr, JumpKind::Ret] {
+            v.push(Inst::Jump { kind, rt: Reg::R26, base: Reg::R27 });
+        }
+        v.push(Inst::Halt);
+        v.push(Inst::nop());
+        v
+    }
+
+    #[test]
+    fn round_trip_every_form() {
+        for inst in all_sample_insts() {
+            let word = encode(&inst);
+            let back = decode(word).unwrap_or_else(|e| panic!("{inst}: {e}"));
+            assert_eq!(back, inst, "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn branch_displacement_extremes_round_trip() {
+        for disp in [super::DISP21_MIN, super::DISP21_MAX, 0, -1, 1] {
+            let b = Inst::Branch { cond: BranchCond::Ne, ra: Reg::R3, disp };
+            assert_eq!(decode(encode(&b)).unwrap(), b);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 21-bit range")]
+    fn branch_displacement_overflow_panics() {
+        let _ = encode(&Inst::Br { ra: Reg::ZERO, disp: 1 << 20 });
+    }
+
+    #[test]
+    fn invalid_words_are_rejected() {
+        // Unused major opcode.
+        assert!(decode(63 << 26).is_err());
+        // OP_REG with out-of-range function field.
+        assert!(decode((MAJ_OP_REG << 26) | (31 << 21)).is_err());
+        // Error type displays the word.
+        let e = decode(63 << 26).unwrap_err();
+        assert!(e.to_string().contains("0xfc000000"));
+    }
+
+    #[test]
+    fn distinct_instructions_encode_distinctly() {
+        let insts = all_sample_insts();
+        let mut words: Vec<u32> = insts.iter().map(encode).collect();
+        let n = words.len();
+        words.sort_unstable();
+        words.dedup();
+        assert_eq!(words.len(), n);
+    }
+}

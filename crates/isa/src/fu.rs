@@ -1,0 +1,168 @@
+//! Functional-unit classification and execution latencies (paper Table 1).
+
+use crate::inst::Inst;
+use crate::op::{AluOp, FpBinOp};
+
+/// The functional-unit class an instruction executes on.
+///
+/// The classes and their counts/latencies follow the paper's Table 1:
+/// integer ALUs (1-cycle), floating ALUs (2-cycle), integer multiply/divide
+/// units (3/20), floating multiply/divide units (4/12) and memory ports.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FuClass {
+    /// Integer ALU; also executes branches, jumps and conversions.
+    IntAlu,
+    /// Integer multiply/divide unit.
+    IntMulDiv,
+    /// Floating-point ALU (add/sub/compare).
+    FpAlu,
+    /// Floating-point multiply/divide unit.
+    FpMulDiv,
+    /// Memory port: address generation and cache access for loads/stores.
+    MemPort,
+}
+
+impl FuClass {
+    /// All functional-unit classes.
+    pub const ALL: [FuClass; 5] = [
+        FuClass::IntAlu,
+        FuClass::IntMulDiv,
+        FuClass::FpAlu,
+        FuClass::FpMulDiv,
+        FuClass::MemPort,
+    ];
+}
+
+/// Execution latency and pipelining behavior of one instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OpLatency {
+    /// Cycles from the start of execution to the result being available for
+    /// bypass. For loads this covers address generation only — the cache
+    /// access time is added by the memory model.
+    pub cycles: u32,
+    /// Whether the functional unit accepts a new operation every cycle.
+    /// Divide units are not pipelined and busy the unit for the full
+    /// latency.
+    pub pipelined: bool,
+}
+
+impl OpLatency {
+    const fn pipe(cycles: u32) -> OpLatency {
+        OpLatency { cycles, pipelined: true }
+    }
+    const fn block(cycles: u32) -> OpLatency {
+        OpLatency { cycles, pipelined: false }
+    }
+}
+
+impl Inst {
+    /// The functional-unit class this instruction executes on.
+    #[must_use]
+    pub fn fu_class(&self) -> FuClass {
+        match self {
+            Inst::Op { op, .. } => match op {
+                AluOp::Mul | AluOp::Div | AluOp::Rem => FuClass::IntMulDiv,
+                _ => FuClass::IntAlu,
+            },
+            Inst::Op1 { .. } => FuClass::IntAlu,
+            Inst::FpOp { op, .. } => match op {
+                FpBinOp::Mul | FpBinOp::Div => FuClass::FpMulDiv,
+                _ => FuClass::FpAlu,
+            },
+            Inst::Itof { .. } | Inst::Ftoi { .. } => FuClass::FpAlu,
+            Inst::Load { .. } | Inst::FLoad { .. } | Inst::Store { .. } | Inst::FStore { .. } => {
+                FuClass::MemPort
+            }
+            Inst::Branch { .. }
+            | Inst::FBranch { .. }
+            | Inst::Br { .. }
+            | Inst::Jump { .. }
+            | Inst::Halt => FuClass::IntAlu,
+        }
+    }
+
+    /// The execution latency of this instruction (paper Table 1).
+    ///
+    /// Loads report address-generation latency only; the cache hierarchy
+    /// adds its access time on top.
+    #[must_use]
+    pub fn latency(&self) -> OpLatency {
+        match self {
+            Inst::Op { op, .. } => match op {
+                AluOp::Mul => OpLatency::pipe(3),
+                AluOp::Div | AluOp::Rem => OpLatency::block(20),
+                _ => OpLatency::pipe(1),
+            },
+            Inst::Op1 { .. } => OpLatency::pipe(1),
+            Inst::FpOp { op, .. } => match op {
+                FpBinOp::Mul => OpLatency::pipe(4),
+                FpBinOp::Div => OpLatency::block(12),
+                _ => OpLatency::pipe(2),
+            },
+            Inst::Itof { .. } | Inst::Ftoi { .. } => OpLatency::pipe(2),
+            // Address generation; memory model adds cache time.
+            Inst::Load { .. } | Inst::FLoad { .. } | Inst::Store { .. } | Inst::FStore { .. } => {
+                OpLatency::pipe(1)
+            }
+            Inst::Branch { .. }
+            | Inst::FBranch { .. }
+            | Inst::Br { .. }
+            | Inst::Jump { .. }
+            | Inst::Halt => OpLatency::pipe(1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{FReg, Reg};
+    use crate::RegOrLit;
+
+    #[test]
+    fn table1_latencies() {
+        let add = Inst::op(AluOp::Add, Reg::R1, RegOrLit::Reg(Reg::R2), Reg::R3);
+        assert_eq!(add.fu_class(), FuClass::IntAlu);
+        assert_eq!(add.latency(), OpLatency { cycles: 1, pipelined: true });
+
+        let mul = Inst::op(AluOp::Mul, Reg::R1, RegOrLit::Reg(Reg::R2), Reg::R3);
+        assert_eq!(mul.fu_class(), FuClass::IntMulDiv);
+        assert_eq!(mul.latency().cycles, 3);
+        assert!(mul.latency().pipelined);
+
+        let div = Inst::op(AluOp::Div, Reg::R1, RegOrLit::Reg(Reg::R2), Reg::R3);
+        assert_eq!(div.fu_class(), FuClass::IntMulDiv);
+        assert_eq!(div.latency().cycles, 20);
+        assert!(!div.latency().pipelined);
+
+        let fadd = Inst::FpOp { op: FpBinOp::Add, fa: FReg::F1, fb: FReg::F2, fc: FReg::F3 };
+        assert_eq!(fadd.fu_class(), FuClass::FpAlu);
+        assert_eq!(fadd.latency().cycles, 2);
+
+        let fmul = Inst::FpOp { op: FpBinOp::Mul, fa: FReg::F1, fb: FReg::F2, fc: FReg::F3 };
+        assert_eq!(fmul.fu_class(), FuClass::FpMulDiv);
+        assert_eq!(fmul.latency().cycles, 4);
+
+        let fdiv = Inst::FpOp { op: FpBinOp::Div, fa: FReg::F1, fb: FReg::F2, fc: FReg::F3 };
+        assert_eq!(fdiv.latency().cycles, 12);
+        assert!(!fdiv.latency().pipelined);
+    }
+
+    #[test]
+    fn memory_ops_use_mem_port() {
+        use crate::op::MemWidth;
+        let ld = Inst::Load { width: MemWidth::Quad, rt: Reg::R1, base: Reg::R2, disp: 0 };
+        assert_eq!(ld.fu_class(), FuClass::MemPort);
+        assert_eq!(ld.latency().cycles, 1);
+        let st = Inst::Store { width: MemWidth::Quad, rt: Reg::R1, base: Reg::R2, disp: 0 };
+        assert_eq!(st.fu_class(), FuClass::MemPort);
+    }
+
+    #[test]
+    fn branches_use_int_alu() {
+        use crate::op::BranchCond;
+        let b = Inst::Branch { cond: BranchCond::Eq, ra: Reg::R1, disp: 4 };
+        assert_eq!(b.fu_class(), FuClass::IntAlu);
+        assert_eq!(b.latency().cycles, 1);
+    }
+}

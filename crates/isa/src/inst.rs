@@ -1,0 +1,331 @@
+//! The instruction type.
+
+use crate::op::{AluOp, BranchCond, FpBinOp, JumpKind, MemWidth, UnaryOp};
+use crate::reg::{FReg, Reg};
+use std::fmt;
+
+/// The second operand of an operate instruction: either a register (the
+/// 2-source *register form*) or an immediate literal (the 1-source *literal
+/// form*). The distinction drives the paper's Figure 2/3 format taxonomy.
+///
+/// The literal is a 16-bit signed immediate — wider than Alpha's 8-bit
+/// unsigned literal so that hand-written kernels need fewer constant-building
+/// sequences; the operand-count semantics are identical.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RegOrLit {
+    /// Register form: the operand is read from a register.
+    Reg(Reg),
+    /// Literal form: the operand is an immediate; no register is read.
+    Lit(i16),
+}
+
+impl From<Reg> for RegOrLit {
+    fn from(r: Reg) -> RegOrLit {
+        RegOrLit::Reg(r)
+    }
+}
+
+impl From<i16> for RegOrLit {
+    fn from(l: i16) -> RegOrLit {
+        RegOrLit::Lit(l)
+    }
+}
+
+impl fmt::Display for RegOrLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegOrLit::Reg(r) => write!(f, "{r}"),
+            RegOrLit::Lit(l) => write!(f, "#{l}"),
+        }
+    }
+}
+
+/// One decoded instruction.
+///
+/// Branch and call displacements are in *instruction slots* relative to the
+/// instruction following the branch, exactly like Alpha's 21-bit branch
+/// displacement field: `target = pc + 4 + 4*disp`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Inst {
+    /// Integer operate: `rc <- ra OP rb|lit`.
+    Op {
+        /// The operation.
+        op: AluOp,
+        /// First source register.
+        ra: Reg,
+        /// Second operand: register or literal.
+        rb: RegOrLit,
+        /// Destination register.
+        rc: Reg,
+    },
+    /// Integer unary operate: `rc <- OP(ra)`.
+    Op1 {
+        /// The operation.
+        op: UnaryOp,
+        /// Source register.
+        ra: Reg,
+        /// Destination register.
+        rc: Reg,
+    },
+    /// Floating-point operate: `fc <- fa OP fb`.
+    FpOp {
+        /// The operation.
+        op: FpBinOp,
+        /// First source register.
+        fa: FReg,
+        /// Second source register.
+        fb: FReg,
+        /// Destination register.
+        fc: FReg,
+    },
+    /// Move an integer register into a floating-point register, converting
+    /// to `f64` (Alpha `itoft`+`cvtqt` folded into one op).
+    Itof {
+        /// Integer source.
+        ra: Reg,
+        /// Floating-point destination.
+        fc: FReg,
+    },
+    /// Truncate a floating-point register into an integer register
+    /// (Alpha `cvttq`+`ftoit` folded into one op).
+    Ftoi {
+        /// Floating-point source.
+        fa: FReg,
+        /// Integer destination.
+        rc: Reg,
+    },
+    /// Integer load: `rt <- MEM[base + disp]`.
+    Load {
+        /// Access width and extension rule.
+        width: MemWidth,
+        /// Destination register.
+        rt: Reg,
+        /// Base address register (the only source).
+        base: Reg,
+        /// Byte displacement.
+        disp: i16,
+    },
+    /// Integer store: `MEM[base + disp] <- rt`.
+    ///
+    /// Two source registers in *format*, but handled specially throughout
+    /// the pipeline (paper §2.3): address generation needs only `base`, and
+    /// the data value is consumed by the store queue, not the scheduler.
+    Store {
+        /// Access width.
+        width: MemWidth,
+        /// Data register.
+        rt: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte displacement.
+        disp: i16,
+    },
+    /// Floating-point load: `ft <- MEM[base + disp]` (8 bytes).
+    FLoad {
+        /// Destination register.
+        ft: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Byte displacement.
+        disp: i16,
+    },
+    /// Floating-point store: `MEM[base + disp] <- ft` (8 bytes).
+    FStore {
+        /// Data register.
+        ft: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Byte displacement.
+        disp: i16,
+    },
+    /// Conditional branch testing an integer register against zero.
+    Branch {
+        /// The condition.
+        cond: BranchCond,
+        /// The tested register (the only source).
+        ra: Reg,
+        /// Displacement in instruction slots from the next instruction.
+        disp: i32,
+    },
+    /// Conditional branch testing a floating-point register against zero.
+    FBranch {
+        /// The condition.
+        cond: BranchCond,
+        /// The tested register.
+        fa: FReg,
+        /// Displacement in instruction slots from the next instruction.
+        disp: i32,
+    },
+    /// Unconditional branch; writes the return address into `ra`
+    /// (`br` when `ra` is `r31`, `bsr` otherwise).
+    Br {
+        /// Return-address destination (`r31` to discard).
+        ra: Reg,
+        /// Displacement in instruction slots from the next instruction.
+        disp: i32,
+    },
+    /// Register-indirect jump: `rt <- return address; pc <- base`.
+    Jump {
+        /// RAS hint.
+        kind: JumpKind,
+        /// Return-address destination (`r31` to discard).
+        rt: Reg,
+        /// Target address register (the only source).
+        base: Reg,
+    },
+    /// Stops the machine (stands in for the `call_pal halt` exit path).
+    Halt,
+}
+
+impl Inst {
+    /// Convenience constructor for an integer operate instruction.
+    #[must_use]
+    pub fn op(op: AluOp, ra: Reg, rb: impl Into<RegOrLit>, rc: Reg) -> Inst {
+        Inst::Op { op, ra, rb: rb.into(), rc }
+    }
+
+    /// The canonical no-op: `or r31, r31 -> r31`, a 2-source-format operate
+    /// writing the zero register, exactly the padding nop flavor whose
+    /// decode-time elimination the paper notes in §2.3.
+    #[must_use]
+    pub fn nop() -> Inst {
+        Inst::Op {
+            op: AluOp::Or,
+            ra: Reg::ZERO,
+            rb: RegOrLit::Reg(Reg::ZERO),
+            rc: Reg::ZERO,
+        }
+    }
+
+    /// Register move pseudo-instruction (`or ra, r31 -> rc`).
+    #[must_use]
+    pub fn mov(ra: Reg, rc: Reg) -> Inst {
+        Inst::Op { op: AluOp::Or, ra, rb: RegOrLit::Reg(Reg::ZERO), rc }
+    }
+
+    /// Load-immediate pseudo-instruction (`add r31, #lit -> rc`).
+    #[must_use]
+    pub fn li(lit: i16, rc: Reg) -> Inst {
+        Inst::Op { op: AluOp::Add, ra: Reg::ZERO, rb: RegOrLit::Lit(lit), rc }
+    }
+
+    /// Whether this instruction is a conditional or unconditional transfer
+    /// of control (loads of the PC, branches, jumps), i.e. anything the
+    /// front end must predict.
+    #[must_use]
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::Branch { .. } | Inst::FBranch { .. } | Inst::Br { .. } | Inst::Jump { .. }
+        )
+    }
+
+    /// Whether this is a conditional branch.
+    #[must_use]
+    pub fn is_cond_branch(&self) -> bool {
+        matches!(self, Inst::Branch { .. } | Inst::FBranch { .. })
+    }
+
+    /// Whether this is a memory load (integer or floating-point).
+    #[must_use]
+    pub fn is_load(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::FLoad { .. })
+    }
+
+    /// Whether this is a memory store (integer or floating-point).
+    #[must_use]
+    pub fn is_store(&self) -> bool {
+        matches!(self, Inst::Store { .. } | Inst::FStore { .. })
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn mem_mnemonic(width: MemWidth, store: bool) -> &'static str {
+            match (width, store) {
+                (MemWidth::Byte, false) => "ldbu",
+                (MemWidth::Long, false) => "ldl",
+                (MemWidth::Quad, false) => "ldq",
+                (MemWidth::Byte, true) => "stb",
+                (MemWidth::Long, true) => "stl",
+                (MemWidth::Quad, true) => "stq",
+            }
+        }
+        match *self {
+            Inst::Op { op, ra, rb, rc } => write!(f, "{op} {ra}, {rb}, {rc}"),
+            Inst::Op1 { op, ra, rc } => write!(f, "{op} {ra}, {rc}"),
+            Inst::FpOp { op, fa, fb, fc } => write!(f, "{op} {fa}, {fb}, {fc}"),
+            Inst::Itof { ra, fc } => write!(f, "itof {ra}, {fc}"),
+            Inst::Ftoi { fa, rc } => write!(f, "ftoi {fa}, {rc}"),
+            Inst::Load { width, rt, base, disp } => {
+                write!(f, "{} {rt}, {disp}({base})", mem_mnemonic(width, false))
+            }
+            Inst::Store { width, rt, base, disp } => {
+                write!(f, "{} {rt}, {disp}({base})", mem_mnemonic(width, true))
+            }
+            Inst::FLoad { ft, base, disp } => write!(f, "ldt {ft}, {disp}({base})"),
+            Inst::FStore { ft, base, disp } => write!(f, "stt {ft}, {disp}({base})"),
+            Inst::Branch { cond, ra, disp } => {
+                write!(f, "{} {ra}, {disp:+}", cond.mnemonic())
+            }
+            Inst::FBranch { cond, fa, disp } => {
+                write!(f, "f{} {fa}, {disp:+}", cond.mnemonic())
+            }
+            Inst::Br { ra, disp } => {
+                if ra.is_zero() {
+                    write!(f, "br {disp:+}")
+                } else {
+                    write!(f, "bsr {ra}, {disp:+}")
+                }
+            }
+            Inst::Jump { kind, rt, base } => {
+                let m = match kind {
+                    JumpKind::Jmp => "jmp",
+                    JumpKind::Jsr => "jsr",
+                    JumpKind::Ret => "ret",
+                };
+                write!(f, "{m} {rt}, ({base})")
+            }
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Inst::op(AluOp::Add, Reg::R1, Reg::R2, Reg::R3).to_string(),
+            "add r1, r2, r3"
+        );
+        assert_eq!(
+            Inst::op(AluOp::Add, Reg::R1, -5, Reg::R3).to_string(),
+            "add r1, #-5, r3"
+        );
+        assert_eq!(
+            Inst::Load { width: MemWidth::Quad, rt: Reg::R4, base: Reg::R5, disp: 16 }
+                .to_string(),
+            "ldq r4, 16(r5)"
+        );
+        assert_eq!(
+            Inst::Branch { cond: BranchCond::Eq, ra: Reg::R1, disp: -3 }.to_string(),
+            "beq r1, -3"
+        );
+        assert_eq!(Inst::Br { ra: Reg::ZERO, disp: 7 }.to_string(), "br +7");
+        assert_eq!(Inst::nop().to_string(), "or r31, r31, r31");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Inst::Branch { cond: BranchCond::Eq, ra: Reg::R1, disp: 0 }.is_control());
+        assert!(Inst::Branch { cond: BranchCond::Eq, ra: Reg::R1, disp: 0 }.is_cond_branch());
+        assert!(!Inst::Br { ra: Reg::ZERO, disp: 0 }.is_cond_branch());
+        assert!(Inst::Load { width: MemWidth::Quad, rt: Reg::R1, base: Reg::R2, disp: 0 }
+            .is_load());
+        assert!(Inst::FStore { ft: FReg::F1, base: Reg::R2, disp: 0 }.is_store());
+        assert!(!Inst::Halt.is_control());
+    }
+}

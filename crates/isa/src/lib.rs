@@ -1,0 +1,61 @@
+//! # hpa-isa — the Alpha-like instruction set used by the Half-Price Architecture study
+//!
+//! This crate defines the instruction set architecture that every other crate
+//! in the workspace builds on: a 64-bit load/store RISC ISA that mirrors the
+//! operand structure of the Alpha AXP ISA studied by Kim & Lipasti in
+//! *Half-Price Architecture* (ISCA 2003):
+//!
+//! * at most **two source register operands and one destination** per
+//!   instruction (the paper's "two-to-one operand configuration");
+//! * integer register `r31` and floating-point register `f31` read as zero
+//!   and discard writes, so instructions naming them create no dependences;
+//! * operate instructions come in a **register form** (2-source format) and a
+//!   **literal form** (1-source format);
+//! * conditional branches test a single register against zero (1 source);
+//! * memory instructions use `disp(base)` addressing only — there is no
+//!   `MEM[reg + reg]` mode, which is why stores never need two operands for
+//!   address generation (paper §2.3);
+//! * canonical no-ops are 2-source-format operates that write the zero
+//!   register and are eliminated at decode.
+//!
+//! The crate provides instruction definitions ([`Inst`]), register newtypes
+//! ([`Reg`], [`FReg`], [`ArchReg`]), a packed 32-bit binary encoding
+//! ([`encode`]/[`decode`]), functional-unit classification ([`FuClass`]) with
+//! the latencies of the paper's Table 1, and the source-operand taxonomy of
+//! the paper's §2.3 ([`FormatClass`], [`Inst::unique_sources`]).
+//!
+//! # Example
+//!
+//! ```
+//! use hpa_isa::{Inst, AluOp, Reg, RegOrLit, FormatClass};
+//!
+//! // add r1 <- r2, r3   (2-source format, two unique sources)
+//! let add = Inst::op(AluOp::Add, Reg::R2, RegOrLit::Reg(Reg::R3), Reg::R1);
+//! assert_eq!(add.format_class(), FormatClass::TwoSrc);
+//! assert_eq!(add.unique_sources().len(), 2);
+//!
+//! // add r1 <- r2, r2 has 2-source *format* but only one unique source
+//! let dup = Inst::op(AluOp::Add, Reg::R2, RegOrLit::Reg(Reg::R2), Reg::R1);
+//! assert_eq!(dup.format_class(), FormatClass::TwoSrc);
+//! assert_eq!(dup.unique_sources().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod encode;
+mod fu;
+mod inst;
+mod op;
+mod operands;
+mod reg;
+
+pub use encode::{decode, encode, DecodeError};
+pub use fu::{FuClass, OpLatency};
+pub use inst::{Inst, RegOrLit};
+pub use op::{AluOp, BranchCond, FpBinOp, JumpKind, MemWidth, UnaryOp};
+pub use operands::{FormatClass, SourceSet};
+pub use reg::{ArchReg, FReg, Reg, NUM_ARCH_REGS, NUM_REGS};
+
+/// Size of one instruction slot in bytes; program counters advance by this.
+pub const INST_BYTES: u64 = 4;

@@ -1,0 +1,452 @@
+//! Operation kinds: ALU operations, branch conditions, memory widths.
+
+use std::fmt;
+
+/// Two-operand integer ALU operations (`rc <- ra OP rb|lit`).
+///
+/// The set mirrors the Alpha operate class: arithmetic, scaled adds used for
+/// address arithmetic, logic, shifts and comparisons that write `0`/`1`.
+/// Division is included as a long-latency functional-unit exercise (the
+/// paper's Table 1 lists 20-cycle integer divide units).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    /// `rc <- (ra << 2) + rb`, Alpha `s4addq`.
+    S4Add,
+    /// `rc <- (ra << 3) + rb`, Alpha `s8addq`.
+    S8Add,
+    Mul,
+    /// Signed division; division by zero yields zero (the emulator traps are
+    /// out of scope for a user-level timing study).
+    Div,
+    /// Signed remainder; remainder by zero yields the dividend.
+    Rem,
+    And,
+    Or,
+    Xor,
+    /// `rc <- ra & !rb`, Alpha `bic`.
+    Andnot,
+    /// Logical shift left (shift amount taken modulo 64).
+    Sll,
+    /// Logical shift right (shift amount taken modulo 64).
+    Srl,
+    /// Arithmetic shift right (shift amount taken modulo 64).
+    Sra,
+    /// `rc <- (ra == rb) as u64`.
+    CmpEq,
+    /// Signed `rc <- (ra < rb) as u64`.
+    CmpLt,
+    /// Signed `rc <- (ra <= rb) as u64`.
+    CmpLe,
+    /// Unsigned `rc <- (ra < rb) as u64`.
+    CmpUlt,
+    /// Unsigned `rc <- (ra <= rb) as u64`.
+    CmpUle,
+}
+
+impl AluOp {
+    /// All ALU operations, in encoding order.
+    pub const ALL: [AluOp; 19] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::S4Add,
+        AluOp::S8Add,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Andnot,
+        AluOp::Sll,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::CmpEq,
+        AluOp::CmpLt,
+        AluOp::CmpLe,
+        AluOp::CmpUlt,
+        AluOp::CmpUle,
+    ];
+
+    /// The mnemonic used by the assembler and disassembler.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::S4Add => "s4add",
+            AluOp::S8Add => "s8add",
+            AluOp::Mul => "mul",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Andnot => "andnot",
+            AluOp::Sll => "sll",
+            AluOp::Srl => "srl",
+            AluOp::Sra => "sra",
+            AluOp::CmpEq => "cmpeq",
+            AluOp::CmpLt => "cmplt",
+            AluOp::CmpLe => "cmple",
+            AluOp::CmpUlt => "cmpult",
+            AluOp::CmpUle => "cmpule",
+        }
+    }
+
+    /// Evaluates the operation on two 64-bit values.
+    #[must_use]
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::S4Add => (a << 2).wrapping_add(b),
+            AluOp::S8Add => (a << 3).wrapping_add(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => {
+                let (a, b) = (a as i64, b as i64);
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b) as u64
+                }
+            }
+            AluOp::Rem => {
+                let (a, b) = (a as i64, b as i64);
+                if b == 0 {
+                    a as u64
+                } else {
+                    a.wrapping_rem(b) as u64
+                }
+            }
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Andnot => a & !b,
+            AluOp::Sll => a << (b & 63),
+            AluOp::Srl => a >> (b & 63),
+            AluOp::Sra => ((a as i64) >> (b & 63)) as u64,
+            AluOp::CmpEq => u64::from(a == b),
+            AluOp::CmpLt => u64::from((a as i64) < (b as i64)),
+            AluOp::CmpLe => u64::from((a as i64) <= (b as i64)),
+            AluOp::CmpUlt => u64::from(a < b),
+            AluOp::CmpUle => u64::from(a <= b),
+        }
+    }
+}
+
+/// One-operand integer operations (`rc <- OP(ra)`), Alpha CIX/BWX style.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum UnaryOp {
+    /// Population count (Alpha `ctpop`).
+    Popcnt,
+    /// Count leading zeros (Alpha `ctlz`).
+    Ctlz,
+    /// Count trailing zeros (Alpha `cttz`).
+    Cttz,
+    /// Sign-extend the low byte (Alpha `sextb`).
+    Sextb,
+    /// Sign-extend the low 32 bits (Alpha `addl`-style canonicalization).
+    Sextl,
+}
+
+impl UnaryOp {
+    /// All unary operations, in encoding order.
+    pub const ALL: [UnaryOp; 5] = [
+        UnaryOp::Popcnt,
+        UnaryOp::Ctlz,
+        UnaryOp::Cttz,
+        UnaryOp::Sextb,
+        UnaryOp::Sextl,
+    ];
+
+    /// The mnemonic used by the assembler and disassembler.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnaryOp::Popcnt => "popcnt",
+            UnaryOp::Ctlz => "ctlz",
+            UnaryOp::Cttz => "cttz",
+            UnaryOp::Sextb => "sextb",
+            UnaryOp::Sextl => "sextl",
+        }
+    }
+
+    /// Evaluates the operation.
+    #[must_use]
+    pub fn eval(self, a: u64) -> u64 {
+        match self {
+            UnaryOp::Popcnt => u64::from(a.count_ones()),
+            UnaryOp::Ctlz => u64::from(a.leading_zeros()),
+            UnaryOp::Cttz => u64::from(a.trailing_zeros()),
+            UnaryOp::Sextb => a as i8 as i64 as u64,
+            UnaryOp::Sextl => a as i32 as i64 as u64,
+        }
+    }
+}
+
+/// Floating-point two-operand operations (`fc <- fa OP fb`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum FpBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    /// `fc <- if fa == fb { 1.0 } else { 0.0 }`.
+    CmpEq,
+    /// `fc <- if fa < fb { 1.0 } else { 0.0 }`.
+    CmpLt,
+    /// `fc <- if fa <= fb { 1.0 } else { 0.0 }`.
+    CmpLe,
+}
+
+impl FpBinOp {
+    /// All floating-point operations, in encoding order.
+    pub const ALL: [FpBinOp; 7] = [
+        FpBinOp::Add,
+        FpBinOp::Sub,
+        FpBinOp::Mul,
+        FpBinOp::Div,
+        FpBinOp::CmpEq,
+        FpBinOp::CmpLt,
+        FpBinOp::CmpLe,
+    ];
+
+    /// The mnemonic used by the assembler and disassembler.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpBinOp::Add => "fadd",
+            FpBinOp::Sub => "fsub",
+            FpBinOp::Mul => "fmul",
+            FpBinOp::Div => "fdiv",
+            FpBinOp::CmpEq => "fcmpeq",
+            FpBinOp::CmpLt => "fcmplt",
+            FpBinOp::CmpLe => "fcmple",
+        }
+    }
+
+    /// Evaluates the operation. Division by zero yields zero, matching the
+    /// trap-free user-level model.
+    #[must_use]
+    pub fn eval(self, a: f64, b: f64) -> f64 {
+        match self {
+            FpBinOp::Add => a + b,
+            FpBinOp::Sub => a - b,
+            FpBinOp::Mul => a * b,
+            FpBinOp::Div => {
+                if b == 0.0 {
+                    0.0
+                } else {
+                    a / b
+                }
+            }
+            FpBinOp::CmpEq => f64::from(a == b),
+            FpBinOp::CmpLt => f64::from(a < b),
+            FpBinOp::CmpLe => f64::from(a <= b),
+        }
+    }
+}
+
+/// Conditions for conditional branches, testing one register against zero
+/// (Alpha `beq/bne/blt/ble/bgt/bge` style — note the single source operand).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum BranchCond {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Low bit clear (Alpha `blbc`).
+    Lbc,
+    /// Low bit set (Alpha `blbs`).
+    Lbs,
+}
+
+impl BranchCond {
+    /// All branch conditions, in encoding order.
+    pub const ALL: [BranchCond; 8] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Le,
+        BranchCond::Gt,
+        BranchCond::Ge,
+        BranchCond::Lbc,
+        BranchCond::Lbs,
+    ];
+
+    /// The mnemonic suffix (`beq`, `bne`, ...).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Le => "ble",
+            BranchCond::Gt => "bgt",
+            BranchCond::Ge => "bge",
+            BranchCond::Lbc => "blbc",
+            BranchCond::Lbs => "blbs",
+        }
+    }
+
+    /// Evaluates the condition on an integer register value.
+    #[must_use]
+    pub fn eval(self, a: u64) -> bool {
+        let s = a as i64;
+        match self {
+            BranchCond::Eq => s == 0,
+            BranchCond::Ne => s != 0,
+            BranchCond::Lt => s < 0,
+            BranchCond::Le => s <= 0,
+            BranchCond::Gt => s > 0,
+            BranchCond::Ge => s >= 0,
+            BranchCond::Lbc => a & 1 == 0,
+            BranchCond::Lbs => a & 1 == 1,
+        }
+    }
+
+    /// Evaluates the condition on a floating-point register value
+    /// (used by `fbeq` etc.; `Lbc`/`Lbs` test the sign bit instead).
+    #[must_use]
+    pub fn eval_fp(self, a: f64) -> bool {
+        match self {
+            BranchCond::Eq => a == 0.0,
+            BranchCond::Ne => a != 0.0,
+            BranchCond::Lt => a < 0.0,
+            BranchCond::Le => a <= 0.0,
+            BranchCond::Gt => a > 0.0,
+            BranchCond::Ge => a >= 0.0,
+            BranchCond::Lbc => !a.is_sign_negative(),
+            BranchCond::Lbs => a.is_sign_negative(),
+        }
+    }
+}
+
+/// Widths of memory accesses.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MemWidth {
+    /// One byte, zero-extended on load (Alpha `ldbu`/`stb`).
+    Byte,
+    /// Four bytes, sign-extended on load (Alpha `ldl`/`stl`).
+    Long,
+    /// Eight bytes (Alpha `ldq`/`stq`).
+    Quad,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::Byte => 1,
+            MemWidth::Long => 4,
+            MemWidth::Quad => 8,
+        }
+    }
+}
+
+/// Flavors of register-indirect jumps. All share the same dataflow
+/// (`rt <- return address; pc <- base`); the kind is a hint that steers the
+/// return-address-stack in the branch predictor, as on Alpha.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum JumpKind {
+    /// Plain indirect jump; no RAS action.
+    Jmp,
+    /// Subroutine call; pushes the return address on the RAS.
+    Jsr,
+    /// Subroutine return; pops the RAS.
+    Ret,
+}
+
+impl fmt::Display for AluOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl fmt::Display for UnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl fmt::Display for FpBinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_semantics() {
+        assert_eq!(AluOp::Add.eval(3, 4), 7);
+        assert_eq!(AluOp::Sub.eval(3, 4), u64::MAX);
+        assert_eq!(AluOp::S4Add.eval(2, 1), 9);
+        assert_eq!(AluOp::S8Add.eval(2, 1), 17);
+        assert_eq!(AluOp::Div.eval((-9i64) as u64, 2), (-4i64) as u64);
+        assert_eq!(AluOp::Div.eval(9, 0), 0);
+        assert_eq!(AluOp::Rem.eval(9, 0), 9);
+        assert_eq!(AluOp::Sra.eval((-8i64) as u64, 1), (-4i64) as u64);
+        assert_eq!(AluOp::Srl.eval((-8i64) as u64, 1), (u64::MAX - 7) >> 1);
+        assert_eq!(AluOp::CmpLt.eval((-1i64) as u64, 0), 1);
+        assert_eq!(AluOp::CmpUlt.eval((-1i64) as u64, 0), 0);
+        assert_eq!(AluOp::Andnot.eval(0b1111, 0b0101), 0b1010);
+    }
+
+    #[test]
+    fn shift_amount_is_masked() {
+        assert_eq!(AluOp::Sll.eval(1, 64), 1);
+        assert_eq!(AluOp::Sll.eval(1, 65), 2);
+    }
+
+    #[test]
+    fn unary_semantics() {
+        assert_eq!(UnaryOp::Popcnt.eval(0b1011), 3);
+        assert_eq!(UnaryOp::Ctlz.eval(1), 63);
+        assert_eq!(UnaryOp::Cttz.eval(8), 3);
+        assert_eq!(UnaryOp::Sextb.eval(0xFF), u64::MAX);
+        assert_eq!(UnaryOp::Sextl.eval(0x8000_0000), 0xFFFF_FFFF_8000_0000);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        assert!(BranchCond::Eq.eval(0));
+        assert!(BranchCond::Ne.eval(5));
+        assert!(BranchCond::Lt.eval((-1i64) as u64));
+        assert!(!BranchCond::Lt.eval(1));
+        assert!(BranchCond::Ge.eval(0));
+        assert!(BranchCond::Lbs.eval(3));
+        assert!(BranchCond::Lbc.eval(2));
+    }
+
+    #[test]
+    fn fp_semantics() {
+        assert_eq!(FpBinOp::Add.eval(1.5, 2.0), 3.5);
+        assert_eq!(FpBinOp::Div.eval(1.0, 0.0), 0.0);
+        assert_eq!(FpBinOp::CmpLt.eval(1.0, 2.0), 1.0);
+        assert!(BranchCond::Ne.eval_fp(1.0));
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut names: Vec<&str> = AluOp::ALL.iter().map(|o| o.mnemonic()).collect();
+        names.extend(UnaryOp::ALL.iter().map(|o| o.mnemonic()));
+        names.extend(FpBinOp::ALL.iter().map(|o| o.mnemonic()));
+        names.extend(BranchCond::ALL.iter().map(|c| c.mnemonic()));
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+}

@@ -1,0 +1,324 @@
+//! Source-operand taxonomy from the paper's §2.3.
+//!
+//! The half-price architecture is motivated by *operand-granularity*
+//! statistics, so this module implements the exact classification the paper
+//! uses for Figures 2 and 3:
+//!
+//! * [`FormatClass`]: how many source **register fields** the instruction
+//!   format carries (stores are their own category — they have 2-source
+//!   format but are handled as address-generation + data-move internally);
+//! * [`Inst::unique_sources`]: the set of *unique, non-zero-register*
+//!   sources, which is what actually creates dependences in the out-of-order
+//!   core. An instruction with exactly two of these is a **2-source
+//!   instruction** in the paper's terminology;
+//! * [`Inst::is_nop`]: 2-source-format alignment nops that the decoder
+//!   eliminates without execution.
+
+use crate::inst::{Inst, RegOrLit};
+use crate::reg::ArchReg;
+
+/// Number of source register fields in an instruction's *format*
+/// (the paper's Figure 2 taxonomy).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FormatClass {
+    /// No source register fields (`br`, `halt`).
+    ZeroSrc,
+    /// One source register field (literal operates, loads, branches, jumps).
+    OneSrc,
+    /// Two source register fields (register-form operates, FP operates).
+    TwoSrc,
+    /// Stores: two source register fields, but scheduled as an
+    /// address-generation with the data value consumed by the store queue
+    /// (paper §2.3), so they are reported separately.
+    Store,
+}
+
+/// The unique, non-zero-register sources of one instruction: zero, one or
+/// two architectural register names.
+///
+/// Construct it with [`Inst::unique_sources`]. The order of entries follows
+/// the instruction format: index 0 is the *left* operand (`ra`/`fa`) and
+/// index 1 the *right* operand (`rb`/`fb`), which is the left/right
+/// distinction used by the paper's Table 3 and the last-arriving-operand
+/// predictor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SourceSet {
+    regs: [Option<ArchReg>; 2],
+}
+
+impl SourceSet {
+    fn of(raw: [Option<ArchReg>; 2]) -> SourceSet {
+        // Drop zero registers: they read as constant zero and create no
+        // dependence.
+        let mut a = raw[0].filter(|r| !r.is_zero());
+        let mut b = raw[1].filter(|r| !r.is_zero());
+        // Drop a duplicated name: `add r1 <- r2, r2` has one unique source.
+        if a == b {
+            b = None;
+        }
+        // Keep the set left-packed so len/slot indexing is simple, while
+        // remembering that a sole right operand is still "right".
+        if a.is_none() && b.is_some() {
+            a = b.take();
+        }
+        SourceSet { regs: [a, b] }
+    }
+
+    /// Number of unique non-zero sources, `0..=2`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.regs.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Whether there are no register sources.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.regs[0].is_none()
+    }
+
+    /// The source in the given slot (0 = left, 1 = right), if any.
+    #[must_use]
+    pub fn get(&self, slot: usize) -> Option<ArchReg> {
+        self.regs.get(slot).copied().flatten()
+    }
+
+    /// Iterates over the present sources.
+    pub fn iter(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.regs.iter().filter_map(|r| *r)
+    }
+}
+
+impl Inst {
+    /// The instruction's format class (paper Figure 2).
+    #[must_use]
+    pub fn format_class(&self) -> FormatClass {
+        match self {
+            Inst::Op { rb: RegOrLit::Reg(_), .. } | Inst::FpOp { .. } => FormatClass::TwoSrc,
+            Inst::Op { rb: RegOrLit::Lit(_), .. }
+            | Inst::Op1 { .. }
+            | Inst::Itof { .. }
+            | Inst::Ftoi { .. }
+            | Inst::Load { .. }
+            | Inst::FLoad { .. }
+            | Inst::Branch { .. }
+            | Inst::FBranch { .. }
+            | Inst::Jump { .. } => FormatClass::OneSrc,
+            Inst::Store { .. } | Inst::FStore { .. } => FormatClass::Store,
+            Inst::Br { .. } | Inst::Halt => FormatClass::ZeroSrc,
+        }
+    }
+
+    /// The raw source register fields in format order (left, right),
+    /// including zero registers and duplicates. Store data registers are
+    /// included here (they are format sources) — use
+    /// [`Inst::scheduler_sources`] for what the issue queue actually tracks.
+    #[must_use]
+    pub fn format_sources(&self) -> [Option<ArchReg>; 2] {
+        match *self {
+            Inst::Op { ra, rb, .. } => {
+                let right = match rb {
+                    RegOrLit::Reg(r) => Some(ArchReg::from(r)),
+                    RegOrLit::Lit(_) => None,
+                };
+                [Some(ArchReg::from(ra)), right]
+            }
+            Inst::Op1 { ra, .. } => [Some(ArchReg::from(ra)), None],
+            Inst::FpOp { fa, fb, .. } => [Some(ArchReg::from(fa)), Some(ArchReg::from(fb))],
+            Inst::Itof { ra, .. } => [Some(ArchReg::from(ra)), None],
+            Inst::Ftoi { fa, .. } => [Some(ArchReg::from(fa)), None],
+            Inst::Load { base, .. } | Inst::FLoad { base, .. } => {
+                [Some(ArchReg::from(base)), None]
+            }
+            Inst::Store { rt, base, .. } => {
+                [Some(ArchReg::from(base)), Some(ArchReg::from(rt))]
+            }
+            Inst::FStore { ft, base, .. } => {
+                [Some(ArchReg::from(base)), Some(ArchReg::from(ft))]
+            }
+            Inst::Branch { ra, .. } => [Some(ArchReg::from(ra)), None],
+            Inst::FBranch { fa, .. } => [Some(ArchReg::from(fa)), None],
+            Inst::Br { .. } | Inst::Halt => [None, None],
+            Inst::Jump { base, .. } => [Some(ArchReg::from(base)), None],
+        }
+    }
+
+    /// The unique, non-zero-register sources — the operands that create
+    /// dependences (paper Figure 3). Instructions with two of these are
+    /// **2-source instructions**.
+    #[must_use]
+    pub fn unique_sources(&self) -> SourceSet {
+        SourceSet::of(self.format_sources())
+    }
+
+    /// The sources tracked by the *scheduler* (issue queue). Identical to
+    /// [`Inst::unique_sources`] except for stores, which wake up on the
+    /// address operand only: the data value is consumed by the store queue
+    /// at commit time, not by the scheduler (paper §2.3).
+    #[must_use]
+    pub fn scheduler_sources(&self) -> SourceSet {
+        match self {
+            Inst::Store { base, .. } | Inst::FStore { base, .. } => {
+                SourceSet::of([Some(ArchReg::from(*base)), None])
+            }
+            _ => self.unique_sources(),
+        }
+    }
+
+    /// The store's data register, if this is a store whose data register is
+    /// not a zero register.
+    #[must_use]
+    pub fn store_data_source(&self) -> Option<ArchReg> {
+        match *self {
+            Inst::Store { rt, .. } => Some(ArchReg::from(rt)).filter(|r| !r.is_zero()),
+            Inst::FStore { ft, .. } => Some(ArchReg::from(ft)).filter(|r| !r.is_zero()),
+            _ => None,
+        }
+    }
+
+    /// The destination register name, if the instruction writes a non-zero
+    /// register. Writes to `r31`/`f31` are discarded and create no
+    /// dependence, so they return `None`.
+    #[must_use]
+    pub fn dest(&self) -> Option<ArchReg> {
+        let d: Option<ArchReg> = match *self {
+            Inst::Op { rc, .. } | Inst::Op1 { rc, .. } | Inst::Ftoi { rc, .. } => {
+                Some(rc.into())
+            }
+            Inst::FpOp { fc, .. } | Inst::Itof { fc, .. } => Some(fc.into()),
+            Inst::Load { rt, .. } => Some(rt.into()),
+            Inst::FLoad { ft, .. } => Some(ft.into()),
+            Inst::Br { ra, .. } => Some(ra.into()),
+            Inst::Jump { rt, .. } => Some(rt.into()),
+            Inst::Store { .. }
+            | Inst::FStore { .. }
+            | Inst::Branch { .. }
+            | Inst::FBranch { .. }
+            | Inst::Halt => None,
+        };
+        d.filter(|r| !r.is_zero())
+    }
+
+    /// Whether this is an alignment/padding no-op that the decoder
+    /// eliminates without execution: an operate instruction whose
+    /// destination is a zero register and that cannot fault.
+    #[must_use]
+    pub fn is_nop(&self) -> bool {
+        match self {
+            Inst::Op { rc, .. } | Inst::Op1 { rc, .. } => rc.is_zero(),
+            Inst::FpOp { fc, .. } => fc.is_zero(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{AluOp, BranchCond, MemWidth};
+    use crate::reg::{FReg, Reg};
+
+    fn add(ra: Reg, rb: RegOrLit, rc: Reg) -> Inst {
+        Inst::Op { op: AluOp::Add, ra, rb, rc }
+    }
+
+    #[test]
+    fn format_classes() {
+        assert_eq!(
+            add(Reg::R1, RegOrLit::Reg(Reg::R2), Reg::R3).format_class(),
+            FormatClass::TwoSrc
+        );
+        assert_eq!(add(Reg::R1, RegOrLit::Lit(4), Reg::R3).format_class(), FormatClass::OneSrc);
+        assert_eq!(
+            Inst::Load { width: MemWidth::Quad, rt: Reg::R1, base: Reg::R2, disp: 0 }
+                .format_class(),
+            FormatClass::OneSrc
+        );
+        assert_eq!(
+            Inst::Store { width: MemWidth::Quad, rt: Reg::R1, base: Reg::R2, disp: 0 }
+                .format_class(),
+            FormatClass::Store
+        );
+        assert_eq!(Inst::Br { ra: Reg::ZERO, disp: 0 }.format_class(), FormatClass::ZeroSrc);
+        assert_eq!(
+            Inst::Branch { cond: BranchCond::Eq, ra: Reg::R1, disp: 0 }.format_class(),
+            FormatClass::OneSrc
+        );
+    }
+
+    #[test]
+    fn unique_sources_drop_zero_and_dups() {
+        // Two distinct sources.
+        let s = add(Reg::R1, RegOrLit::Reg(Reg::R2), Reg::R3).unique_sources();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(0), Some(Reg::R1.into()));
+        assert_eq!(s.get(1), Some(Reg::R2.into()));
+
+        // Zero register drops out: add r1 <- r2, r31.
+        let s = add(Reg::R2, RegOrLit::Reg(Reg::ZERO), Reg::R1).unique_sources();
+        assert_eq!(s.len(), 1);
+
+        // Duplicate drops out: add r1 <- r2, r2.
+        let s = add(Reg::R2, RegOrLit::Reg(Reg::R2), Reg::R1).unique_sources();
+        assert_eq!(s.len(), 1);
+
+        // Both zero: nothing.
+        let s = Inst::nop().unique_sources();
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn int_and_fp_namespaces_do_not_collide() {
+        // fadd f1 <- f2, f2 and add r1 <- r2, r2 share numbers, not names.
+        let s = Inst::FpOp { op: crate::FpBinOp::Add, fa: FReg::F2, fb: FReg::F2, fc: FReg::F1 }
+            .unique_sources();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(0), Some(FReg::F2.into()));
+        assert_ne!(s.get(0), Some(Reg::R2.into()));
+    }
+
+    #[test]
+    fn stores_schedule_on_address_only() {
+        let st = Inst::Store { width: MemWidth::Quad, rt: Reg::R7, base: Reg::R8, disp: 8 };
+        assert_eq!(st.unique_sources().len(), 2);
+        assert_eq!(st.scheduler_sources().len(), 1);
+        assert_eq!(st.scheduler_sources().get(0), Some(Reg::R8.into()));
+        assert_eq!(st.store_data_source(), Some(Reg::R7.into()));
+        assert_eq!(st.dest(), None);
+
+        // Store of the zero register has no data dependence.
+        let st0 = Inst::Store { width: MemWidth::Quad, rt: Reg::ZERO, base: Reg::R8, disp: 8 };
+        assert_eq!(st0.store_data_source(), None);
+    }
+
+    #[test]
+    fn dest_of_zero_register_is_none() {
+        assert_eq!(add(Reg::R1, RegOrLit::Reg(Reg::R2), Reg::ZERO).dest(), None);
+        assert_eq!(Inst::Br { ra: Reg::ZERO, disp: 0 }.dest(), None);
+        assert_eq!(
+            Inst::Br { ra: Reg::R26, disp: 0 }.dest(),
+            Some(Reg::R26.into())
+        );
+    }
+
+    #[test]
+    fn nop_detection() {
+        assert!(Inst::nop().is_nop());
+        assert!(add(Reg::R1, RegOrLit::Reg(Reg::R2), Reg::ZERO).is_nop());
+        assert!(!add(Reg::R1, RegOrLit::Reg(Reg::R2), Reg::R3).is_nop());
+        assert!(!Inst::Halt.is_nop());
+        // A load to r31 is NOT a decoder-eliminated nop (it may fault /
+        // prefetch on a real machine), mirroring Alpha semantics.
+        assert!(!Inst::Load { width: MemWidth::Quad, rt: Reg::ZERO, base: Reg::R1, disp: 0 }
+            .is_nop());
+    }
+
+    #[test]
+    fn sole_right_operand_packs_left() {
+        // Store with zero base: only the data reg remains.
+        let st = Inst::Store { width: MemWidth::Quad, rt: Reg::R7, base: Reg::ZERO, disp: 8 };
+        let s = st.unique_sources();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(0), Some(Reg::R7.into()));
+    }
+}

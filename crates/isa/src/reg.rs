@@ -1,0 +1,224 @@
+//! Architectural register newtypes.
+
+use std::fmt;
+
+/// Number of integer (or floating-point) architectural registers.
+pub const NUM_REGS: u8 = 32;
+
+/// An integer architectural register, `r0`–`r31`.
+///
+/// `r31` is the hard-wired zero register: it reads as zero and writes to it
+/// are discarded, so naming it creates no data dependence (paper §2.3).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+/// A floating-point architectural register, `f0`–`f31`.
+///
+/// `f31` is the floating-point zero register, analogous to [`Reg::ZERO`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FReg(u8);
+
+macro_rules! named_regs {
+    ($ty:ident, $($name:ident = $n:expr),+ $(,)?) => {
+        impl $ty {
+            $(
+                #[doc = concat!("Register ", stringify!($n), ".")]
+                pub const $name: $ty = $ty($n);
+            )+
+        }
+    };
+}
+
+named_regs!(Reg,
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14, R15 = 15,
+    R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21, R22 = 22, R23 = 23,
+    R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28, R29 = 29, R30 = 30, R31 = 31,
+);
+
+named_regs!(FReg,
+    F0 = 0, F1 = 1, F2 = 2, F3 = 3, F4 = 4, F5 = 5, F6 = 6, F7 = 7,
+    F8 = 8, F9 = 9, F10 = 10, F11 = 11, F12 = 12, F13 = 13, F14 = 14, F15 = 15,
+    F16 = 16, F17 = 17, F18 = 18, F19 = 19, F20 = 20, F21 = 21, F22 = 22, F23 = 23,
+    F24 = 24, F25 = 25, F26 = 26, F27 = 27, F28 = 28, F29 = 29, F30 = 30, F31 = 31,
+);
+
+impl Reg {
+    /// The hard-wired integer zero register (`r31`).
+    pub const ZERO: Reg = Reg::R31;
+
+    /// Creates a register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[must_use]
+    pub fn new(n: u8) -> Reg {
+        assert!(n < NUM_REGS, "integer register number {n} out of range");
+        Reg(n)
+    }
+
+    /// The register number, `0..32`.
+    #[must_use]
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the zero register `r31`.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+}
+
+impl FReg {
+    /// The hard-wired floating-point zero register (`f31`).
+    pub const ZERO: FReg = FReg::F31;
+
+    /// Creates a floating-point register from its number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[must_use]
+    pub fn new(n: u8) -> FReg {
+        assert!(n < NUM_REGS, "floating-point register number {n} out of range");
+        FReg(n)
+    }
+
+    /// The register number, `0..32`.
+    #[must_use]
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this is the zero register `f31`.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 31
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A register in the *unified* architectural namespace used by rename and
+/// scheduling logic: integer registers occupy indices `0..32` and
+/// floating-point registers indices `32..64`.
+///
+/// Dependence tracking in the out-of-order core does not care whether an
+/// operand is an integer or floating-point value, only which architectural
+/// name it carries; `ArchReg` gives every name a single dense index.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArchReg(u8);
+
+/// Total number of unified architectural register names.
+pub const NUM_ARCH_REGS: usize = 64;
+
+impl ArchReg {
+    /// The unified index, `0..64`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this name is one of the zero registers (`r31` or `f31`).
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 31 || self.0 == 63
+    }
+
+    /// Whether this is an integer register name.
+    #[must_use]
+    pub fn is_int(self) -> bool {
+        self.0 < 32
+    }
+}
+
+impl From<Reg> for ArchReg {
+    fn from(r: Reg) -> ArchReg {
+        ArchReg(r.0)
+    }
+}
+
+impl From<FReg> for ArchReg {
+    fn from(f: FReg) -> ArchReg {
+        ArchReg(f.0 + 32)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 32 {
+            write!(f, "r{}", self.0)
+        } else {
+            write!(f, "f{}", self.0 - 32)
+        }
+    }
+}
+
+impl fmt::Debug for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_registers() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(FReg::ZERO.is_zero());
+        assert!(!Reg::R0.is_zero());
+        assert!(ArchReg::from(Reg::R31).is_zero());
+        assert!(ArchReg::from(FReg::F31).is_zero());
+        assert!(!ArchReg::from(FReg::F30).is_zero());
+    }
+
+    #[test]
+    fn unified_indices_are_disjoint() {
+        for n in 0..NUM_REGS {
+            let i = ArchReg::from(Reg::new(n)).index();
+            let fi = ArchReg::from(FReg::new(n)).index();
+            assert_eq!(i, n as usize);
+            assert_eq!(fi, n as usize + 32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reg_out_of_range_panics() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::R5.to_string(), "r5");
+        assert_eq!(FReg::F7.to_string(), "f7");
+        assert_eq!(ArchReg::from(FReg::F7).to_string(), "f7");
+        assert_eq!(format!("{:?}", Reg::R5), "r5");
+    }
+}

@@ -1,0 +1,53 @@
+//! Development sweep: IPC of every scheme over the workloads, printed as
+//! one row per benchmark with degradations relative to base.
+//!
+//! ```text
+//! cargo run --release -p hpa-sim --example sweep [tiny|default] [bench...]
+//! ```
+use hpa_sim::*;
+use hpa_workloads::{workload, Scale, CHECKSUM_REG};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("default") => Scale::Default,
+        _ => Scale::Tiny,
+    };
+    let names: Vec<String> = std::env::args().skip(2).collect();
+    let names: Vec<&str> = if names.is_empty() {
+        hpa_workloads::WORKLOAD_NAMES.to_vec()
+    } else {
+        names.iter().map(|s| s.as_str()).collect()
+    };
+    for name in names {
+        let w = workload(name, scale).unwrap();
+        let t0 = std::time::Instant::now();
+        let configs: Vec<(&str, SimConfig)> = vec![
+            ("base", SimConfig::four_wide()),
+            ("swu-p", SimConfig::four_wide().with_wakeup(WakeupScheme::SequentialWakeup { predictor_entries: Some(1024) })),
+            ("swu-s", SimConfig::four_wide().with_wakeup(WakeupScheme::SequentialWakeup { predictor_entries: None })),
+            ("tagel", SimConfig::four_wide().with_wakeup(WakeupScheme::TagElimination { predictor_entries: 1024 })),
+            ("seqrf", SimConfig::four_wide().with_regfile(RegFileScheme::SequentialAccess)),
+            ("extra", SimConfig::four_wide().with_regfile(RegFileScheme::ExtraStage)),
+            ("xbar ", SimConfig::four_wide().with_regfile(RegFileScheme::SharedCrossbar)),
+            ("comb ", SimConfig::four_wide()
+                .with_wakeup(WakeupScheme::SequentialWakeup { predictor_entries: Some(1024) })
+                .with_regfile(RegFileScheme::SequentialAccess)),
+            ("base8", SimConfig::eight_wide()),
+        ];
+        let mut base_ipc = 0.0;
+        print!("{name:8}");
+        for (cname, cfg) in configs {
+            let mut sim = Simulator::new(&w.program, cfg);
+            let s = sim.run().clone();
+            assert_eq!(sim.emulator().reg(CHECKSUM_REG), w.expected_checksum, "{name}/{cname}");
+            let ipc = s.ipc();
+            if cname == "base" { base_ipc = ipc; }
+            if cname == "base" || cname == "base8" {
+                print!(" {cname}={ipc:.3}");
+            } else {
+                print!(" {cname}={:.2}%", (1.0 - ipc / base_ipc) * 100.0);
+            }
+        }
+        println!("  ({:.1}s)", t0.elapsed().as_secs_f64());
+    }
+}

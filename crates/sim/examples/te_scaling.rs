@@ -1,0 +1,21 @@
+//! Development check: tag elimination's degradation at 4-wide vs 8-wide —
+//! the paper's claim that its misprediction penalty scales with width.
+use hpa_sim::*;
+use hpa_workloads::{workload, Scale};
+
+fn main() {
+    println!("TE degradation 4-wide vs 8-wide (paper: grows with width)");
+    for name in ["eon", "mcf", "parser", "gzip", "crafty", "vortex"] {
+        let w = workload(name, Scale::Tiny).unwrap();
+        let mut degr = vec![];
+        for base_cfg in [SimConfig::four_wide(), SimConfig::eight_wide()] {
+            let mut b = Simulator::new(&w.program, base_cfg.clone());
+            b.run();
+            let mut t = Simulator::new(&w.program,
+                base_cfg.with_wakeup(WakeupScheme::TagElimination { predictor_entries: 1024 }));
+            t.run();
+            degr.push((1.0 - t.stats().ipc() / b.stats().ipc()) * 100.0);
+        }
+        println!("{name:8} 4w {:5.2}%  8w {:5.2}%", degr[0], degr[1]);
+    }
+}

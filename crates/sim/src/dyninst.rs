@@ -1,0 +1,284 @@
+//! In-flight instruction state.
+
+use hpa_emu::StepRecord;
+use hpa_isa::{ArchReg, FuClass, Inst};
+
+/// Lifecycle of an in-flight instruction inside the window.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IState {
+    /// In the window, not (or no longer) issued.
+    Waiting,
+    /// Selected; executing or waiting for its result.
+    Issued,
+    /// Result produced; waiting to commit.
+    Completed,
+}
+
+/// One renamed source operand.
+#[derive(Clone, Copy, Debug)]
+pub struct SrcState {
+    /// The architectural name.
+    pub reg: ArchReg,
+    /// Sequence number of the in-flight producer; `None` if the value was
+    /// already architecturally available at insert.
+    pub producer: Option<u64>,
+    /// Whether the producing tag has been seen (conventional wakeup
+    /// timing). Cleared when the producer is squashed.
+    pub ready: bool,
+    /// Cycle at which this operand *effectively* woke up, including the
+    /// +1 slow-bus delay under sequential wakeup. Operands ready at insert
+    /// use the insert cycle. Only meaningful while `ready`.
+    pub effective_cycle: u64,
+    /// Cycle of the raw tag broadcast (no slow-bus adjustment), used by
+    /// the wakeup-slack and last-arriving statistics.
+    pub broadcast_cycle: u64,
+    /// Whether the operand was ready when the instruction entered the
+    /// window (no wakeup needed).
+    pub ready_at_insert: bool,
+}
+
+/// Register-read categorization of one committed 2-source instruction
+/// (paper Figure 10).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RfCategory {
+    /// Both operands were ready at insert: two register reads.
+    TwoReady,
+    /// Issued back-to-back with the last wakeup: at least one operand off
+    /// the bypass, at most one register read.
+    BackToBack,
+    /// Woken earlier but issued later: bypass window missed, two reads.
+    NonBackToBack,
+}
+
+/// One instruction in flight.
+#[derive(Clone, Debug)]
+pub struct DynInst {
+    /// Global sequence number (program order).
+    pub seq: u64,
+    /// Fetch address.
+    pub pc: u64,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Effective address for loads/stores.
+    pub mem_addr: Option<u64>,
+    /// Functional-unit class.
+    pub fu: FuClass,
+    /// Base execution latency (loads: address generation only).
+    pub base_latency: u32,
+    /// Whether the FU is pipelined for this op.
+    pub fu_pipelined: bool,
+
+    /// Renamed scheduler sources (slot 0 = left, slot 1 = right).
+    pub srcs: [Option<SrcState>; 2],
+    /// Which slot sits on the fast wakeup bus (sequential wakeup) or is
+    /// watched (tag elimination).
+    pub fast_slot: usize,
+    /// Destination register, if any.
+    pub dest: Option<ArchReg>,
+    /// Producer of a store's data operand.
+    pub store_data_producer: Option<u64>,
+
+    /// Lifecycle state.
+    pub state: IState,
+    /// Bumped whenever the instruction is squashed; stale scheduled events
+    /// compare epochs and drop themselves.
+    pub epoch: u32,
+    /// Cycle the instruction entered the window.
+    pub insert_cycle: u64,
+    /// Most recent issue cycle (meaningful once issued at least once).
+    pub issue_cycle: u64,
+    /// Cycle the result is produced (execution completes).
+    pub complete_cycle: u64,
+    /// Whether the destination tag has been broadcast (and not
+    /// invalidated since).
+    pub broadcast_done: bool,
+    /// Number of times this instruction was squashed and replayed.
+    pub replays: u32,
+
+    /// In-flight consumers of this instruction's destination tag
+    /// (sequence numbers), used to deliver wakeups without scanning.
+    pub consumers: Vec<u64>,
+    /// Branch state: direction/target misprediction detected at fetch.
+    pub mispredicted: bool,
+    /// Fetch has already been redirected by this branch's resolution
+    /// (replays do not redirect again).
+    pub resume_done: bool,
+    /// The architectural next PC (for branch bookkeeping).
+    pub next_pc: u64,
+    /// Whether the control transfer was taken.
+    pub taken: bool,
+
+    /// Load state: the load was found to stall on an older store and is
+    /// waiting to retry its memory access.
+    pub load_stalled: bool,
+    /// Store state: address generated (LSQ entry resolved).
+    pub addr_resolved: bool,
+
+    /// Tag elimination: after a misfire, require both operands verified
+    /// ready before re-requesting issue.
+    pub te_verified_wait: bool,
+    /// Whether the last issue required a sequential register access.
+    pub seq_rf: bool,
+    /// Figure 10 category of the most recent issue (2-source insts only).
+    pub rf_category: Option<RfCategory>,
+    /// Statistics flag: the second pending operand's wakeup has been
+    /// recorded (slack/predictor stats fire once per instruction).
+    pub wakeup_pair_recorded: bool,
+}
+
+impl DynInst {
+    /// Builds the in-flight record from a functional step.
+    #[must_use]
+    pub fn from_step(seq: u64, step: &StepRecord) -> DynInst {
+        let inst = step.inst;
+        let latency = inst.latency();
+        let sources = inst.scheduler_sources();
+        let mut srcs: [Option<SrcState>; 2] = [None, None];
+        for (slot, src) in srcs.iter_mut().enumerate() {
+            if let Some(reg) = sources.get(slot) {
+                *src = Some(SrcState {
+                    reg,
+                    producer: None,
+                    ready: true,
+                    effective_cycle: 0,
+                    broadcast_cycle: 0,
+                    ready_at_insert: true,
+                });
+            }
+        }
+        DynInst {
+            seq,
+            pc: step.pc,
+            inst,
+            mem_addr: step.mem_addr,
+            fu: inst.fu_class(),
+            base_latency: latency.cycles,
+            fu_pipelined: latency.pipelined,
+            srcs,
+            fast_slot: 1,
+            dest: inst.dest(),
+            store_data_producer: None,
+            state: IState::Waiting,
+            epoch: 0,
+            insert_cycle: 0,
+            issue_cycle: 0,
+            complete_cycle: 0,
+            broadcast_done: false,
+            replays: 0,
+            consumers: Vec::new(),
+            mispredicted: false,
+            resume_done: false,
+            next_pc: step.next_pc,
+            taken: step.taken,
+            load_stalled: false,
+            addr_resolved: false,
+            te_verified_wait: false,
+            seq_rf: false,
+            rf_category: None,
+            wakeup_pair_recorded: false,
+        }
+    }
+
+    /// Whether this is a load.
+    #[must_use]
+    pub fn is_load(&self) -> bool {
+        self.inst.is_load()
+    }
+
+    /// Whether this is a store.
+    #[must_use]
+    pub fn is_store(&self) -> bool {
+        self.inst.is_store()
+    }
+
+    /// Whether this occupies an LSQ entry.
+    #[must_use]
+    pub fn is_mem(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Whether select gives it the high (load/branch) priority group
+    /// (paper §2.1).
+    #[must_use]
+    pub fn high_priority(&self) -> bool {
+        self.is_load() || self.inst.is_control()
+    }
+
+    /// Number of scheduler source operands.
+    #[must_use]
+    pub fn num_srcs(&self) -> usize {
+        self.srcs.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether this instruction has two scheduler sources (a "2-source
+    /// instruction" in the paper's terms; stores are excluded because the
+    /// scheduler only tracks their address operand).
+    #[must_use]
+    pub fn is_two_source(&self) -> bool {
+        self.num_srcs() == 2
+    }
+
+    /// Both operands pending at insert (the population of Figures 6/7 and
+    /// Table 3).
+    #[must_use]
+    pub fn two_pending_at_insert(&self) -> bool {
+        self.is_two_source()
+            && self.srcs.iter().flatten().all(|s| !s.ready_at_insert)
+    }
+
+    /// Iterates over present sources.
+    pub fn srcs_iter(&self) -> impl Iterator<Item = &SrcState> {
+        self.srcs.iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpa_isa::{AluOp, MemWidth, Reg};
+
+    fn step(inst: Inst) -> StepRecord {
+        StepRecord { pc: 0x40, inst, next_pc: 0x44, taken: false, mem_addr: None }
+    }
+
+    #[test]
+    fn two_source_classification() {
+        let add = DynInst::from_step(1, &step(Inst::op(AluOp::Add, Reg::R1, Reg::R2, Reg::R3)));
+        assert!(add.is_two_source());
+        assert_eq!(add.num_srcs(), 2);
+        assert!(!add.is_load());
+
+        let addi = DynInst::from_step(2, &step(Inst::op(AluOp::Add, Reg::R1, 5, Reg::R3)));
+        assert!(!addi.is_two_source());
+        assert_eq!(addi.dest, Some(Reg::R3.into()));
+    }
+
+    #[test]
+    fn stores_have_one_scheduler_source() {
+        let st = DynInst::from_step(
+            3,
+            &step(Inst::Store { width: MemWidth::Quad, rt: Reg::R1, base: Reg::R2, disp: 0 }),
+        );
+        assert!(st.is_store());
+        assert!(st.is_mem());
+        assert_eq!(st.num_srcs(), 1);
+        assert!(!st.is_two_source());
+        assert_eq!(st.dest, None);
+    }
+
+    #[test]
+    fn priority_groups() {
+        let ld = DynInst::from_step(
+            4,
+            &step(Inst::Load { width: MemWidth::Quad, rt: Reg::R1, base: Reg::R2, disp: 0 }),
+        );
+        assert!(ld.high_priority());
+        let add = DynInst::from_step(5, &step(Inst::op(AluOp::Add, Reg::R1, Reg::R2, Reg::R3)));
+        assert!(!add.high_priority());
+        let br = DynInst::from_step(
+            6,
+            &step(Inst::Branch { cond: hpa_isa::BranchCond::Eq, ra: Reg::R1, disp: 1 }),
+        );
+        assert!(br.high_priority());
+    }
+}

@@ -1,0 +1,67 @@
+//! The twelve benchmark kernels.
+//!
+//! Shared conventions:
+//!
+//! * data segments start at [`crate::DATA_BASE`];
+//! * the final checksum is left in [`crate::CHECKSUM_REG`] (`r10`) and the
+//!   host-side reference computes the identical value with
+//!   `checksum = checksum * 31 + value` steps ([`Checksum`]);
+//! * `r26` is the link register for calls, matching Alpha convention;
+//! * loop heads are padded with the occasional 2-source-format alignment
+//!   nop, mirroring the DEC-compiler padding whose decode-time elimination
+//!   the paper's Figure 3 reports.
+
+pub mod bzip;
+pub mod crafty;
+pub mod eon;
+pub mod gap;
+pub mod gcc;
+pub mod gzip;
+pub mod mcf;
+pub mod parser;
+pub mod perl;
+pub mod twolf;
+pub mod vortex;
+pub mod vpr;
+
+use crate::CHECKSUM_REG;
+use hpa_asm::Asm;
+use hpa_isa::Reg;
+
+/// Host-side mirror of the in-kernel checksum accumulator.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub(crate) struct Checksum(pub u64);
+
+impl Checksum {
+    /// Mixes one value, exactly like the emitted `mul r10, r10, #31; add
+    /// r10, r10, value` pair.
+    pub fn mix(&mut self, value: u64) {
+        self.0 = self.0.wrapping_mul(31).wrapping_add(value);
+    }
+}
+
+/// Emits the in-kernel mix step for a value held in `val`.
+pub(crate) fn emit_mix(a: &mut Asm, val: Reg) {
+    a.mul(CHECKSUM_REG, CHECKSUM_REG, 31);
+    a.add(CHECKSUM_REG, CHECKSUM_REG, val);
+}
+
+/// Emits `n` alignment nops (2-source-format, decode-eliminated).
+pub(crate) fn emit_align(a: &mut Asm, n: usize) {
+    for _ in 0..n {
+        a.nop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_matches_emitted_arithmetic() {
+        let mut c = Checksum::default();
+        c.mix(5);
+        c.mix(7);
+        assert_eq!(c.0, 5 * 31 + 7);
+    }
+}

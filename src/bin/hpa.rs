@@ -1,0 +1,192 @@
+//! `hpa` — command-line front end for the Half-Price Architecture
+//! reproduction: assemble, emulate and simulate programs, and run the
+//! built-in benchmarks.
+//!
+//! ```text
+//! hpa list                               # workloads and schemes
+//! hpa asm prog.s                         # assemble + disassemble
+//! hpa run prog.s [--insts N]             # functional execution, dump registers
+//! hpa sim prog.s [--scheme S] [--width W] [--trace N]  # cycle-level simulation
+//! hpa bench mcf [--scheme S] [--scale T] # one built-in benchmark
+//! ```
+
+use half_price::asm::parse_program;
+use half_price::emu::Emulator;
+use half_price::isa::Reg;
+use half_price::sim::{SimStats, Simulator};
+use half_price::workloads::{workload, Scale, WORKLOAD_NAMES};
+use half_price::{MachineWidth, Scheme};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => list(),
+        Some("asm") => cmd_asm(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("sim") => cmd_sim(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: hpa <list|asm|run|sim|bench> ...\n\
+                 \n  hpa list\n  hpa asm <file.s>\n  hpa run <file.s> [--insts N]\n  \
+                 hpa sim <file.s> [--scheme S] [--width 4|8]\n  \
+                 hpa bench <name> [--scheme S] [--scale tiny|default|large] [--width 4|8]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn list() -> CliResult {
+    println!("workloads (SPEC CINT2000 stand-ins):");
+    for name in WORKLOAD_NAMES {
+        let w = workload(name, Scale::Tiny).expect("known");
+        println!("  {name:8} {}", w.description);
+    }
+    println!("\nschemes:");
+    for s in Scheme::ALL {
+        println!("  {:22} (--scheme {})", s.label(), scheme_key(s));
+    }
+    Ok(())
+}
+
+fn scheme_key(s: Scheme) -> &'static str {
+    match s {
+        Scheme::Base => "base",
+        Scheme::SeqWakeupPredictor => "seq-wakeup",
+        Scheme::SeqWakeupStatic => "seq-wakeup-static",
+        Scheme::TagElimination => "tag-elimination",
+        Scheme::SeqRegAccess => "seq-rf",
+        Scheme::ExtraRfStage => "extra-rf-stage",
+        Scheme::HalfPortsCrossbar => "crossbar",
+        Scheme::Combined => "combined",
+    }
+}
+
+fn parse_scheme(key: &str) -> Result<Scheme, String> {
+    Scheme::ALL
+        .into_iter()
+        .find(|s| scheme_key(*s) == key)
+        .ok_or_else(|| format!("unknown scheme `{key}`; see `hpa list`"))
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn load_program(args: &[String]) -> Result<half_price::asm::Program, Box<dyn std::error::Error>> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing program file argument")?;
+    let source = std::fs::read_to_string(path)?;
+    Ok(parse_program(&source)?)
+}
+
+fn cmd_asm(args: &[String]) -> CliResult {
+    let program = load_program(args)?;
+    print!("{program}");
+    println!("; {} instructions, {} bytes encoded", program.len(), program.len() * 4);
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> CliResult {
+    let program = load_program(args)?;
+    let budget: u64 = match flag(args, "--insts") {
+        Some(v) => v.parse()?,
+        None => 100_000_000,
+    };
+    let mut emu = Emulator::new(&program);
+    let outcome = emu.run(budget)?;
+    println!("{outcome:?}");
+    for r in 0..32 {
+        let v = emu.reg(Reg::new(r));
+        if v != 0 {
+            println!("  r{r:<2} = {v:#x} ({v})");
+        }
+    }
+    Ok(())
+}
+
+fn machine_width(args: &[String]) -> Result<MachineWidth, String> {
+    match flag(args, "--width").as_deref() {
+        None | Some("4") => Ok(MachineWidth::Four),
+        Some("8") => Ok(MachineWidth::Eight),
+        Some(other) => Err(format!("bad --width {other}")),
+    }
+}
+
+fn print_stats(s: &SimStats) {
+    println!("cycles            {:>12}", s.cycles);
+    println!("committed         {:>12}", s.committed);
+    println!("IPC               {:>12.3}", s.ipc());
+    println!("branch mispredict {:>11.2}%", s.mispredict_rate() * 100.0);
+    println!("DL1 miss rate     {:>11.2}%", s.hierarchy.dl1.miss_rate() * 100.0);
+    println!("load-miss replays {:>12}", s.load_miss_replays);
+    println!("replayed insts    {:>12}", s.replayed_insts);
+    println!("avg RUU occupancy {:>12.1}", s.avg_window_occupancy());
+    let issue_dist: Vec<String> = s
+        .issue_histogram
+        .iter()
+        .map(|n| format!("{:.0}%", *n as f64 / s.cycles.max(1) as f64 * 100.0))
+        .collect();
+    println!("issue width dist  {:>12}", issue_dist.join("/"));
+    if s.seq_rf_accesses + s.seq_wakeup_slow_last + s.simultaneous_wakeups + s.te_misfires > 0 {
+        println!("half-price events:");
+        println!("  seq RF accesses      {:>9}", s.seq_rf_accesses);
+        println!("  slow-side arrivals   {:>9}", s.seq_wakeup_slow_last);
+        println!("  simultaneous wakeups {:>9}", s.simultaneous_wakeups);
+        println!("  TE misfires          {:>9}", s.te_misfires);
+    }
+}
+
+fn cmd_sim(args: &[String]) -> CliResult {
+    let program = load_program(args)?;
+    let scheme = parse_scheme(&flag(args, "--scheme").unwrap_or_else(|| "base".into()))?;
+    let width = machine_width(args)?;
+    let mut sim = Simulator::new(&program, scheme.configure(width));
+    let trace: usize = match flag(args, "--trace") {
+        Some(v) => v.parse()?,
+        None => 0,
+    };
+    if trace > 0 {
+        sim.enable_trace(trace);
+    }
+    sim.run();
+    println!("{} on the {} machine:", scheme.label(), width.label());
+    print_stats(sim.stats());
+    if let Some(t) = sim.pipetrace() {
+        println!("\npipeline diagram (first {trace} committed instructions):");
+        print!("{}", t.render());
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> CliResult {
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .ok_or("missing benchmark name; see `hpa list`")?;
+    let scale = match flag(args, "--scale").as_deref() {
+        Some("tiny") => Scale::Tiny,
+        None | Some("default") => Scale::Default,
+        Some("large") => Scale::Large,
+        Some(other) => return Err(format!("bad --scale {other}").into()),
+    };
+    let scheme = parse_scheme(&flag(args, "--scheme").unwrap_or_else(|| "base".into()))?;
+    let width = machine_width(args)?;
+    let r = half_price::run_workload(name, scale, width, scheme)?;
+    println!("`{name}` under {} on the {} machine:", scheme.label(), width.label());
+    print_stats(&r.stats);
+    Ok(())
+}

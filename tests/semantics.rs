@@ -1,0 +1,50 @@
+//! The cardinal invariant: no scheduling or register-file scheme ever
+//! changes what a program computes — timing models only move cycles.
+//! Every workload runs under every scheme and must produce the reference
+//! checksum and the same committed-instruction count.
+
+use half_price::workloads::{Scale, WORKLOAD_NAMES};
+use half_price::{run_workload, MachineWidth, Scheme};
+
+#[test]
+fn every_scheme_preserves_semantics_on_every_workload() {
+    for name in WORKLOAD_NAMES {
+        let mut committed = None;
+        for scheme in Scheme::ALL {
+            // run_workload returns Err on a checksum mismatch.
+            let r = run_workload(name, Scale::Tiny, MachineWidth::Four, scheme)
+                .unwrap_or_else(|e| panic!("{name}/{scheme:?}: {e}"));
+            match committed {
+                None => committed = Some(r.stats.committed),
+                Some(c) => assert_eq!(
+                    r.stats.committed, c,
+                    "{name}/{scheme:?}: committed count diverged"
+                ),
+            }
+            assert!(r.stats.ipc() > 0.0, "{name}/{scheme:?}");
+        }
+    }
+}
+
+#[test]
+fn eight_wide_machine_preserves_semantics() {
+    for name in WORKLOAD_NAMES {
+        for scheme in [Scheme::Base, Scheme::Combined] {
+            run_workload(name, Scale::Tiny, MachineWidth::Eight, scheme)
+                .unwrap_or_else(|e| panic!("{name}/{scheme:?}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn selective_recovery_preserves_semantics() {
+    use half_price::sim::{RecoveryKind, Simulator};
+    use half_price::workloads::{workload, CHECKSUM_REG};
+    for name in ["mcf", "gap", "vpr"] {
+        let w = workload(name, Scale::Tiny).expect("known");
+        let cfg = MachineWidth::Four.base_config().with_recovery(RecoveryKind::Selective);
+        let mut sim = Simulator::new(&w.program, cfg);
+        sim.run();
+        assert_eq!(sim.emulator().reg(CHECKSUM_REG), w.expected_checksum, "{name}");
+    }
+}
