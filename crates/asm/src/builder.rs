@@ -2,8 +2,7 @@
 
 use crate::{AsmError, Program};
 use hpa_isa::{
-    AluOp, BranchCond, FpBinOp, FReg, Inst, JumpKind, MemWidth, Reg, RegOrLit, UnaryOp,
-    INST_BYTES,
+    AluOp, BranchCond, FReg, FpBinOp, Inst, JumpKind, MemWidth, Reg, RegOrLit, UnaryOp, INST_BYTES,
 };
 use std::collections::HashMap;
 
@@ -15,11 +14,26 @@ const DISP21_MIN: i64 = -(1 << 20);
 #[derive(Clone, Debug)]
 enum Item {
     Inst(Inst),
-    Branch { cond: BranchCond, ra: Reg, label: String },
-    FBranch { cond: BranchCond, fa: FReg, label: String },
-    Br { ra: Reg, label: String },
+    Branch {
+        cond: BranchCond,
+        ra: Reg,
+        label: String,
+    },
+    FBranch {
+        cond: BranchCond,
+        fa: FReg,
+        label: String,
+    },
+    Br {
+        ra: Reg,
+        label: String,
+    },
     /// One slot of a 3-slot `la` expansion; `part` is 0, 1 or 2.
-    La { rc: Reg, label: String, part: u8 },
+    La {
+        rc: Reg,
+        label: String,
+        part: u8,
+    },
 }
 
 /// A program builder with labels and forward references.
@@ -510,10 +524,7 @@ mod tests {
     fn undefined_label_is_an_error() {
         let mut a = Asm::new();
         a.br("nowhere");
-        assert_eq!(
-            a.assemble().unwrap_err(),
-            AsmError::UndefinedLabel { label: "nowhere".into() }
-        );
+        assert_eq!(a.assemble().unwrap_err(), AsmError::UndefinedLabel { label: "nowhere".into() });
     }
 
     #[test]

@@ -126,10 +126,7 @@ mod tests {
 
     #[test]
     fn fetch_and_roundtrip() {
-        let insts = vec![
-            Inst::op(AluOp::Add, Reg::R1, Reg::R2, Reg::R3),
-            Inst::Halt,
-        ];
+        let insts = vec![Inst::op(AluOp::Add, Reg::R1, Reg::R2, Reg::R3), Inst::Halt];
         let p = Program::new(insts.clone());
         assert_eq!(p.len(), 2);
         assert_eq!(p.fetch(0), Some(&insts[0]));

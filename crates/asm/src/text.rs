@@ -5,9 +5,7 @@
 //! `parse_program(&disassemble(p))` reproduces `p`.
 
 use crate::{Asm, AsmError, Program};
-use hpa_isa::{
-    AluOp, BranchCond, FpBinOp, FReg, Inst, JumpKind, MemWidth, Reg, RegOrLit, UnaryOp,
-};
+use hpa_isa::{AluOp, BranchCond, FReg, FpBinOp, Inst, JumpKind, MemWidth, Reg, RegOrLit, UnaryOp};
 
 /// Renders a program as assembly text that [`parse_program`] accepts.
 #[must_use]
@@ -111,9 +109,8 @@ fn parse_directive(
     };
     match name {
         "org" => {
-            *cursor = rest
-                .parse::<u64>()
-                .map_err(|_| err(line, format!("bad address `{rest}`")))?;
+            *cursor =
+                rest.parse::<u64>().map_err(|_| err(line, format!("bad address `{rest}`")))?;
         }
         "byte" => {
             let bytes: Vec<u8> = values()?.into_iter().map(|v| v as u8).collect();
@@ -156,9 +153,7 @@ fn parse_freg(tok: &str, line: usize) -> Result<FReg, AsmError> {
 
 fn parse_operand(tok: &str, line: usize) -> Result<RegOrLit, AsmError> {
     if let Some(lit) = tok.strip_prefix('#') {
-        let v: i64 = lit
-            .parse()
-            .map_err(|_| err(line, format!("bad literal `{tok}`")))?;
+        let v: i64 = lit.parse().map_err(|_| err(line, format!("bad literal `{tok}`")))?;
         let v = i16::try_from(v)
             .map_err(|_| err(line, format!("literal `{tok}` does not fit in 16 bits")))?;
         Ok(RegOrLit::Lit(v))
@@ -169,9 +164,8 @@ fn parse_operand(tok: &str, line: usize) -> Result<RegOrLit, AsmError> {
 
 /// Parses `disp(base)`.
 fn parse_mem(tok: &str, line: usize) -> Result<(i16, Reg), AsmError> {
-    let open = tok
-        .find('(')
-        .ok_or_else(|| err(line, format!("expected disp(base), got `{tok}`")))?;
+    let open =
+        tok.find('(').ok_or_else(|| err(line, format!("expected disp(base), got `{tok}`")))?;
     let close = tok
         .rfind(')')
         .filter(|&c| c > open)
@@ -180,9 +174,7 @@ fn parse_mem(tok: &str, line: usize) -> Result<(i16, Reg), AsmError> {
     let disp: i16 = if disp_str.is_empty() {
         0
     } else {
-        disp_str
-            .parse()
-            .map_err(|_| err(line, format!("bad displacement in `{tok}`")))?
+        disp_str.parse().map_err(|_| err(line, format!("bad displacement in `{tok}`")))?
     };
     let base = parse_reg(&tok[open + 1..close], line)?;
     Ok((disp, base))
@@ -195,9 +187,8 @@ enum Target {
 
 fn parse_target(tok: &str, line: usize) -> Result<Target, AsmError> {
     if tok.starts_with('+') || tok.starts_with('-') || tok.chars().all(|c| c.is_ascii_digit()) {
-        let slots: i32 = tok
-            .parse()
-            .map_err(|_| err(line, format!("bad branch target `{tok}`")))?;
+        let slots: i32 =
+            tok.parse().map_err(|_| err(line, format!("bad branch target `{tok}`")))?;
         Ok(Target::Slots(slots))
     } else if tok.chars().all(|c| c.is_alphanumeric() || c == '_') {
         Ok(Target::Label(tok.to_string()))
@@ -225,13 +216,8 @@ fn lookup_branch(m: &str) -> Option<BranchCond> {
 fn parse_inst(asm: &mut Asm, text: &str, line: usize) -> Result<(), AsmError> {
     let mut parts = text.splitn(2, char::is_whitespace);
     let mnemonic = parts.next().unwrap();
-    let operands: Vec<&str> = parts
-        .next()
-        .unwrap_or("")
-        .split(',')
-        .map(str::trim)
-        .filter(|s| !s.is_empty())
-        .collect();
+    let operands: Vec<&str> =
+        parts.next().unwrap_or("").split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
     let want = |n: usize| -> Result<(), AsmError> {
         if operands.len() == n {
             Ok(())
@@ -443,19 +429,10 @@ mod tests {
             p.insts()[0],
             Inst::Load { width: MemWidth::Quad, rt: Reg::R1, base: Reg::R2, disp: 16 }
         );
-        assert_eq!(
-            p.insts()[2],
-            Inst::FLoad { ft: FReg::F1, base: Reg::R5, disp: 0 }
-        );
-        assert_eq!(
-            p.insts()[3],
-            Inst::Jump { kind: JumpKind::Jsr, rt: Reg::R26, base: Reg::R27 }
-        );
+        assert_eq!(p.insts()[2], Inst::FLoad { ft: FReg::F1, base: Reg::R5, disp: 0 });
+        assert_eq!(p.insts()[3], Inst::Jump { kind: JumpKind::Jsr, rt: Reg::R26, base: Reg::R27 });
         assert_eq!(p.insts()[5], Inst::Br { ra: Reg::ZERO, disp: 2 });
-        assert_eq!(
-            p.insts()[7],
-            Inst::FBranch { cond: BranchCond::Ne, fa: FReg::F1, disp: 1 }
-        );
+        assert_eq!(p.insts()[7], Inst::FBranch { cond: BranchCond::Ne, fa: FReg::F1, disp: 1 });
     }
 
     #[test]
@@ -516,14 +493,23 @@ mod tests {
         assert_eq!(segs[1], (4099, q)); // follows the .byte emission
         assert_eq!(segs[2], (8192, vec![7]));
 
-        let e = parse_program(".bogus 1
-").unwrap_err();
+        let e = parse_program(
+            ".bogus 1
+",
+        )
+        .unwrap_err();
         assert!(matches!(e, AsmError::Parse { line: 1, .. }));
-        let e = parse_program(".org xyz
-").unwrap_err();
+        let e = parse_program(
+            ".org xyz
+",
+        )
+        .unwrap_err();
         assert!(matches!(e, AsmError::Parse { line: 1, .. }));
-        let e = parse_program(".byte 1, nope
-").unwrap_err();
+        let e = parse_program(
+            ".byte 1, nope
+",
+        )
+        .unwrap_err();
         assert!(matches!(e, AsmError::Parse { line: 1, .. }));
     }
 

@@ -1,18 +1,19 @@
-//! Criterion microbenchmarks of the substrate components: emulator
-//! throughput, cache accesses, branch/operand predictors, assembler and
-//! encoder. These track the performance of the simulator itself (the tool),
+//! Microbenchmarks of the substrate components: emulator throughput,
+//! cache accesses, branch/operand predictors, assembler and encoder.
+//! These track the performance of the simulator itself (the tool),
 //! complementing the `src/bin` harnesses that regenerate the paper's
-//! figures (the results).
+//! figures (the results). Runs on the dependency-free harness in
+//! `hpa_bench::microbench` (criterion is unavailable offline).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hpa_bench::microbench::Group;
 use hpa_core::asm::Asm;
 use hpa_core::bpred::{Btb, CombinedPredictor, LastArrivalPredictor, Side};
 use hpa_core::cache::{Hierarchy, HierarchyConfig};
 use hpa_core::emu::Emulator;
-use hpa_core::isa::{encode, decode, Reg};
+use hpa_core::isa::{decode, encode, Reg};
 use std::hint::black_box;
 
-fn emulator_throughput(c: &mut Criterion) {
+fn emulator_throughput() {
     // A mixed loop: ALU, memory, branch.
     let mut a = Asm::new();
     a.li(Reg::R1, 10_000);
@@ -27,126 +28,101 @@ fn emulator_throughput(c: &mut Criterion) {
     a.halt();
     let program = a.assemble().unwrap();
 
-    let mut g = c.benchmark_group("emulator");
-    g.throughput(Throughput::Elements(60_000));
-    g.bench_function("mixed_loop_60k_insts", |b| {
-        b.iter(|| {
-            let mut emu = Emulator::new(&program);
-            emu.run(100_000).unwrap();
-            black_box(emu.reg(Reg::R3))
-        })
+    let mut g = Group::new("emulator", 60_000);
+    g.bench("mixed_loop_60k_insts", || {
+        let mut emu = Emulator::new(&program);
+        emu.run(100_000).unwrap();
+        black_box(emu.reg(Reg::R3))
     });
-    g.finish();
 }
 
-fn cache_accesses(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("dl1_streaming_10k", |b| {
-        let mut h = Hierarchy::new(HierarchyConfig::table1());
-        let mut addr = 0u64;
-        b.iter(|| {
-            let mut sum = 0u64;
-            for _ in 0..10_000 {
-                sum += u64::from(h.data_read(addr));
-                addr = addr.wrapping_add(16);
-            }
-            black_box(sum)
-        })
+fn cache_accesses() {
+    let mut g = Group::new("cache", 10_000);
+    let mut h = Hierarchy::new(HierarchyConfig::table1());
+    let mut addr = 0u64;
+    g.bench("dl1_streaming_10k", || {
+        let mut sum = 0u64;
+        for _ in 0..10_000 {
+            sum += u64::from(h.data_read(addr));
+            addr = addr.wrapping_add(16);
+        }
+        black_box(sum)
     });
-    g.bench_function("dl1_hot_set_10k", |b| {
-        let mut h = Hierarchy::new(HierarchyConfig::table1());
-        b.iter(|| {
-            let mut sum = 0u64;
-            for i in 0..10_000u64 {
-                sum += u64::from(h.data_read((i % 64) * 16));
-            }
-            black_box(sum)
-        })
+    let mut h = Hierarchy::new(HierarchyConfig::table1());
+    g.bench("dl1_hot_set_10k", || {
+        let mut sum = 0u64;
+        for i in 0..10_000u64 {
+            sum += u64::from(h.data_read((i % 64) * 16));
+        }
+        black_box(sum)
     });
-    g.finish();
 }
 
-fn predictors(c: &mut Criterion) {
-    let mut g = c.benchmark_group("predictors");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("combined_predict_update_10k", |b| {
-        let mut p = CombinedPredictor::table1();
-        b.iter(|| {
-            let mut hits = 0u32;
-            for i in 0..10_000u64 {
-                let pc = (i % 977) * 4;
-                let taken = i % 3 != 0;
-                hits += u32::from(p.predict(pc) == taken);
-                p.update(pc, taken);
-            }
-            black_box(hits)
-        })
+fn predictors() {
+    let mut g = Group::new("predictors", 10_000);
+    let mut p = CombinedPredictor::table1();
+    g.bench("combined_predict_update_10k", || {
+        let mut hits = 0u32;
+        for i in 0..10_000u64 {
+            let pc = (i % 977) * 4;
+            let taken = i % 3 != 0;
+            hits += u32::from(p.predict(pc) == taken);
+            p.update(pc, taken);
+        }
+        black_box(hits)
     });
-    g.bench_function("btb_lookup_update_10k", |b| {
-        let mut btb = Btb::table1();
-        b.iter(|| {
-            for i in 0..10_000u64 {
-                let pc = (i % 3001) * 4;
-                black_box(btb.lookup(pc));
-                btb.update(pc, pc + 64);
-            }
-        })
+    let mut btb = Btb::table1();
+    g.bench("btb_lookup_update_10k", || {
+        for i in 0..10_000u64 {
+            let pc = (i % 3001) * 4;
+            black_box(btb.lookup(pc));
+            btb.update(pc, pc + 64);
+        }
     });
-    g.bench_function("last_arrival_10k", |b| {
-        let mut p = LastArrivalPredictor::new(1024);
-        b.iter(|| {
-            for i in 0..10_000u64 {
-                let pc = (i % 777) * 4;
-                black_box(p.predict(pc));
-                p.update(pc, if i % 2 == 0 { Side::Left } else { Side::Right });
-            }
-        })
+    let mut p = LastArrivalPredictor::new(1024);
+    g.bench("last_arrival_10k", || {
+        for i in 0..10_000u64 {
+            let pc = (i % 777) * 4;
+            black_box(p.predict(pc));
+            p.update(pc, if i % 2 == 0 { Side::Left } else { Side::Right });
+        }
     });
-    g.finish();
 }
 
-fn assembler_and_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("isa");
-    g.bench_function("assemble_1k_inst_program", |b| {
-        b.iter(|| {
-            let mut a = Asm::new();
-            a.label("top");
-            for i in 0..333 {
-                a.add(Reg::new((i % 30) as u8), Reg::R1, i % 100);
-                a.ldq(Reg::R2, Reg::R3, (i % 128) as i16);
-                a.bne(Reg::R2, "top");
-            }
-            a.halt();
-            black_box(a.assemble().unwrap().len())
-        })
-    });
-    g.bench_function("encode_decode_roundtrip", |b| {
+fn assembler_and_codec() {
+    let mut g = Group::new("isa", 0);
+    g.bench("assemble_1k_inst_program", || {
         let mut a = Asm::new();
-        for i in 0..200 {
-            a.add(Reg::new((i % 30) as u8), Reg::R1, Reg::R2);
-            a.stb(Reg::R4, Reg::R5, i as i16);
+        a.label("top");
+        for i in 0..333 {
+            a.add(Reg::new((i % 30) as u8), Reg::R1, i % 100);
+            a.ldq(Reg::R2, Reg::R3, (i % 128) as i16);
+            a.bne(Reg::R2, "top");
         }
         a.halt();
-        let insts = a.assemble().unwrap().insts().to_vec();
-        b.iter(|| {
-            let mut acc = 0u64;
-            for inst in &insts {
-                let w = encode(inst);
-                acc = acc.wrapping_add(u64::from(w));
-                black_box(decode(w).unwrap());
-            }
-            black_box(acc)
-        })
+        black_box(a.assemble().unwrap().len())
     });
-    g.finish();
+    let mut a = Asm::new();
+    for i in 0..200 {
+        a.add(Reg::new((i % 30) as u8), Reg::R1, Reg::R2);
+        a.stb(Reg::R4, Reg::R5, i as i16);
+    }
+    a.halt();
+    let insts = a.assemble().unwrap().insts().to_vec();
+    g.bench("encode_decode_roundtrip", || {
+        let mut acc = 0u64;
+        for inst in &insts {
+            let w = encode(inst);
+            acc = acc.wrapping_add(u64::from(w));
+            black_box(decode(w).unwrap());
+        }
+        black_box(acc)
+    });
 }
 
-criterion_group!(
-    benches,
-    emulator_throughput,
-    cache_accesses,
-    predictors,
-    assembler_and_codec
-);
-criterion_main!(benches);
+fn main() {
+    emulator_throughput();
+    cache_accesses();
+    predictors();
+    assembler_and_codec();
+}

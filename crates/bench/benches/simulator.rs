@@ -1,10 +1,11 @@
-//! Criterion benchmarks of the cycle-level simulator: simulated-cycle
+//! Microbenchmarks of the cycle-level simulator: simulated-cycle
 //! throughput per scheme and per workload class. One iteration simulates a
 //! 20k-instruction slice of a workload under a given configuration, so
 //! these both track simulator performance and exercise every scheme's
-//! scheduling path end to end.
+//! scheduling path end to end. Runs on the dependency-free harness in
+//! `hpa_bench::microbench` (criterion is unavailable offline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpa_bench::microbench::Group;
 use hpa_core::sim::Simulator;
 use hpa_core::workloads::{workload, Scale};
 use hpa_core::{MachineWidth, Scheme};
@@ -12,64 +13,48 @@ use std::hint::black_box;
 
 const SLICE: u64 = 20_000;
 
-fn scheme_throughput(c: &mut Criterion) {
+fn scheme_throughput() {
     let w = workload("gcc", Scale::Tiny).expect("gcc builds");
-    let mut g = c.benchmark_group("simulate_gcc_20k");
-    g.throughput(Throughput::Elements(SLICE));
-    g.sample_size(10);
+    let mut g = Group::new("simulate_gcc_20k", SLICE);
     for scheme in Scheme::ALL {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(scheme.label().replace(' ', "_")),
-            &scheme,
-            |b, &scheme| {
-                let cfg = scheme.configure(MachineWidth::Four).with_max_insts(SLICE);
-                b.iter(|| {
-                    let mut sim = Simulator::new(&w.program, cfg.clone());
-                    sim.run();
-                    black_box(sim.stats().cycles)
-                })
-            },
-        );
+        let cfg = scheme.configure(MachineWidth::Four).with_max_insts(SLICE);
+        g.bench(&scheme.label().replace(' ', "_"), || {
+            let mut sim = Simulator::new(&w.program, cfg.clone());
+            sim.run();
+            black_box(sim.stats().cycles)
+        });
     }
-    g.finish();
 }
 
-fn workload_class_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_base_20k");
-    g.throughput(Throughput::Elements(SLICE));
-    g.sample_size(10);
+fn workload_class_throughput() {
+    let mut g = Group::new("simulate_base_20k", SLICE);
     // One compute-bound, one memory-bound, one branchy workload.
     for name in ["gap", "mcf", "perl"] {
         let w = workload(name, Scale::Tiny).expect("workload builds");
-        g.bench_with_input(BenchmarkId::from_parameter(name), &w, |b, w| {
-            let cfg = Scheme::Base.configure(MachineWidth::Four).with_max_insts(SLICE);
-            b.iter(|| {
-                let mut sim = Simulator::new(&w.program, cfg.clone());
-                sim.run();
-                black_box(sim.stats().ipc())
-            })
+        let cfg = Scheme::Base.configure(MachineWidth::Four).with_max_insts(SLICE);
+        g.bench(name, || {
+            let mut sim = Simulator::new(&w.program, cfg.clone());
+            sim.run();
+            black_box(sim.stats().ipc())
         });
     }
-    g.finish();
 }
 
-fn width_scaling(c: &mut Criterion) {
+fn width_scaling() {
     let w = workload("crafty", Scale::Tiny).expect("crafty builds");
-    let mut g = c.benchmark_group("simulate_crafty_width");
-    g.throughput(Throughput::Elements(SLICE));
-    g.sample_size(10);
+    let mut g = Group::new("simulate_crafty_width", SLICE);
     for width in MachineWidth::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(width.label()), &width, |b, &width| {
-            let cfg = Scheme::Combined.configure(width).with_max_insts(SLICE);
-            b.iter(|| {
-                let mut sim = Simulator::new(&w.program, cfg.clone());
-                sim.run();
-                black_box(sim.stats().cycles)
-            })
+        let cfg = Scheme::Combined.configure(width).with_max_insts(SLICE);
+        g.bench(width.label(), || {
+            let mut sim = Simulator::new(&w.program, cfg.clone());
+            sim.run();
+            black_box(sim.stats().cycles)
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, scheme_throughput, workload_class_throughput, width_scaling);
-criterion_main!(benches);
+fn main() {
+    scheme_throughput();
+    workload_class_throughput();
+    width_scaling();
+}

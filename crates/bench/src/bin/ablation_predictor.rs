@@ -35,8 +35,7 @@ fn main() {
             let stat = run(WakeupScheme::SequentialWakeup { predictor_entries: None });
             row.push(format!("{:.3}", stat / base));
             for &entries in &SIZES {
-                let ipc =
-                    run(WakeupScheme::SequentialWakeup { predictor_entries: Some(entries) });
+                let ipc = run(WakeupScheme::SequentialWakeup { predictor_entries: Some(entries) });
                 row.push(format!("{:.3}", ipc / base));
             }
             t.push_row(row);

@@ -35,12 +35,10 @@ fn main() {
             let bypass = run(width.base_config().with_bypass(BypassScheme::HalfPaths));
             // The full "operand-centric" machine: every 2-operand structure
             // halved at once (scheduling + RF + rename + bypass).
-            let all = run(
-                hpa_core::Scheme::Combined
-                    .configure(width)
-                    .with_rename(RenameScheme::HalfPorts)
-                    .with_bypass(BypassScheme::HalfPaths),
-            );
+            let all = run(hpa_core::Scheme::Combined
+                .configure(width)
+                .with_rename(RenameScheme::HalfPorts)
+                .with_bypass(BypassScheme::HalfPaths));
             t.push_row(vec![
                 (*name).to_string(),
                 format!("{:.3}", base.ipc()),

@@ -1,0 +1,239 @@
+//! Offline performance smoke test: simulated Mcycles/sec per scheme and
+//! serial-vs-parallel experiment-matrix wall time, written as JSON so the
+//! perf trajectory is tracked from PR to PR (`BENCH_1.json` onward).
+//!
+//! ```text
+//! cargo run --release -p hpa-bench --bin perf_smoke -- --scale tiny
+//! ```
+//!
+//! Options:
+//!
+//! * `--scale tiny|default|large` — workload size (default tiny);
+//! * `--jobs N` — worker threads for the parallel matrix (default: host
+//!   parallelism);
+//! * `--out FILE` — JSON output path (default `BENCH_1.json`);
+//! * `--baseline FILE` — a previous `perf_smoke` JSON to embed verbatim
+//!   under `"baseline"`, for before/after comparisons in one artifact.
+//!
+//! No external dependencies: wall time via [`std::time::Instant`], JSON
+//! emitted by hand.
+
+use hpa_core::workloads::{workload, Scale, Workload};
+use hpa_core::{default_jobs, run_matrix, run_matrix_parallel, run_prepared, MachineWidth, Scheme};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Workloads for the per-scheme cycle-loop throughput measurement: one
+/// compute-bound, one memory-bound, one branchy.
+const THROUGHPUT_WORKLOADS: [&str; 3] = ["gap", "mcf", "perl"];
+
+/// Schemes timed in the serial-vs-parallel matrix comparison.
+const MATRIX_SCHEMES: [Scheme; 2] = [Scheme::Base, Scheme::Combined];
+
+struct Args {
+    scale: Scale,
+    scale_name: &'static str,
+    jobs: usize,
+    out: String,
+    baseline: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: Scale::Tiny,
+        scale_name: "tiny",
+        jobs: default_jobs(),
+        out: "BENCH_1.json".to_string(),
+        baseline: None,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter().map(String::as_str);
+    while let Some(a) = it.next() {
+        match a {
+            "--scale" => {
+                (args.scale, args.scale_name) = match it.next() {
+                    Some("tiny") => (Scale::Tiny, "tiny"),
+                    Some("default") => (Scale::Default, "default"),
+                    Some("large") => (Scale::Large, "large"),
+                    other => usage(&format!("bad --scale {other:?}")),
+                }
+            }
+            "--jobs" => {
+                args.jobs =
+                    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage("bad --jobs"));
+            }
+            "--out" => args.out = it.next().unwrap_or_else(|| usage("bad --out")).to_string(),
+            "--baseline" => {
+                args.baseline =
+                    Some(it.next().unwrap_or_else(|| usage("bad --baseline")).to_string());
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown option `{other}`")),
+        }
+    }
+    args
+}
+
+fn usage(err: &str) -> ! {
+    if !err.is_empty() {
+        eprintln!("error: {err}");
+    }
+    eprintln!(
+        "usage: perf_smoke [--scale tiny|default|large] [--jobs N] [--out FILE] [--baseline FILE]"
+    );
+    std::process::exit(if err.is_empty() { 0 } else { 2 });
+}
+
+/// Per-scheme throughput of the cycle loop itself, measured over full
+/// workload runs (checksum-verified, so nothing is optimized away).
+struct SchemeRate {
+    scheme: &'static str,
+    mcycles: f64,
+    minsts: f64,
+    wall_s: f64,
+}
+
+impl SchemeRate {
+    fn mcycles_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.mcycles / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn scheme_throughput(ws: &[Workload], scale: Scale) -> Vec<SchemeRate> {
+    let width = MachineWidth::Four;
+    Scheme::ALL
+        .into_iter()
+        .map(|scheme| {
+            let t0 = Instant::now();
+            let mut cycles = 0u64;
+            let mut insts = 0u64;
+            for w in ws {
+                let r = run_prepared(w, scheme.configure(width), scheme, width)
+                    .unwrap_or_else(|e| panic!("{e}"));
+                cycles += r.stats.cycles;
+                insts += r.stats.committed;
+            }
+            let wall_s = t0.elapsed().as_secs_f64();
+            let rate = SchemeRate {
+                scheme: scheme.label(),
+                mcycles: cycles as f64 / 1e6,
+                minsts: insts as f64 / 1e6,
+                wall_s,
+            };
+            eprintln!(
+                "  {:22} {:8.2} Mcycles in {:6.2}s = {:6.2} Mcycles/s ({scale:?})",
+                rate.scheme,
+                rate.mcycles,
+                wall_s,
+                rate.mcycles_per_sec(),
+                scale = scale
+            );
+            let _ = scale;
+            rate
+        })
+        .collect()
+}
+
+fn main() {
+    let args = parse_args();
+    let names: Vec<&str> = hpa_core::workloads::WORKLOAD_NAMES.to_vec();
+
+    eprintln!("== cycle-loop throughput per scheme ({} workloads) ==", THROUGHPUT_WORKLOADS.len());
+    let ws: Vec<Workload> = THROUGHPUT_WORKLOADS
+        .iter()
+        .map(|n| workload(n, args.scale).expect("known workload"))
+        .collect();
+    let rates = scheme_throughput(&ws, args.scale);
+
+    eprintln!("== matrix wall time: serial vs parallel (jobs={}) ==", args.jobs);
+    let t0 = Instant::now();
+    let serial = run_matrix(&names, args.scale, MachineWidth::Four, &MATRIX_SCHEMES, |_| {})
+        .unwrap_or_else(|e| panic!("{e}"));
+    let serial_s = t0.elapsed().as_secs_f64();
+    eprintln!("  serial:   {serial_s:.2}s");
+    let t0 = Instant::now();
+    let parallel = run_matrix_parallel(
+        &names,
+        args.scale,
+        MachineWidth::Four,
+        &MATRIX_SCHEMES,
+        args.jobs,
+        |_| {},
+    )
+    .unwrap_or_else(|e| panic!("{e}"));
+    let parallel_s = t0.elapsed().as_secs_f64();
+    let speedup = if parallel_s > 0.0 { serial_s / parallel_s } else { 0.0 };
+    eprintln!(
+        "  parallel: {parallel_s:.2}s ({speedup:.2}x, bit-identical: {})",
+        serial == parallel
+    );
+    assert_eq!(serial, parallel, "parallel matrix must be bit-identical to serial");
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"schema\": \"hpa-perf-smoke-v1\",");
+    let _ = writeln!(json, "  \"scale\": \"{}\",", args.scale_name);
+    let _ = writeln!(json, "  \"host_parallelism\": {},", default_jobs());
+    let _ = writeln!(json, "  \"scheme_throughput\": [");
+    for (k, r) in rates.iter().enumerate() {
+        let comma = if k + 1 == rates.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"scheme\": \"{}\", \"mcycles\": {:.3}, \"minsts\": {:.3}, \
+             \"wall_s\": {:.4}, \"mcycles_per_sec\": {:.3}}}{comma}",
+            r.scheme,
+            r.mcycles,
+            r.minsts,
+            r.wall_s,
+            r.mcycles_per_sec()
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let total_mcycles: f64 = rates.iter().map(|r| r.mcycles).sum();
+    let total_wall: f64 = rates.iter().map(|r| r.wall_s).sum();
+    let _ = writeln!(
+        json,
+        "  \"aggregate_mcycles_per_sec\": {:.3},",
+        if total_wall > 0.0 { total_mcycles / total_wall } else { 0.0 }
+    );
+    let _ = writeln!(json, "  \"matrix\": {{");
+    let _ = writeln!(json, "    \"workloads\": {},", names.len());
+    let _ = writeln!(json, "    \"schemes\": {},", MATRIX_SCHEMES.len());
+    let _ = writeln!(json, "    \"jobs\": {},", args.jobs);
+    let _ = writeln!(json, "    \"serial_wall_s\": {serial_s:.3},");
+    let _ = writeln!(json, "    \"parallel_wall_s\": {parallel_s:.3},");
+    let _ = writeln!(json, "    \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "    \"bit_identical\": true");
+    let _ = write!(json, "  }}");
+    if let Some(path) = &args.baseline {
+        let base = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: reading baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        let _ = writeln!(json, ",");
+        let _ = write!(json, "  \"baseline\": {}", indent_json(base.trim()));
+    }
+    let _ = writeln!(json);
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&args.out, &json).unwrap_or_else(|e| panic!("writing {}: {e}", args.out));
+    eprintln!("wrote {}", args.out);
+}
+
+/// Re-indents an embedded JSON document two spaces so the merged artifact
+/// stays readable.
+fn indent_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for (k, line) in s.lines().enumerate() {
+        if k > 0 {
+            out.push('\n');
+            out.push_str("  ");
+        }
+        out.push_str(line);
+    }
+    out
+}

@@ -7,14 +7,18 @@
 //! --scale tiny|default|large   simulation length per benchmark
 //! --width 4|8|both             machine width(s) to simulate
 //! --bench <name>...            subset of benchmarks (default: all 12)
+//! --jobs N                     worker threads for matrix sweeps
+//!                              (default: host parallelism)
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use hpa_core::sim::SimStats;
 use hpa_core::workloads::{Scale, WORKLOAD_NAMES};
 use hpa_core::{run_workload, MachineWidth, RunResult, Scheme};
-use hpa_core::sim::SimStats;
+
+pub mod microbench;
 
 /// Parsed command-line options shared by every harness binary.
 #[derive(Clone, Debug)]
@@ -25,6 +29,8 @@ pub struct HarnessArgs {
     pub widths: Vec<MachineWidth>,
     /// Benchmarks to run.
     pub benches: Vec<&'static str>,
+    /// Worker threads for `benchmarks × schemes` sweeps.
+    pub jobs: usize,
 }
 
 impl HarnessArgs {
@@ -42,6 +48,7 @@ impl HarnessArgs {
             scale: Scale::Default,
             widths: vec![MachineWidth::Four, MachineWidth::Eight],
             benches: WORKLOAD_NAMES.to_vec(),
+            jobs: hpa_core::default_jobs(),
         };
         let mut it = argv.iter().map(String::as_str);
         let mut benches: Vec<&'static str> = Vec::new();
@@ -70,6 +77,12 @@ impl HarnessArgs {
                         None => usage(&format!("unknown benchmark `{name}`")),
                     }
                 }
+                "--jobs" => {
+                    args.jobs = match it.next().and_then(|v| v.parse().ok()) {
+                        Some(n) if n >= 1 => n,
+                        _ => usage("bad --jobs (want an integer >= 1)"),
+                    }
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown option `{other}`")),
             }
@@ -85,7 +98,9 @@ fn usage(err: &str) -> ! {
     if !err.is_empty() {
         eprintln!("error: {err}");
     }
-    eprintln!("usage: <bin> [--scale tiny|default|large] [--width 4|8|both] [--bench NAME]...");
+    eprintln!(
+        "usage: <bin> [--scale tiny|default|large] [--width 4|8|both] [--bench NAME]... [--jobs N]"
+    );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
 
@@ -144,6 +159,13 @@ mod tests {
         let b = HarnessArgs::parse_from(&sv(&["--width", "both", "--scale", "large"]));
         assert_eq!(b.widths.len(), 2);
         assert_eq!(b.scale, Scale::Large);
+    }
+
+    #[test]
+    fn jobs_flag_overrides_host_parallelism() {
+        let a = HarnessArgs::parse_from(&sv(&["--jobs", "3"]));
+        assert_eq!(a.jobs, 3);
+        assert!(HarnessArgs::parse_from(&[]).jobs >= 1);
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! A dependency-free microbenchmark harness.
+//!
+//! This environment cannot fetch crates.io dependencies, so the
+//! `benches/` targets use this minimal stand-in for criterion: warmup,
+//! repeated timed runs, and a median-of-runs report with throughput.
+//!
+//! ```text
+//! cache/dl1_streaming_10k          412.3 us/iter   24.3 Melem/s
+//! ```
+
+use std::time::Instant;
+
+/// Number of timed runs per benchmark (the median is reported).
+const RUNS: usize = 7;
+/// Warmup runs before timing starts.
+const WARMUP: usize = 2;
+
+/// One measured benchmark result.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Median wall time per iteration, in seconds.
+    pub secs_per_iter: f64,
+    /// Work items per iteration (0 = unreported).
+    pub elements: u64,
+}
+
+impl Measurement {
+    /// Elements per second implied by the median iteration time.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        if self.secs_per_iter > 0.0 {
+            self.elements as f64 / self.secs_per_iter
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A named group of benchmarks, mirroring criterion's `benchmark_group`.
+pub struct Group<'a> {
+    name: &'a str,
+    elements: u64,
+    results: Vec<Measurement>,
+}
+
+impl<'a> Group<'a> {
+    /// Starts a group; `elements` is the per-iteration work count used
+    /// for throughput reporting (0 to skip).
+    #[must_use]
+    pub fn new(name: &'a str, elements: u64) -> Group<'a> {
+        Group { name, elements, results: Vec::new() }
+    }
+
+    /// Times `f` (warmup + [`RUNS`] timed runs) and prints the median.
+    /// Return a value derived from the work so the optimizer keeps it.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        for _ in 0..WARMUP {
+            std::hint::black_box(f());
+        }
+        let mut times = Vec::with_capacity(RUNS);
+        for _ in 0..RUNS {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            times.push(t0.elapsed().as_secs_f64());
+        }
+        times.sort_by(f64::total_cmp);
+        let median = times[times.len() / 2];
+        let m = Measurement {
+            id: format!("{}/{}", self.name, name),
+            secs_per_iter: median,
+            elements: self.elements,
+        };
+        if m.elements > 0 {
+            println!(
+                "{:<44} {:>10.1} us/iter {:>9.2} Melem/s",
+                m.id,
+                median * 1e6,
+                m.throughput() / 1e6
+            );
+        } else {
+            println!("{:<44} {:>10.1} us/iter", m.id, median * 1e6);
+        }
+        self.results.push(m);
+    }
+
+    /// The measurements collected so far.
+    #[must_use]
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_median_and_throughput() {
+        let mut g = Group::new("t", 1000);
+        let mut n = 0u64;
+        g.bench("count", || {
+            n += 1;
+            n
+        });
+        assert_eq!(g.results().len(), 1);
+        let m = &g.results()[0];
+        assert_eq!(m.id, "t/count");
+        assert!(m.secs_per_iter >= 0.0);
+        assert!(m.throughput() >= 0.0);
+        // Warmup + timed runs all executed.
+        assert_eq!(n, (WARMUP + RUNS) as u64);
+    }
+}

@@ -170,10 +170,7 @@ impl Btb {
     /// Looks up the predicted target for the branch at `pc`.
     #[must_use]
     pub fn lookup(&self, pc: u64) -> Option<u64> {
-        self.entries[self.set_range(pc)]
-            .iter()
-            .find(|e| e.valid && e.pc == pc)
-            .map(|e| e.target)
+        self.entries[self.set_range(pc)].iter().find(|e| e.valid && e.pc == pc).map(|e| e.target)
     }
 
     /// Installs or refreshes the target for the branch at `pc`.
@@ -187,10 +184,8 @@ impl Btb {
             e.last_use = clock;
             return;
         }
-        let victim = set
-            .iter_mut()
-            .min_by_key(|e| if e.valid { e.last_use } else { 0 })
-            .expect("ways > 0");
+        let victim =
+            set.iter_mut().min_by_key(|e| if e.valid { e.last_use } else { 0 }).expect("ways > 0");
         *victim = BtbEntry { pc, target, valid: true, last_use: clock };
     }
 }

@@ -13,7 +13,9 @@
 //!   (Table 1);
 //! * [`run_workload`] simulates one benchmark under one configuration and
 //!   verifies that timing never changed the architectural result;
-//! * [`run_matrix`] sweeps benchmarks × schemes;
+//! * [`run_matrix`] sweeps benchmarks × schemes serially, and
+//!   [`run_matrix_parallel`] fans the independent cells out across worker
+//!   threads ([`pool`]) with bit-identical results;
 //! * [`report`] renders every figure and table of the paper's evaluation
 //!   from the collected statistics.
 //!
@@ -50,9 +52,13 @@ pub use hpa_isa as isa;
 pub use hpa_sim as sim;
 pub use hpa_workloads as workloads;
 
+pub mod pool;
 pub mod report;
 mod runner;
 mod scheme;
 
-pub use runner::{run_matrix, run_workload, MatrixResult, RunError, RunResult};
+pub use pool::{default_jobs, parallel_map};
+pub use runner::{
+    run_matrix, run_matrix_parallel, run_prepared, run_workload, MatrixResult, RunError, RunResult,
+};
 pub use scheme::{MachineWidth, Scheme};

@@ -1,0 +1,104 @@
+//! A dependency-free scoped-thread job pool for embarrassingly parallel
+//! experiment sweeps.
+//!
+//! This environment has no crates.io access, so instead of rayon the
+//! experiment pipeline fans out over [`std::thread::scope`]: a shared
+//! atomic cursor hands work items to `jobs` workers, and results land in
+//! per-item slots so output order always matches input order regardless
+//! of completion order.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The default worker count: the host's available parallelism, or 1 if
+/// it cannot be determined.
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Applies `f` to every item across `jobs` worker threads, returning
+/// results in input order.
+///
+/// Work is handed out dynamically (an atomic cursor), so uneven item
+/// costs balance across workers. With `jobs <= 1` or fewer than two
+/// items the map runs inline on the caller's thread — no threads, no
+/// synchronization, identical call order to a plain `iter().map()`.
+///
+/// # Panics
+///
+/// A panic inside `f` on any worker propagates to the caller when the
+/// scope joins.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let jobs = jobs.clamp(1, n.max(1));
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().expect("result slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("result slot").expect("every item visited"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for jobs in [1, 2, 7, 200] {
+            let out = parallel_map(&items, jobs, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * 3
+            });
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_run_inline() {
+        let none: Vec<u32> = parallel_map(&[], 8, |_, x: &u32| *x);
+        assert!(none.is_empty());
+        let one = parallel_map(&[41], 8, |_, x| x + 1);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn dynamic_distribution_covers_all_items_once() {
+        let count = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..57).collect();
+        let out = parallel_map(&items, 4, |_, &x| {
+            count.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 57);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -207,11 +207,7 @@ pub fn table3(four: BaseRuns<'_>, eight: BaseRuns<'_>) -> Table {
             let hist = o.same_as_last + o.diff_from_last;
             let side = o.last_left + o.last_right;
             (
-                format!(
-                    "{} / {}",
-                    pct(o.same_as_last, hist),
-                    pct(o.diff_from_last, hist)
-                ),
+                format!("{} / {}", pct(o.same_as_last, hist), pct(o.diff_from_last, hist)),
                 format!("{} / {}", pct(o.last_left, side), pct(o.last_right, side)),
             )
         };
@@ -225,8 +221,10 @@ pub fn table3(four: BaseRuns<'_>, eight: BaseRuns<'_>) -> Table {
 /// Figure 7: last-arriving operand predictor accuracy by table size.
 #[must_use]
 pub fn figure7(base: BaseRuns<'_>) -> Table {
-    let sizes: Vec<usize> =
-        base.first().map(|(_, s)| s.last_arrival.iter().map(|(n, _)| *n).collect()).unwrap_or_default();
+    let sizes: Vec<usize> = base
+        .first()
+        .map(|(_, s)| s.last_arrival.iter().map(|(n, _)| *n).collect())
+        .unwrap_or_default();
     let mut headers: Vec<String> = vec!["bench".into()];
     headers.extend(sizes.iter().map(|n| format!("{n}-entry")));
     headers.push("simultaneous".into());
@@ -254,7 +252,13 @@ pub fn figure7(base: BaseRuns<'_>) -> Table {
 pub fn figure10(base: BaseRuns<'_>) -> Table {
     let mut t = Table::new(
         "Figure 10: register accesses of 2-source insts (% of committed insts)",
-        &["bench", "back-to-back issue (<=1 read)", "2 ready at insert", "non-back-to-back", "needs 2 ports"],
+        &[
+            "bench",
+            "back-to-back issue (<=1 read)",
+            "2 ready at insert",
+            "non-back-to-back",
+            "needs 2 ports",
+        ],
     );
     for (name, s) in base {
         let c = s.committed;
@@ -343,8 +347,7 @@ mod tests {
     fn tables_render_text_and_markdown() {
         let s = sample_stats();
         let base: Vec<(&str, &SimStats)> = vec![("gcc", &s)];
-        for t in [figure2(&base), figure3(&base), figure4(&base), figure6(&base), figure10(&base)]
-        {
+        for t in [figure2(&base), figure3(&base), figure4(&base), figure6(&base), figure10(&base)] {
             let text = t.to_string();
             assert!(text.contains("gcc"), "{text}");
             let md = t.to_markdown();
@@ -359,10 +362,8 @@ mod tests {
         let base: Vec<(&str, &SimStats)> = vec![("x", &s)];
         let t = figure4(&base);
         let row = &t.rows[0];
-        let total: f64 = row[1..]
-            .iter()
-            .map(|c| c.trim_end_matches('%').parse::<f64>().unwrap())
-            .sum();
+        let total: f64 =
+            row[1..].iter().map(|c| c.trim_end_matches('%').parse::<f64>().unwrap()).sum();
         assert!((total - 100.0).abs() < 0.3, "{total}");
     }
 

@@ -1,6 +1,7 @@
 //! Experiment execution: workloads × schemes, with architectural
 //! verification after every run.
 
+use crate::pool::parallel_map;
 use crate::scheme::{MachineWidth, Scheme};
 use hpa_sim::{SimConfig, SimStats, Simulator};
 use hpa_workloads::{workload, Scale, Workload, CHECKSUM_REG};
@@ -31,10 +32,9 @@ impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunError::UnknownWorkload { name } => write!(f, "unknown workload `{name}`"),
-            RunError::ChecksumMismatch { name, actual, expected } => write!(
-                f,
-                "{name}: timing run checksum {actual:#x} != reference {expected:#x}"
-            ),
+            RunError::ChecksumMismatch { name, actual, expected } => {
+                write!(f, "{name}: timing run checksum {actual:#x} != reference {expected:#x}")
+            }
         }
     }
 }
@@ -42,7 +42,7 @@ impl fmt::Display for RunError {
 impl std::error::Error for RunError {}
 
 /// The outcome of simulating one workload under one configuration.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct RunResult {
     /// Workload name.
     pub workload: &'static str,
@@ -97,7 +97,7 @@ pub fn run_prepared(
 }
 
 /// Results of a benchmarks × schemes sweep at one machine width.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct MatrixResult {
     /// The machine width the matrix was collected at.
     pub width: MachineWidth,
@@ -111,10 +111,7 @@ impl MatrixResult {
     /// The result for `(workload, scheme)`, if present.
     #[must_use]
     pub fn get(&self, workload: &str, scheme: Scheme) -> Option<&RunResult> {
-        self.rows
-            .iter()
-            .flatten()
-            .find(|r| r.workload == workload && r.scheme == scheme)
+        self.rows.iter().flatten().find(|r| r.workload == workload && r.scheme == scheme)
     }
 
     /// Normalized IPC (scheme / base) for one workload; requires both runs
@@ -192,6 +189,54 @@ pub fn run_matrix(
     Ok(MatrixResult { width, rows })
 }
 
+/// Runs `workload_names` × `schemes` at one width with the independent
+/// `(workload, scheme)` cells fanned out across `jobs` worker threads.
+///
+/// The result is bit-identical to [`run_matrix`]: each cell is a
+/// self-contained single-threaded simulation, rows and columns keep the
+/// input order, and on failure the error of the *first* failing cell (in
+/// row-major order) is returned, regardless of completion order. The
+/// `progress` callback fires from worker threads as cells complete, so
+/// its call order is nondeterministic (pass `jobs = 1` for serial order).
+///
+/// # Errors
+///
+/// [`RunError::UnknownWorkload`] for a bad name (checked up front, in
+/// order) and the row-major-first [`RunError`] of any failed cell.
+pub fn run_matrix_parallel(
+    workload_names: &[&str],
+    scale: Scale,
+    width: MachineWidth,
+    schemes: &[Scheme],
+    jobs: usize,
+    progress: impl Fn(&RunResult) + Sync,
+) -> Result<MatrixResult, RunError> {
+    let workloads = workload_names
+        .iter()
+        .map(|name| {
+            workload(name, scale)
+                .ok_or_else(|| RunError::UnknownWorkload { name: (*name).to_string() })
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let cells: Vec<(usize, usize)> =
+        (0..workloads.len()).flat_map(|wi| (0..schemes.len()).map(move |si| (wi, si))).collect();
+    let results = parallel_map(&cells, jobs, |_, &(wi, si)| {
+        let scheme = schemes[si];
+        let r = run_prepared(&workloads[wi], scheme.configure(width), scheme, width);
+        if let Ok(ref ok) = r {
+            progress(ok);
+        }
+        r
+    });
+    let mut rows = Vec::with_capacity(workloads.len());
+    let mut it = results.into_iter();
+    for _ in 0..workloads.len() {
+        let row = it.by_ref().take(schemes.len()).collect::<Result<Vec<_>, _>>()?;
+        rows.push(row);
+    }
+    Ok(MatrixResult { width, rows })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,5 +264,59 @@ mod tests {
         let (wname, worst) = m.worst_degradation(Scheme::Combined).expect("present");
         assert_eq!(wname, "gcc");
         assert!((avg - worst).abs() < 1e-12, "single workload: avg == worst");
+    }
+
+    /// The tentpole determinism guarantee: the parallel matrix is
+    /// bit-identical to the serial one — every `SimStats` counter, every
+    /// row/column position — at both machine widths.
+    #[test]
+    fn parallel_matrix_is_bit_identical_to_serial() {
+        let names = ["gcc", "mcf"];
+        let schemes = [Scheme::Base, Scheme::Combined];
+        for width in MachineWidth::ALL {
+            let serial =
+                run_matrix(&names, Scale::Tiny, width, &schemes, |_| {}).expect("serial runs");
+            for jobs in [1, 3] {
+                let par = run_matrix_parallel(&names, Scale::Tiny, width, &schemes, jobs, |_| {})
+                    .expect("parallel runs");
+                assert_eq!(serial, par, "jobs={jobs} width={width:?}");
+            }
+        }
+    }
+
+    /// Error propagation is deterministic: the first failing cell in
+    /// row-major order wins, regardless of completion order.
+    #[test]
+    fn parallel_matrix_propagates_unknown_workload() {
+        let e = run_matrix_parallel(
+            &["gcc", "nonesuch"],
+            Scale::Tiny,
+            MachineWidth::Four,
+            &[Scheme::Base],
+            4,
+            |_| {},
+        );
+        assert!(matches!(e, Err(RunError::UnknownWorkload { .. })));
+    }
+
+    /// The progress callback fires exactly once per cell.
+    #[test]
+    fn parallel_progress_fires_per_cell() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let count = AtomicUsize::new(0);
+        let m = run_matrix_parallel(
+            &["gcc", "gzip"],
+            Scale::Tiny,
+            MachineWidth::Four,
+            &[Scheme::Base, Scheme::SeqRegAccess],
+            2,
+            |_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            },
+        )
+        .expect("runs");
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+        assert_eq!(m.rows.len(), 2);
+        assert!(m.rows.iter().all(|r| r.len() == 2));
     }
 }

@@ -183,9 +183,8 @@ impl Emulator {
         let mut taken = false;
         let mut mem_addr = None;
 
-        let branch_target = |disp: i32| {
-            fallthrough.wrapping_add_signed(i64::from(disp) * INST_BYTES as i64)
-        };
+        let branch_target =
+            |disp: i32| fallthrough.wrapping_add_signed(i64::from(disp) * INST_BYTES as i64);
 
         match inst {
             Inst::Op { op, ra, rb, rc } => {
@@ -447,10 +446,7 @@ mod tests {
         a.label("spin");
         a.br("spin");
         let mut emu = Emulator::new(&a.assemble().unwrap());
-        assert_eq!(
-            emu.run(10).unwrap(),
-            RunOutcome::BudgetExhausted { executed: 10 }
-        );
+        assert_eq!(emu.run(10).unwrap(), RunOutcome::BudgetExhausted { executed: 10 });
         assert_eq!(emu.executed(), 10);
     }
 

@@ -24,13 +24,8 @@ pub enum FuClass {
 
 impl FuClass {
     /// All functional-unit classes.
-    pub const ALL: [FuClass; 5] = [
-        FuClass::IntAlu,
-        FuClass::IntMulDiv,
-        FuClass::FpAlu,
-        FuClass::FpMulDiv,
-        FuClass::MemPort,
-    ];
+    pub const ALL: [FuClass; 5] =
+        [FuClass::IntAlu, FuClass::IntMulDiv, FuClass::FpAlu, FuClass::FpMulDiv, FuClass::MemPort];
 }
 
 /// Execution latency and pipelining behavior of one instruction.

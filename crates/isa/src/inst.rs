@@ -189,12 +189,7 @@ impl Inst {
     /// decode-time elimination the paper notes in §2.3.
     #[must_use]
     pub fn nop() -> Inst {
-        Inst::Op {
-            op: AluOp::Or,
-            ra: Reg::ZERO,
-            rb: RegOrLit::Reg(Reg::ZERO),
-            rc: Reg::ZERO,
-        }
+        Inst::Op { op: AluOp::Or, ra: Reg::ZERO, rb: RegOrLit::Reg(Reg::ZERO), rc: Reg::ZERO }
     }
 
     /// Register move pseudo-instruction (`or ra, r31 -> rc`).
@@ -297,17 +292,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
+        assert_eq!(Inst::op(AluOp::Add, Reg::R1, Reg::R2, Reg::R3).to_string(), "add r1, r2, r3");
+        assert_eq!(Inst::op(AluOp::Add, Reg::R1, -5, Reg::R3).to_string(), "add r1, #-5, r3");
         assert_eq!(
-            Inst::op(AluOp::Add, Reg::R1, Reg::R2, Reg::R3).to_string(),
-            "add r1, r2, r3"
-        );
-        assert_eq!(
-            Inst::op(AluOp::Add, Reg::R1, -5, Reg::R3).to_string(),
-            "add r1, #-5, r3"
-        );
-        assert_eq!(
-            Inst::Load { width: MemWidth::Quad, rt: Reg::R4, base: Reg::R5, disp: 16 }
-                .to_string(),
+            Inst::Load { width: MemWidth::Quad, rt: Reg::R4, base: Reg::R5, disp: 16 }.to_string(),
             "ldq r4, 16(r5)"
         );
         assert_eq!(
@@ -323,8 +311,7 @@ mod tests {
         assert!(Inst::Branch { cond: BranchCond::Eq, ra: Reg::R1, disp: 0 }.is_control());
         assert!(Inst::Branch { cond: BranchCond::Eq, ra: Reg::R1, disp: 0 }.is_cond_branch());
         assert!(!Inst::Br { ra: Reg::ZERO, disp: 0 }.is_cond_branch());
-        assert!(Inst::Load { width: MemWidth::Quad, rt: Reg::R1, base: Reg::R2, disp: 0 }
-            .is_load());
+        assert!(Inst::Load { width: MemWidth::Quad, rt: Reg::R1, base: Reg::R2, disp: 0 }.is_load());
         assert!(Inst::FStore { ft: FReg::F1, base: Reg::R2, disp: 0 }.is_store());
         assert!(!Inst::Halt.is_control());
     }

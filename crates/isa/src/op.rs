@@ -155,13 +155,8 @@ pub enum UnaryOp {
 
 impl UnaryOp {
     /// All unary operations, in encoding order.
-    pub const ALL: [UnaryOp; 5] = [
-        UnaryOp::Popcnt,
-        UnaryOp::Ctlz,
-        UnaryOp::Cttz,
-        UnaryOp::Sextb,
-        UnaryOp::Sextl,
-    ];
+    pub const ALL: [UnaryOp; 5] =
+        [UnaryOp::Popcnt, UnaryOp::Ctlz, UnaryOp::Cttz, UnaryOp::Sextb, UnaryOp::Sextl];
 
     /// The mnemonic used by the assembler and disassembler.
     #[must_use]

@@ -126,15 +126,9 @@ impl Inst {
             Inst::FpOp { fa, fb, .. } => [Some(ArchReg::from(fa)), Some(ArchReg::from(fb))],
             Inst::Itof { ra, .. } => [Some(ArchReg::from(ra)), None],
             Inst::Ftoi { fa, .. } => [Some(ArchReg::from(fa)), None],
-            Inst::Load { base, .. } | Inst::FLoad { base, .. } => {
-                [Some(ArchReg::from(base)), None]
-            }
-            Inst::Store { rt, base, .. } => {
-                [Some(ArchReg::from(base)), Some(ArchReg::from(rt))]
-            }
-            Inst::FStore { ft, base, .. } => {
-                [Some(ArchReg::from(base)), Some(ArchReg::from(ft))]
-            }
+            Inst::Load { base, .. } | Inst::FLoad { base, .. } => [Some(ArchReg::from(base)), None],
+            Inst::Store { rt, base, .. } => [Some(ArchReg::from(base)), Some(ArchReg::from(rt))],
+            Inst::FStore { ft, base, .. } => [Some(ArchReg::from(base)), Some(ArchReg::from(ft))],
             Inst::Branch { ra, .. } => [Some(ArchReg::from(ra)), None],
             Inst::FBranch { fa, .. } => [Some(ArchReg::from(fa)), None],
             Inst::Br { .. } | Inst::Halt => [None, None],
@@ -181,9 +175,7 @@ impl Inst {
     #[must_use]
     pub fn dest(&self) -> Option<ArchReg> {
         let d: Option<ArchReg> = match *self {
-            Inst::Op { rc, .. } | Inst::Op1 { rc, .. } | Inst::Ftoi { rc, .. } => {
-                Some(rc.into())
-            }
+            Inst::Op { rc, .. } | Inst::Op1 { rc, .. } | Inst::Ftoi { rc, .. } => Some(rc.into()),
             Inst::FpOp { fc, .. } | Inst::Itof { fc, .. } => Some(fc.into()),
             Inst::Load { rt, .. } => Some(rt.into()),
             Inst::FLoad { ft, .. } => Some(ft.into()),
@@ -295,10 +287,7 @@ mod tests {
     fn dest_of_zero_register_is_none() {
         assert_eq!(add(Reg::R1, RegOrLit::Reg(Reg::R2), Reg::ZERO).dest(), None);
         assert_eq!(Inst::Br { ra: Reg::ZERO, disp: 0 }.dest(), None);
-        assert_eq!(
-            Inst::Br { ra: Reg::R26, disp: 0 }.dest(),
-            Some(Reg::R26.into())
-        );
+        assert_eq!(Inst::Br { ra: Reg::R26, disp: 0 }.dest(), Some(Reg::R26.into()));
     }
 
     #[test]
@@ -309,8 +298,9 @@ mod tests {
         assert!(!Inst::Halt.is_nop());
         // A load to r31 is NOT a decoder-eliminated nop (it may fault /
         // prefetch on a real machine), mirroring Alpha semantics.
-        assert!(!Inst::Load { width: MemWidth::Quad, rt: Reg::ZERO, base: Reg::R1, disp: 0 }
-            .is_nop());
+        assert!(
+            !Inst::Load { width: MemWidth::Quad, rt: Reg::ZERO, base: Reg::R1, disp: 0 }.is_nop()
+        );
     }
 
     #[test]

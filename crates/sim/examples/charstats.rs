@@ -5,8 +5,10 @@ use hpa_sim::*;
 use hpa_workloads::{workload, Scale};
 
 fn main() {
-    println!("{:8} {:>6} {:>6} {:>6} | {:>6} {:>6} | {:>6} | {:>6} {:>6} | {:>5}",
-        "bench", "2srcF%", "2src%", "nop%", "0rdy%", "2rdy%", "simul%", "2port%", "b2b%", "pred%");
+    println!(
+        "{:8} {:>6} {:>6} {:>6} | {:>6} {:>6} | {:>6} | {:>6} {:>6} | {:>5}",
+        "bench", "2srcF%", "2src%", "nop%", "0rdy%", "2rdy%", "simul%", "2port%", "b2b%", "pred%"
+    );
     for name in hpa_workloads::WORKLOAD_NAMES {
         let w = workload(name, Scale::Default).unwrap();
         let mut sim = Simulator::new(&w.program, SimConfig::four_wide());
@@ -20,7 +22,12 @@ fn main() {
         let r0 = s.ready_at_insert[0] as f64 / rtotal.max(1) as f64 * 100.0;
         let r2 = s.ready_at_insert[2] as f64 / rtotal.max(1) as f64 * 100.0;
         let b2b = s.rf_back_to_back as f64 / s.committed as f64 * 100.0;
-        let pred1k = s.last_arrival.iter().find(|(n, _)| *n == 1024).map(|(_, st)| st.accuracy()*100.0).unwrap_or(0.0);
+        let pred1k = s
+            .last_arrival
+            .iter()
+            .find(|(n, _)| *n == 1024)
+            .map(|(_, st)| st.accuracy() * 100.0)
+            .unwrap_or(0.0);
         println!("{name:8} {two_src_fmt:6.1} {two_src:6.1} {nops:6.1} | {r0:6.1} {r2:6.1} | {:6.2} | {:6.2} {b2b:6.1} | {pred1k:5.1}",
             s.simultaneous_fraction()*100.0, s.two_port_fraction()*100.0);
     }

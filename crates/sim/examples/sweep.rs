@@ -23,15 +23,30 @@ fn main() {
         let t0 = std::time::Instant::now();
         let configs: Vec<(&str, SimConfig)> = vec![
             ("base", SimConfig::four_wide()),
-            ("swu-p", SimConfig::four_wide().with_wakeup(WakeupScheme::SequentialWakeup { predictor_entries: Some(1024) })),
-            ("swu-s", SimConfig::four_wide().with_wakeup(WakeupScheme::SequentialWakeup { predictor_entries: None })),
-            ("tagel", SimConfig::four_wide().with_wakeup(WakeupScheme::TagElimination { predictor_entries: 1024 })),
+            (
+                "swu-p",
+                SimConfig::four_wide()
+                    .with_wakeup(WakeupScheme::SequentialWakeup { predictor_entries: Some(1024) }),
+            ),
+            (
+                "swu-s",
+                SimConfig::four_wide()
+                    .with_wakeup(WakeupScheme::SequentialWakeup { predictor_entries: None }),
+            ),
+            (
+                "tagel",
+                SimConfig::four_wide()
+                    .with_wakeup(WakeupScheme::TagElimination { predictor_entries: 1024 }),
+            ),
             ("seqrf", SimConfig::four_wide().with_regfile(RegFileScheme::SequentialAccess)),
             ("extra", SimConfig::four_wide().with_regfile(RegFileScheme::ExtraStage)),
             ("xbar ", SimConfig::four_wide().with_regfile(RegFileScheme::SharedCrossbar)),
-            ("comb ", SimConfig::four_wide()
-                .with_wakeup(WakeupScheme::SequentialWakeup { predictor_entries: Some(1024) })
-                .with_regfile(RegFileScheme::SequentialAccess)),
+            (
+                "comb ",
+                SimConfig::four_wide()
+                    .with_wakeup(WakeupScheme::SequentialWakeup { predictor_entries: Some(1024) })
+                    .with_regfile(RegFileScheme::SequentialAccess),
+            ),
             ("base8", SimConfig::eight_wide()),
         ];
         let mut base_ipc = 0.0;
@@ -41,7 +56,9 @@ fn main() {
             let s = sim.run().clone();
             assert_eq!(sim.emulator().reg(CHECKSUM_REG), w.expected_checksum, "{name}/{cname}");
             let ipc = s.ipc();
-            if cname == "base" { base_ipc = ipc; }
+            if cname == "base" {
+                base_ipc = ipc;
+            }
             if cname == "base" || cname == "base8" {
                 print!(" {cname}={ipc:.3}");
             } else {

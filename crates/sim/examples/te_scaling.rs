@@ -11,8 +11,10 @@ fn main() {
         for base_cfg in [SimConfig::four_wide(), SimConfig::eight_wide()] {
             let mut b = Simulator::new(&w.program, base_cfg.clone());
             b.run();
-            let mut t = Simulator::new(&w.program,
-                base_cfg.with_wakeup(WakeupScheme::TagElimination { predictor_entries: 1024 }));
+            let mut t = Simulator::new(
+                &w.program,
+                base_cfg.with_wakeup(WakeupScheme::TagElimination { predictor_entries: 1024 }),
+            );
             t.run();
             degr.push((1.0 - t.stats().ipc() / b.stats().ipc()) * 100.0);
         }

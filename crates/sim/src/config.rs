@@ -285,6 +285,9 @@ mod tests {
         assert_eq!(c.recovery, RecoveryKind::Selective);
         assert_eq!(c.max_insts, 1000);
         assert_eq!(c.extra_rf_stages(), 0);
-        assert_eq!(SimConfig::four_wide().with_regfile(RegFileScheme::ExtraStage).extra_rf_stages(), 1);
+        assert_eq!(
+            SimConfig::four_wide().with_regfile(RegFileScheme::ExtraStage).extra_rf_stages(),
+            1
+        );
     }
 }

@@ -222,8 +222,7 @@ impl DynInst {
     /// Table 3).
     #[must_use]
     pub fn two_pending_at_insert(&self) -> bool {
-        self.is_two_source()
-            && self.srcs.iter().flatten().all(|s| !s.ready_at_insert)
+        self.is_two_source() && self.srcs.iter().flatten().all(|s| !s.ready_at_insert)
     }
 
     /// Iterates over present sources.

@@ -253,11 +253,7 @@ mod tests {
         build(&mut a);
         a.halt();
         let emu = Emulator::new(&a.assemble().unwrap());
-        (
-            FrontEnd::new(emu, 4, 7),
-            Hierarchy::new(HierarchyConfig::table1()),
-            SimStats::default(),
-        )
+        (FrontEnd::new(emu, 4, 7), Hierarchy::new(HierarchyConfig::table1()), SimStats::default())
     }
 
     #[test]

@@ -63,7 +63,13 @@ mod tests {
 
     #[test]
     fn pipelined_units_free_next_cycle() {
-        let mut pool = FuPool::new(&FuCounts { int_alu: 1, int_muldiv: 1, fp_alu: 1, fp_muldiv: 1, mem_ports: 1 });
+        let mut pool = FuPool::new(&FuCounts {
+            int_alu: 1,
+            int_muldiv: 1,
+            fp_alu: 1,
+            fp_muldiv: 1,
+            mem_ports: 1,
+        });
         assert!(pool.acquire(FuClass::IntAlu, 10, 1, true));
         assert!(!pool.available(FuClass::IntAlu, 10), "only one ALU");
         assert!(!pool.acquire(FuClass::IntAlu, 10, 1, true));

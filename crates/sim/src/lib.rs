@@ -38,9 +38,13 @@ mod fu;
 mod pipeline;
 mod stats;
 mod trace;
+pub mod wheel;
 
-pub use config::{BypassScheme, FuCounts, RecoveryKind, RegFileScheme, RenameScheme, SimConfig, WakeupScheme};
+pub use config::{
+    BypassScheme, FuCounts, RecoveryKind, RegFileScheme, RenameScheme, SimConfig, WakeupScheme,
+};
 pub use dyninst::{DynInst, IState, RfCategory, SrcState};
 pub use pipeline::Simulator;
 pub use stats::{FormatStats, SimStats, WakeupOrderStats};
 pub use trace::{PipeTrace, TraceRecord};
+pub use wheel::EventWheel;

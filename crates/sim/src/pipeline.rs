@@ -25,12 +25,15 @@
 //! squashes the issue shadow `(t, t_detect]` (non-selective) or its
 //! dependent subset (selective, Figure 5).
 
-use crate::config::{BypassScheme, RecoveryKind, RegFileScheme, RenameScheme, SimConfig, WakeupScheme};
+use crate::config::{
+    BypassScheme, RecoveryKind, RegFileScheme, RenameScheme, SimConfig, WakeupScheme,
+};
 use crate::dyninst::{DynInst, IState, RfCategory, SrcState};
 use crate::frontend::FrontEnd;
 use crate::fu::FuPool;
 use crate::stats::SimStats;
 use crate::trace::{PipeTrace, TraceRecord};
+use crate::wheel::EventWheel;
 use hpa_asm::Program;
 use hpa_bpred::{LastArrivalBank, LastArrivalPredictor, Side};
 use hpa_cache::Hierarchy;
@@ -96,8 +99,8 @@ pub struct Simulator {
     head_seq: u64,
     next_seq: u64,
     rename: [Option<u64>; NUM_ARCH_REGS],
-    broadcasts: HashMap<u64, Vec<BroadcastEv>>,
-    events: HashMap<u64, Vec<Event>>,
+    broadcasts: EventWheel<BroadcastEv>,
+    events: EventWheel<Event>,
     fu: FuPool,
     predictor: Option<LastArrivalPredictor>,
     la_bank: LastArrivalBank,
@@ -125,6 +128,36 @@ pub struct Simulator {
     committed_total: u64,
     /// Cycle at which statistics last reset (warmup boundary).
     stats_start_cycle: u64,
+    /// Reusable per-cycle buffers; once warm, the cycle loop allocates
+    /// nothing.
+    scratch: Scratch,
+}
+
+/// Scratch buffers for the hot cycle loop. Each phase takes the buffer it
+/// needs with `std::mem::take`, works on it as a local (so `&mut self`
+/// calls stay legal), and puts it back — capacity survives across cycles.
+#[derive(Clone, Debug, Default)]
+struct Scratch {
+    /// This cycle's tag broadcasts (drained from the wheel).
+    broadcasts: Vec<BroadcastEv>,
+    /// Consumer list of the broadcasting instruction.
+    consumers: Vec<u64>,
+    /// This cycle's execution events (drained from the wheel).
+    events: Vec<Event>,
+    /// Memory-access events, run after squashes.
+    mem: Vec<Event>,
+    /// Completion events, run last.
+    completes: Vec<Event>,
+    /// Select candidates as `(!high_priority, seq)` sort keys.
+    cands: Vec<(bool, u64)>,
+    /// Ping-pong partner of `Simulator::stalled_loads`.
+    stalled: Vec<u64>,
+    /// Squash: instructions chosen for replay.
+    replay: Vec<u64>,
+    /// Squash: transitive dependents of the replay root (kept sorted).
+    dep_set: Vec<u64>,
+    /// `recompute_ready`: per-window-slot producer availability.
+    avail: Vec<bool>,
 }
 
 impl Simulator {
@@ -150,8 +183,8 @@ impl Simulator {
             head_seq: 0,
             next_seq: 0,
             rename: [None; NUM_ARCH_REGS],
-            broadcasts: HashMap::new(),
-            events: HashMap::new(),
+            broadcasts: EventWheel::new(),
+            events: EventWheel::new(),
             predictor,
             la_bank: LastArrivalBank::figure7(),
             la_history: HashMap::new(),
@@ -159,10 +192,7 @@ impl Simulator {
             blocked_slots: 0,
             blocked_slots_next: 0,
             stalled_loads: Vec::new(),
-            stats: SimStats {
-                issue_histogram: vec![0; width_plus_one],
-                ..SimStats::default()
-            },
+            stats: SimStats { issue_histogram: vec![0; width_plus_one], ..SimStats::default() },
             cycle: 0,
             finished: false,
             stwait: vec![false; 4096],
@@ -171,6 +201,7 @@ impl Simulator {
             pipetrace: None,
             committed_total: 0,
             stats_start_cycle: 0,
+            scratch: Scratch::default(),
         }
     }
 
@@ -223,11 +254,11 @@ impl Simulator {
     }
 
     fn schedule_broadcast(&mut self, cycle: u64, seq: u64, epoch: u32) {
-        self.broadcasts.entry(cycle).or_default().push(BroadcastEv { seq, epoch });
+        self.broadcasts.schedule(cycle, BroadcastEv { seq, epoch });
     }
 
     fn schedule_event(&mut self, cycle: u64, ev: Event) {
-        self.events.entry(cycle).or_default().push(ev);
+        self.events.schedule(cycle, ev);
     }
 
     fn exec_offset(&self) -> u64 {
@@ -292,20 +323,23 @@ impl Simulator {
     // ---------------------------------------------------------- wakeup --
 
     fn phase_wakeup(&mut self) {
-        let Some(list) = self.broadcasts.remove(&self.cycle) else {
-            return;
-        };
-        for ev in list {
+        let mut list = std::mem::take(&mut self.scratch.broadcasts);
+        self.broadcasts.pop_into(self.cycle, &mut list);
+        let mut consumers = std::mem::take(&mut self.scratch.consumers);
+        for ev in &list {
             let Some(p) = self.inst_mut(ev.seq) else { continue };
             if p.epoch != ev.epoch || p.state != IState::Issued {
                 continue;
             }
             p.broadcast_done = true;
-            let consumers = p.consumers.clone();
-            for c_seq in consumers {
+            consumers.clear();
+            consumers.extend_from_slice(&p.consumers);
+            for &c_seq in &consumers {
                 self.deliver_wakeup(c_seq, ev.seq);
             }
         }
+        self.scratch.consumers = consumers;
+        self.scratch.broadcasts = list;
     }
 
     fn deliver_wakeup(&mut self, c_seq: u64, producer: u64) {
@@ -329,13 +363,13 @@ impl Simulator {
         }
         // Wakeup-pair statistics (Figures 6/7, Table 3) fire once, when the
         // second pending operand of a 2-pending-source instruction wakes.
-        if c.two_pending_at_insert()
-            && !c.wakeup_pair_recorded
-            && c.srcs_iter().all(|s| s.ready)
-        {
+        if c.two_pending_at_insert() && !c.wakeup_pair_recorded && c.srcs_iter().all(|s| s.ready) {
             c.wakeup_pair_recorded = true;
             let pc = c.pc;
-            let cycles: Vec<u64> = c.srcs_iter().map(|s| s.broadcast_cycle).collect();
+            let mut cycles = [0u64; 2];
+            for (k, s) in c.srcs_iter().enumerate() {
+                cycles[k] = s.broadcast_cycle;
+            }
             let fast = c.fast_slot;
             self.record_wakeup_pair(pc, cycles[0], cycles[1], fast);
         }
@@ -392,12 +426,9 @@ impl Simulator {
         {
             return false;
         }
-        let operand_ok =
-            |s: &SrcState| s.ready && s.effective_cycle <= cycle;
+        let operand_ok = |s: &SrcState| s.ready && s.effective_cycle <= cycle;
         match self.config.wakeup {
-            WakeupScheme::TagElimination { .. }
-                if i.is_two_source() && !i.te_verified_wait =>
-            {
+            WakeupScheme::TagElimination { .. } if i.is_two_source() && !i.te_verified_wait => {
                 i.srcs[i.fast_slot].as_ref().is_some_and(operand_ok)
             }
             _ => i.srcs_iter().all(operand_ok),
@@ -413,20 +444,31 @@ impl Simulator {
         let mut port_budget = self.config.width;
         // Candidates: waiting, operands ready per scheme; loads/branches
         // first, then oldest (paper §2.1).
-        let mut cands: Vec<(bool, u64)> = self
-            .window
-            .iter()
-            .filter(|i| i.state == IState::Waiting && self.selectable(i))
-            .map(|i| (!i.high_priority(), i.seq))
-            .collect();
+        let mut cands = std::mem::take(&mut self.scratch.cands);
+        cands.clear();
+        cands.extend(
+            self.window
+                .iter()
+                .filter(|i| i.state == IState::Waiting && self.selectable(i))
+                .map(|i| (!i.high_priority(), i.seq)),
+        );
         cands.sort_unstable();
 
         let mut issued = 0u32;
-        for (_, seq) in cands {
+        for &(_, seq) in &cands {
             if issued >= budget {
                 break;
             }
-            let (class, base_latency, pipelined, now_any, now_fast, two_source, both_ready_at_insert, ports) = {
+            let (
+                class,
+                base_latency,
+                pipelined,
+                now_any,
+                now_fast,
+                two_source,
+                both_ready_at_insert,
+                ports,
+            ) = {
                 let i = self.inst(seq).expect("candidate in window");
                 (
                     i.fu,
@@ -444,10 +486,7 @@ impl Simulator {
             // bypass input, so an instruction whose both operands are only
             // available on the bypass this cycle must wait one cycle (the
             // earlier value is then readable from the register file).
-            if self.config.bypass == BypassScheme::HalfPaths
-                && two_source
-                && ports == 0
-            {
+            if self.config.bypass == BypassScheme::HalfPaths && two_source && ports == 0 {
                 self.stats.bypass_deferrals += 1;
                 continue;
             }
@@ -550,15 +589,18 @@ impl Simulator {
             }
             issued += 1;
         }
+        self.scratch.cands = cands;
         self.stats.issue_histogram[(issued as usize).min(self.config.width as usize)] += 1;
     }
 
     // ---------------------------------------------------------- events --
 
     fn phase_events(&mut self) {
-        // Retry loads stalled on older stores.
-        let stalled = std::mem::take(&mut self.stalled_loads);
-        for seq in stalled {
+        // Retry loads stalled on older stores. The retry list and its
+        // scratch partner ping-pong, so re-stalling never reallocates.
+        let mut stalled = std::mem::take(&mut self.stalled_loads);
+        std::mem::swap(&mut self.stalled_loads, &mut self.scratch.stalled);
+        for &seq in &stalled {
             let Some(i) = self.inst(seq) else { continue };
             if i.state != IState::Issued || !i.load_stalled {
                 continue;
@@ -568,31 +610,37 @@ impl Simulator {
                 outcome => self.finish_load_access(seq, outcome, true),
             }
         }
+        stalled.clear();
+        self.scratch.stalled = stalled;
 
-        let Some(list) = self.events.remove(&self.cycle) else {
-            return;
-        };
+        let mut list = std::mem::take(&mut self.scratch.events);
+        self.events.pop_into(self.cycle, &mut list);
         // Squashes first, then memory, then completions; stale events drop
         // themselves via the epoch check.
-        let mut mem = Vec::new();
-        let mut completes = Vec::new();
-        for ev in list {
+        let mut mem = std::mem::take(&mut self.scratch.mem);
+        let mut completes = std::mem::take(&mut self.scratch.completes);
+        mem.clear();
+        completes.clear();
+        for &ev in &list {
             match ev {
                 Event::TeVerify { seq, epoch } => self.te_verify(seq, epoch),
                 Event::MemAccess { .. } => mem.push(ev),
                 Event::Complete { .. } => completes.push(ev),
             }
         }
-        for ev in mem {
+        for &ev in &mem {
             if let Event::MemAccess { seq, epoch } = ev {
                 self.mem_access(seq, epoch);
             }
         }
-        for ev in completes {
+        for &ev in &completes {
             if let Event::Complete { seq, epoch } = ev {
                 self.complete(seq, epoch);
             }
         }
+        self.scratch.events = list;
+        self.scratch.mem = mem;
+        self.scratch.completes = completes;
     }
 
     fn te_verify(&mut self, seq: u64, epoch: u32) {
@@ -711,8 +759,11 @@ impl Simulator {
     /// (non-selective). `also` forces one extra instruction (the TE
     /// misfire itself) into the replay set.
     fn squash(&mut self, t0: u64, t1: u64, also: Option<u64>, dep_root: Option<u64>) {
-        let mut dep_set: Vec<u64> = dep_root.into_iter().collect();
-        let mut replay: Vec<u64> = Vec::new();
+        let mut dep_set = std::mem::take(&mut self.scratch.dep_set);
+        let mut replay = std::mem::take(&mut self.scratch.replay);
+        dep_set.clear();
+        replay.clear();
+        dep_set.extend(dep_root);
         for i in &self.window {
             if Some(i.seq) == dep_root {
                 continue;
@@ -722,9 +773,8 @@ impl Simulator {
                 && i.issue_cycle <= t1;
             let selected = if dep_root.is_some() {
                 in_shadow
-                    && i.srcs_iter().any(|s| {
-                        s.producer.is_some_and(|p| dep_set.binary_search(&p).is_ok())
-                    })
+                    && i.srcs_iter()
+                        .any(|s| s.producer.is_some_and(|p| dep_set.binary_search(&p).is_ok()))
             } else {
                 in_shadow
             };
@@ -740,7 +790,7 @@ impl Simulator {
             // scheduler restart (21264 mini-restart).
             self.issue_stall_until = self.issue_stall_until.max(self.cycle + 2);
         }
-        for seq in replay {
+        for &seq in &replay {
             let i = self.inst_mut(seq).expect("replay target in window");
             i.state = IState::Waiting;
             i.broadcast_done = false;
@@ -752,6 +802,8 @@ impl Simulator {
             }
             self.stats.replayed_insts += 1;
         }
+        self.scratch.dep_set = dep_set;
+        self.scratch.replay = replay;
         self.recompute_ready();
     }
 
@@ -759,7 +811,9 @@ impl Simulator {
     /// producer availability (used after squashes).
     fn recompute_ready(&mut self) {
         let head = self.head_seq;
-        let avail: Vec<bool> = self.window.iter().map(|i| i.broadcast_done).collect();
+        let mut avail = std::mem::take(&mut self.scratch.avail);
+        avail.clear();
+        avail.extend(self.window.iter().map(|i| i.broadcast_done));
         let cycle = self.cycle;
         for i in self.window.iter_mut() {
             if i.state != IState::Waiting {
@@ -780,6 +834,7 @@ impl Simulator {
                 }
             }
         }
+        self.scratch.avail = avail;
     }
 
     // ------------------------------------------------------------- lsq --
@@ -987,10 +1042,15 @@ impl Simulator {
         if !di.is_two_source() {
             return 0;
         }
-        let pending: Vec<usize> = (0..2)
-            .filter(|&s| di.srcs[s].as_ref().is_some_and(|x| !x.ready_at_insert))
-            .collect();
-        match (pending.len(), &self.config.wakeup) {
+        let mut pending = [0usize; 2];
+        let mut n = 0;
+        for s in 0..2 {
+            if di.srcs[s].as_ref().is_some_and(|x| !x.ready_at_insert) {
+                pending[n] = s;
+                n += 1;
+            }
+        }
+        match (n, &self.config.wakeup) {
             (1, _) => pending[0],
             (
                 _,
@@ -1091,9 +1151,8 @@ mod tests {
         });
         let configs = [
             SimConfig::four_wide(),
-            SimConfig::four_wide().with_wakeup(WakeupScheme::SequentialWakeup {
-                predictor_entries: Some(1024),
-            }),
+            SimConfig::four_wide()
+                .with_wakeup(WakeupScheme::SequentialWakeup { predictor_entries: Some(1024) }),
             SimConfig::four_wide()
                 .with_wakeup(WakeupScheme::SequentialWakeup { predictor_entries: None }),
             SimConfig::four_wide()
@@ -1151,8 +1210,10 @@ mod tests {
             a.mul(Reg::R2, Reg::R1, 3);
             a.add(Reg::R3, Reg::R1, Reg::R2); // right = late mul result
         });
-        let static_cfg =
-            || SimConfig::four_wide().with_wakeup(WakeupScheme::SequentialWakeup { predictor_entries: None });
+        let static_cfg = || {
+            SimConfig::four_wide()
+                .with_wakeup(WakeupScheme::SequentialWakeup { predictor_entries: None })
+        };
         let base_left = cycles_with(&left_last, SimConfig::four_wide());
         let base_right = cycles_with(&right_last, SimConfig::four_wide());
         assert_eq!(base_left, base_right, "operand order is timing-neutral in the base");
@@ -1213,10 +1274,8 @@ mod tests {
             a.sub(Reg::R9, Reg::R8, 1); // dependent sees +1
         });
         let base = run_with(&p, SimConfig::four_wide());
-        let seq = run_with(
-            &p,
-            SimConfig::four_wide().with_regfile(RegFileScheme::SequentialAccess),
-        );
+        let seq =
+            run_with(&p, SimConfig::four_wide().with_regfile(RegFileScheme::SequentialAccess));
         assert_eq!(seq.seq_rf_accesses, 1);
         assert_eq!(seq.cycles, base.cycles + 1);
         assert_eq!(base.rf_two_ready, 1, "figure 10 category");
@@ -1234,10 +1293,8 @@ mod tests {
             }
         });
         let base = run_with(&p, SimConfig::four_wide());
-        let seq = run_with(
-            &p,
-            SimConfig::four_wide().with_regfile(RegFileScheme::SequentialAccess),
-        );
+        let seq =
+            run_with(&p, SimConfig::four_wide().with_regfile(RegFileScheme::SequentialAccess));
         // Bypassed (back-to-back) adds never pay; only the few adds that
         // insert after an instruction-fetch gap find both operands already
         // ready and read the port twice.
@@ -1460,10 +1517,8 @@ mod extension_tests {
         });
         let mut base = Simulator::new(&p, SimConfig::four_wide());
         base.run();
-        let mut half = Simulator::new(
-            &p,
-            SimConfig::four_wide().with_rename(RenameScheme::HalfPorts),
-        );
+        let mut half =
+            Simulator::new(&p, SimConfig::four_wide().with_rename(RenameScheme::HalfPorts));
         half.run();
         assert!(half.stats().rename_port_stalls > 90, "{}", half.stats().rename_port_stalls);
         assert!(
@@ -1479,7 +1534,8 @@ mod extension_tests {
                 a.add(Reg::R3, Reg::R1, 7);
             }
         });
-        let mut h1 = Simulator::new(&p1, SimConfig::four_wide().with_rename(RenameScheme::HalfPorts));
+        let mut h1 =
+            Simulator::new(&p1, SimConfig::four_wide().with_rename(RenameScheme::HalfPorts));
         h1.run();
         assert_eq!(h1.stats().rename_port_stalls, 0);
     }
@@ -1545,8 +1601,8 @@ impl Simulator {
                 if let Some(p) = src.producer {
                     assert!(p < i.seq, "source produced by younger inst");
                     if src.ready && i.state == IState::Waiting {
-                        let avail = p < self.head_seq
-                            || self.inst(p).is_some_and(|pi| pi.broadcast_done);
+                        let avail =
+                            p < self.head_seq || self.inst(p).is_some_and(|pi| pi.broadcast_done);
                         assert!(
                             avail,
                             "seq {} waiting with ready operand from unavailable producer {p}",
@@ -1564,9 +1620,9 @@ impl Simulator {
         // that register.
         for (idx, entry) in self.rename.iter().enumerate() {
             if let Some(seq) = entry {
-                let i = self.inst(*seq).unwrap_or_else(|| {
-                    panic!("rename[{idx}] points outside the window")
-                });
+                let i = self
+                    .inst(*seq)
+                    .unwrap_or_else(|| panic!("rename[{idx}] points outside the window"));
                 assert_eq!(
                     i.dest.map(|d| d.index()),
                     Some(idx),
@@ -1726,7 +1782,7 @@ mod worked_example_tests {
         a.li(Reg::R1, 1); // seq 0
         a.li(Reg::R2, 2); // seq 1
         a.li(Reg::R6, 3); // seq 2
-        // Spacer block so r1/r2/r6 are long ready when ADD inserts.
+                          // Spacer block so r1/r2/r6 are long ready when ADD inserts.
         for i in 0..24 {
             a.add(Reg::new(20 + (i % 4)), Reg::R31, i as i32); // seqs 3..26
         }
@@ -1849,10 +1905,8 @@ mod scheme_interplay_tests {
                 a.add(Reg::new(6), Reg::R1, Reg::R2);
             }
         });
-        let mut sim = Simulator::new(
-            &p,
-            SimConfig::four_wide().with_regfile(RegFileScheme::SharedCrossbar),
-        );
+        let mut sim =
+            Simulator::new(&p, SimConfig::four_wide().with_regfile(RegFileScheme::SharedCrossbar));
         sim.run();
         assert!(sim.stats().crossbar_deferrals > 0);
         let mut base = Simulator::new(&p, SimConfig::four_wide());
@@ -1880,11 +1934,7 @@ mod scheme_interplay_tests {
         sim.run();
         // Without stWait every iteration would replay the load; with it,
         // only the first few instances pay before the bit trains.
-        assert!(
-            sim.stats().replayed_insts < 30,
-            "replays = {}",
-            sim.stats().replayed_insts
-        );
+        assert!(sim.stats().replayed_insts < 30, "replays = {}", sim.stats().replayed_insts);
         assert_eq!(sim.stats().committed, sim.emulator().executed());
     }
 
@@ -1908,11 +1958,10 @@ mod scheme_interplay_tests {
             sim.run();
             sim.stats().cycles
         };
-        let base_penalty = cycles(&with_branch, SimConfig::four_wide())
-            - cycles(&without, SimConfig::four_wide());
+        let base_penalty =
+            cycles(&with_branch, SimConfig::four_wide()) - cycles(&without, SimConfig::four_wide());
         let extra_cfg = || SimConfig::four_wide().with_regfile(RegFileScheme::ExtraStage);
-        let extra_penalty =
-            cycles(&with_branch, extra_cfg()) - cycles(&without, extra_cfg());
+        let extra_penalty = cycles(&with_branch, extra_cfg()) - cycles(&without, extra_cfg());
         assert_eq!(extra_penalty, base_penalty + 1);
     }
 

@@ -49,7 +49,10 @@ pub struct WakeupOrderStats {
 }
 
 /// All counters produced by one simulation.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every counter bit-for-bit; the parallel/serial
+/// determinism tests rely on it.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct SimStats {
     /// Cycles simulated.
     pub cycles: u64,

@@ -40,12 +40,35 @@ const R_IMM: Reg = Reg::R14;
 /// `acc = acc * 3 + i` per iteration, `i` counting down from `n`.
 fn make_program(n: u8, seed: u8) -> Vec<u8> {
     let body = vec![
-        OP_PUSH, n, OP_STORE, 0, // i = n
-        OP_PUSH, seed, OP_STORE, 1, // acc = seed
+        OP_PUSH,
+        n,
+        OP_STORE,
+        0, // i = n
+        OP_PUSH,
+        seed,
+        OP_STORE,
+        1, // acc = seed
         // loop:
-        OP_LOAD, 1, OP_PUSH, 3, OP_MUL, OP_LOAD, 0, OP_ADD, OP_STORE, 1,
-        OP_LOAD, 0, OP_PUSH, 1, OP_SUB, OP_DUP, OP_STORE, 0,
-        OP_JNZ, 0x100u16.wrapping_sub(20) as u8, // -20: back to loop
+        OP_LOAD,
+        1,
+        OP_PUSH,
+        3,
+        OP_MUL,
+        OP_LOAD,
+        0,
+        OP_ADD,
+        OP_STORE,
+        1,
+        OP_LOAD,
+        0,
+        OP_PUSH,
+        1,
+        OP_SUB,
+        OP_DUP,
+        OP_STORE,
+        0,
+        OP_JNZ,
+        0x100u16.wrapping_sub(20) as u8, // -20: back to loop
         OP_END,
     ];
     assert!(body.len() <= PROG_BYTES as usize);

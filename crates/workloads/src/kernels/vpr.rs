@@ -251,11 +251,8 @@ mod tests {
     #[test]
     fn routes_mix_reachable_and_not() {
         let maze = generate_maze(64);
-        let found = maze
-            .pairs
-            .iter()
-            .filter(|&&(s, d)| bfs(&maze.obstacles, s, d).is_some())
-            .count();
+        let found =
+            maze.pairs.iter().filter(|&&(s, d)| bfs(&maze.obstacles, s, d).is_some()).count();
         assert!(found > 32, "most routes complete: {found}");
     }
 }

@@ -153,10 +153,7 @@ impl Workload {
                 if actual == self.expected_checksum {
                     Ok(executed)
                 } else {
-                    Err(VerifyError::ChecksumMismatch {
-                        actual,
-                        expected: self.expected_checksum,
-                    })
+                    Err(VerifyError::ChecksumMismatch { actual, expected: self.expected_checksum })
                 }
             }
             RunOutcome::BudgetExhausted { .. } => {
@@ -198,10 +195,7 @@ pub const WORKLOAD_NAMES: [&str; 12] = [
 /// Builds all twelve workloads at the given scale.
 #[must_use]
 pub fn all_workloads(scale: Scale) -> Vec<Workload> {
-    WORKLOAD_NAMES
-        .iter()
-        .map(|n| workload(n, scale).expect("known name"))
-        .collect()
+    WORKLOAD_NAMES.iter().map(|n| workload(n, scale).expect("known name")).collect()
 }
 
 #[cfg(test)]

@@ -16,13 +16,21 @@ fn main() -> Result<(), RunError> {
     let total = f.total() as f64;
     let pc = |n: u64| n as f64 / total * 100.0;
 
-    println!("`{bench}` on the 4-wide base machine: {} insts, {} cycles, IPC {:.3}\n", s.committed, s.cycles, s.ipc());
+    println!(
+        "`{bench}` on the 4-wide base machine: {} insts, {} cycles, IPC {:.3}\n",
+        s.committed,
+        s.cycles,
+        s.ipc()
+    );
 
     println!("instruction format mix (Figures 2-3):");
     println!("  0-source format        {:5.1}%", pc(f.zero_src));
     println!("  1-source format        {:5.1}%", pc(f.one_src));
     println!("  2-source format        {:5.1}%", pc(f.two_src));
-    println!("    with 2 unique sources{:5.1}%   <- the 2-source instructions", pc(f.two_src_two_unique));
+    println!(
+        "    with 2 unique sources{:5.1}%   <- the 2-source instructions",
+        pc(f.two_src_two_unique)
+    );
     println!("    zero-reg/duplicate   {:5.1}%", pc(f.two_src_one_unique));
     println!("  stores                 {:5.1}%", pc(f.stores));
     println!("  alignment nops         {:5.1}%  (eliminated at decode)", pc(f.nops));

@@ -8,6 +8,7 @@
 //! hpa run prog.s [--insts N]             # functional execution, dump registers
 //! hpa sim prog.s [--scheme S] [--width W] [--trace N]  # cycle-level simulation
 //! hpa bench mcf [--scheme S] [--scale T] # one built-in benchmark
+//! hpa bench all --scheme all [--jobs N]  # full sweep, parallel cells
 //! ```
 
 use half_price::asm::parse_program;
@@ -31,7 +32,8 @@ fn main() -> ExitCode {
                 "usage: hpa <list|asm|run|sim|bench> ...\n\
                  \n  hpa list\n  hpa asm <file.s>\n  hpa run <file.s> [--insts N]\n  \
                  hpa sim <file.s> [--scheme S] [--width 4|8]\n  \
-                 hpa bench <name> [--scheme S] [--scale tiny|default|large] [--width 4|8]"
+                 hpa bench <name|all> [--scheme S|all] [--scale tiny|default|large] \
+                 [--width 4|8] [--jobs N]"
             );
             return ExitCode::from(2);
         }
@@ -85,10 +87,7 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 }
 
 fn load_program(args: &[String]) -> Result<half_price::asm::Program, Box<dyn std::error::Error>> {
-    let path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .ok_or("missing program file argument")?;
+    let path = args.iter().find(|a| !a.starts_with("--")).ok_or("missing program file argument")?;
     let source = std::fs::read_to_string(path)?;
     Ok(parse_program(&source)?)
 }
@@ -175,7 +174,7 @@ fn cmd_sim(args: &[String]) -> CliResult {
 fn cmd_bench(args: &[String]) -> CliResult {
     let name = args
         .iter()
-        .find(|a| !a.starts_with("--"))
+        .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
         .ok_or("missing benchmark name; see `hpa list`")?;
     let scale = match flag(args, "--scale").as_deref() {
         Some("tiny") => Scale::Tiny,
@@ -183,10 +182,83 @@ fn cmd_bench(args: &[String]) -> CliResult {
         Some("large") => Scale::Large,
         Some(other) => return Err(format!("bad --scale {other}").into()),
     };
-    let scheme = parse_scheme(&flag(args, "--scheme").unwrap_or_else(|| "base".into()))?;
     let width = machine_width(args)?;
+    let jobs: usize = match flag(args, "--jobs") {
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("bad --jobs `{v}` (want an integer >= 1)").into()),
+        },
+        None => half_price::default_jobs(),
+    };
+    let scheme_key = flag(args, "--scheme").unwrap_or_else(|| "base".into());
+    let names: Vec<&str> =
+        if name == "all" { WORKLOAD_NAMES.to_vec() } else { vec![name.as_str()] };
+    if scheme_key == "all" {
+        return bench_matrix(&names, scale, width, jobs);
+    }
+    let scheme = parse_scheme(&scheme_key)?;
+    if names.len() > 1 {
+        return bench_matrix_schemes(&names, scale, width, &[scheme], jobs);
+    }
     let r = half_price::run_workload(name, scale, width, scheme)?;
     println!("`{name}` under {} on the {} machine:", scheme.label(), width.label());
     print_stats(&r.stats);
+    Ok(())
+}
+
+/// Whether `a` is the value of a preceding `--flag` (so the benchmark-name
+/// scan skips e.g. the `4` of `--jobs 4`).
+fn is_flag_value(args: &[String], a: &String) -> bool {
+    args.iter()
+        .position(|x| std::ptr::eq(x, a))
+        .and_then(|i| i.checked_sub(1))
+        .and_then(|i| args.get(i))
+        .is_some_and(|prev| prev.starts_with("--"))
+}
+
+/// Sweeps `names` × all schemes and prints an IPC table (base-normalized).
+fn bench_matrix(names: &[&str], scale: Scale, width: MachineWidth, jobs: usize) -> CliResult {
+    bench_matrix_schemes(names, scale, width, &Scheme::ALL, jobs)
+}
+
+fn bench_matrix_schemes(
+    names: &[&str],
+    scale: Scale,
+    width: MachineWidth,
+    schemes: &[Scheme],
+    jobs: usize,
+) -> CliResult {
+    let t0 = std::time::Instant::now();
+    let m = half_price::run_matrix_parallel(names, scale, width, schemes, jobs, |r| {
+        eprintln!("  {} / {}: ipc {:.3}", r.workload, r.scheme.label(), r.stats.ipc());
+    })?;
+    println!(
+        "{} benchmark(s) x {} scheme(s) on the {} machine ({jobs} job(s), {:.1}s):",
+        names.len(),
+        schemes.len(),
+        width.label(),
+        t0.elapsed().as_secs_f64()
+    );
+    let col = schemes.iter().map(|&s| scheme_key(s).len()).max().unwrap_or(0).max(8);
+    print!("{:10}", "bench");
+    for &s in schemes {
+        print!(" {:>col$}", scheme_key(s));
+    }
+    println!();
+    for row in &m.rows {
+        print!("{:10}", row.first().map_or("-", |r| r.workload));
+        for r in row {
+            print!(" {:>col$.3}", r.stats.ipc());
+        }
+        println!();
+    }
+    if schemes.contains(&Scheme::Base) {
+        for &s in schemes {
+            if s == Scheme::Base {
+                continue;
+            }
+            println!("{}: average degradation {:.1}%", s.label(), m.average_degradation(s) * 100.0);
+        }
+    }
     Ok(())
 }

@@ -113,8 +113,7 @@ fn last_arrival_predictor_accuracy_is_high_and_grows_with_size() {
             e.1 += 1;
         }
     }
-    let avg: Vec<(usize, f64)> =
-        acc.into_iter().map(|(k, (s, n))| (k, s / f64::from(n))).collect();
+    let avg: Vec<(usize, f64)> = acc.into_iter().map(|(k, (s, n))| (k, s / f64::from(n))).collect();
     // Paper Figure 7: ~90% accuracy at 1k entries.
     let at_1k = avg.iter().find(|(k, _)| *k == 1024).expect("1k predictor present").1;
     assert!(at_1k > 0.75, "1k-entry accuracy {:.1}%", at_1k * 100.0);

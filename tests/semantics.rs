@@ -16,10 +16,9 @@ fn every_scheme_preserves_semantics_on_every_workload() {
                 .unwrap_or_else(|e| panic!("{name}/{scheme:?}: {e}"));
             match committed {
                 None => committed = Some(r.stats.committed),
-                Some(c) => assert_eq!(
-                    r.stats.committed, c,
-                    "{name}/{scheme:?}: committed count diverged"
-                ),
+                Some(c) => {
+                    assert_eq!(r.stats.committed, c, "{name}/{scheme:?}: committed count diverged")
+                }
             }
             assert!(r.stats.ipc() > 0.0, "{name}/{scheme:?}");
         }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Pre-merge gate: formatting, lints, the full offline test suite and a
+# tiny perf smoke run. Everything here works with no network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (-D warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test (workspace) =="
+cargo test -q --workspace
+
+echo "== perf smoke (tiny) =="
+out="$(mktemp /tmp/hpa-perf-smoke.XXXXXX.json)"
+cargo run --release -q -p hpa-bench --bin perf_smoke -- --scale tiny --out "$out"
+echo "perf smoke wrote $out"
+
+echo "== check.sh: all gates passed =="
