@@ -3,15 +3,20 @@
 //! perf trajectory is tracked from PR to PR (`BENCH_1.json` onward).
 //!
 //! ```text
-//! cargo run --release -p hpa-bench --bin perf_smoke -- --scale tiny
+//! cargo run --release -p hpa-bench --bin perf_smoke
 //! ```
+//!
+//! By default every scale in [`DEFAULT_SCALES`] is measured (tiny then
+//! default); the headline `aggregate_mcycles_per_sec` and the matrix
+//! comparison come from the first scale, so successive `BENCH_*.json`
+//! artifacts stay comparable.
 //!
 //! Options:
 //!
-//! * `--scale tiny|default|large` — workload size (default tiny);
+//! * `--scale tiny|default|large` — restrict to one workload size;
 //! * `--jobs N` — worker threads for the parallel matrix (default: host
 //!   parallelism);
-//! * `--out FILE` — JSON output path (default `BENCH_1.json`);
+//! * `--out FILE` — JSON output path (default `BENCH_2.json`);
 //! * `--baseline FILE` — a previous `perf_smoke` JSON to embed verbatim
 //!   under `"baseline"`, for before/after comparisons in one artifact.
 //!
@@ -30,9 +35,12 @@ const THROUGHPUT_WORKLOADS: [&str; 3] = ["gap", "mcf", "perl"];
 /// Schemes timed in the serial-vs-parallel matrix comparison.
 const MATRIX_SCHEMES: [Scheme; 2] = [Scheme::Base, Scheme::Combined];
 
+/// Scales measured when `--scale` is not given. The first entry is the
+/// headline scale (aggregate throughput and matrix comparison).
+const DEFAULT_SCALES: [(Scale, &str); 2] = [(Scale::Tiny, "tiny"), (Scale::Default, "default")];
+
 struct Args {
-    scale: Scale,
-    scale_name: &'static str,
+    scales: Vec<(Scale, &'static str)>,
     jobs: usize,
     out: String,
     baseline: Option<String>,
@@ -40,10 +48,9 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut args = Args {
-        scale: Scale::Tiny,
-        scale_name: "tiny",
+        scales: DEFAULT_SCALES.to_vec(),
         jobs: default_jobs(),
-        out: "BENCH_1.json".to_string(),
+        out: "BENCH_2.json".to_string(),
         baseline: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -51,10 +58,10 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a {
             "--scale" => {
-                (args.scale, args.scale_name) = match it.next() {
-                    Some("tiny") => (Scale::Tiny, "tiny"),
-                    Some("default") => (Scale::Default, "default"),
-                    Some("large") => (Scale::Large, "large"),
+                args.scales = match it.next() {
+                    Some("tiny") => vec![(Scale::Tiny, "tiny")],
+                    Some("default") => vec![(Scale::Default, "default")],
+                    Some("large") => vec![(Scale::Large, "large")],
                     other => usage(&format!("bad --scale {other:?}")),
                 }
             }
@@ -103,6 +110,24 @@ impl SchemeRate {
     }
 }
 
+/// One scale's measurements: per-scheme rates and their aggregate.
+struct ScaleRun {
+    scale_name: &'static str,
+    rates: Vec<SchemeRate>,
+}
+
+impl ScaleRun {
+    fn aggregate_mcycles_per_sec(&self) -> f64 {
+        let mcycles: f64 = self.rates.iter().map(|r| r.mcycles).sum();
+        let wall: f64 = self.rates.iter().map(|r| r.wall_s).sum();
+        if wall > 0.0 {
+            mcycles / wall
+        } else {
+            0.0
+        }
+    }
+}
+
 fn scheme_throughput(ws: &[Workload], scale: Scale) -> Vec<SchemeRate> {
     let width = MachineWidth::Four;
     Scheme::ALL
@@ -132,7 +157,6 @@ fn scheme_throughput(ws: &[Workload], scale: Scale) -> Vec<SchemeRate> {
                 rate.mcycles_per_sec(),
                 scale = scale
             );
-            let _ = scale;
             rate
         })
         .collect()
@@ -142,23 +166,34 @@ fn main() {
     let args = parse_args();
     let names: Vec<&str> = hpa_core::workloads::WORKLOAD_NAMES.to_vec();
 
-    eprintln!("== cycle-loop throughput per scheme ({} workloads) ==", THROUGHPUT_WORKLOADS.len());
-    let ws: Vec<Workload> = THROUGHPUT_WORKLOADS
-        .iter()
-        .map(|n| workload(n, args.scale).expect("known workload"))
-        .collect();
-    let rates = scheme_throughput(&ws, args.scale);
+    let mut runs: Vec<ScaleRun> = Vec::new();
+    for &(scale, scale_name) in &args.scales {
+        eprintln!(
+            "== cycle-loop throughput per scheme ({} workloads, {scale_name}) ==",
+            THROUGHPUT_WORKLOADS.len()
+        );
+        let ws: Vec<Workload> = THROUGHPUT_WORKLOADS
+            .iter()
+            .map(|n| workload(n, scale).expect("known workload"))
+            .collect();
+        runs.push(ScaleRun { scale_name, rates: scheme_throughput(&ws, scale) });
+    }
 
-    eprintln!("== matrix wall time: serial vs parallel (jobs={}) ==", args.jobs);
+    // The matrix comparison runs on the first (headline) scale only.
+    let (matrix_scale, matrix_scale_name) = args.scales[0];
+    eprintln!(
+        "== matrix wall time: serial vs parallel (jobs={}, {matrix_scale_name}) ==",
+        args.jobs
+    );
     let t0 = Instant::now();
-    let serial = run_matrix(&names, args.scale, MachineWidth::Four, &MATRIX_SCHEMES, |_| {})
+    let serial = run_matrix(&names, matrix_scale, MachineWidth::Four, &MATRIX_SCHEMES, |_| {})
         .unwrap_or_else(|e| panic!("{e}"));
     let serial_s = t0.elapsed().as_secs_f64();
     eprintln!("  serial:   {serial_s:.2}s");
     let t0 = Instant::now();
     let parallel = run_matrix_parallel(
         &names,
-        args.scale,
+        matrix_scale,
         MachineWidth::Four,
         &MATRIX_SCHEMES,
         args.jobs,
@@ -175,32 +210,46 @@ fn main() {
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"hpa-perf-smoke-v1\",");
-    let _ = writeln!(json, "  \"scale\": \"{}\",", args.scale_name);
+    let _ = writeln!(json, "  \"schema\": \"hpa-perf-smoke-v2\",");
+    let scale_names: Vec<String> = args.scales.iter().map(|(_, n)| format!("\"{n}\"")).collect();
+    let _ = writeln!(json, "  \"scales\": [{}],", scale_names.join(", "));
     let _ = writeln!(json, "  \"host_parallelism\": {},", default_jobs());
-    let _ = writeln!(json, "  \"scheme_throughput\": [");
-    for (k, r) in rates.iter().enumerate() {
-        let comma = if k + 1 == rates.len() { "" } else { "," };
-        let _ = writeln!(
-            json,
-            "    {{\"scheme\": \"{}\", \"mcycles\": {:.3}, \"minsts\": {:.3}, \
-             \"wall_s\": {:.4}, \"mcycles_per_sec\": {:.3}}}{comma}",
-            r.scheme,
-            r.mcycles,
-            r.minsts,
-            r.wall_s,
-            r.mcycles_per_sec()
-        );
-    }
-    let _ = writeln!(json, "  ],");
-    let total_mcycles: f64 = rates.iter().map(|r| r.mcycles).sum();
-    let total_wall: f64 = rates.iter().map(|r| r.wall_s).sum();
+    // Headline aggregate (first scale), before the per-scale sections so a
+    // `grep -m1 aggregate_mcycles_per_sec` picks it up.
     let _ = writeln!(
         json,
         "  \"aggregate_mcycles_per_sec\": {:.3},",
-        if total_wall > 0.0 { total_mcycles / total_wall } else { 0.0 }
+        runs[0].aggregate_mcycles_per_sec()
     );
+    let _ = writeln!(json, "  \"runs\": [");
+    for (j, run) in runs.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"scale\": \"{}\",", run.scale_name);
+        let _ = writeln!(
+            json,
+            "      \"aggregate_mcycles_per_sec\": {:.3},",
+            run.aggregate_mcycles_per_sec()
+        );
+        let _ = writeln!(json, "      \"scheme_throughput\": [");
+        for (k, r) in run.rates.iter().enumerate() {
+            let comma = if k + 1 == run.rates.len() { "" } else { "," };
+            let _ = writeln!(
+                json,
+                "        {{\"scheme\": \"{}\", \"mcycles\": {:.3}, \"minsts\": {:.3}, \
+                 \"wall_s\": {:.4}, \"mcycles_per_sec\": {:.3}}}{comma}",
+                r.scheme,
+                r.mcycles,
+                r.minsts,
+                r.wall_s,
+                r.mcycles_per_sec()
+            );
+        }
+        let _ = writeln!(json, "      ]");
+        let _ = writeln!(json, "    }}{}", if j + 1 == runs.len() { "" } else { "," });
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"matrix\": {{");
+    let _ = writeln!(json, "    \"scale\": \"{matrix_scale_name}\",");
     let _ = writeln!(json, "    \"workloads\": {},", names.len());
     let _ = writeln!(json, "    \"schemes\": {},", MATRIX_SCHEMES.len());
     let _ = writeln!(json, "    \"jobs\": {},", args.jobs);

@@ -1,5 +1,7 @@
 //! The last-arriving operand predictor (paper §3.2, Figure 7).
 
+use crate::pc_table::PcTable;
+
 /// Which of a 2-source instruction's operands is meant: the left (`ra`) or
 /// right (`rb`) source in format order.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -31,7 +33,7 @@ impl Side {
 /// matching the paper's static fallback configuration.
 #[derive(Clone, Debug)]
 pub struct LastArrivalPredictor {
-    table: Vec<u8>,
+    table: PcTable<u8>,
 }
 
 impl LastArrivalPredictor {
@@ -43,24 +45,19 @@ impl LastArrivalPredictor {
     /// Panics if `entries` is not a power of two.
     #[must_use]
     pub fn new(entries: usize) -> LastArrivalPredictor {
-        assert!(entries.is_power_of_two(), "table size must be a power of two");
-        LastArrivalPredictor { table: vec![2; entries] }
+        LastArrivalPredictor { table: PcTable::new(entries, 2) }
     }
 
     /// Number of table entries.
     #[must_use]
     pub fn entries(&self) -> usize {
-        self.table.len()
-    }
-
-    fn index(&self, pc: u64) -> usize {
-        ((pc >> 2) as usize) & (self.table.len() - 1)
+        self.table.entries()
     }
 
     /// Predicts which operand of the instruction at `pc` wakes up last.
     #[must_use]
     pub fn predict(&self, pc: u64) -> Side {
-        if self.table[self.index(pc)] >= 2 {
+        if *self.table.get(pc) >= 2 {
             Side::Right
         } else {
             Side::Left
@@ -70,8 +67,7 @@ impl LastArrivalPredictor {
     /// Trains on the observed last-arriving side. Simultaneous wakeups do
     /// not call this (there is no meaningful "last" to train toward).
     pub fn update(&mut self, pc: u64, actual: Side) {
-        let idx = self.index(pc);
-        let c = &mut self.table[idx];
+        let c = self.table.get_mut(pc);
         match actual {
             Side::Right => *c = (*c + 1).min(3),
             Side::Left => *c = c.saturating_sub(1),

@@ -30,6 +30,8 @@
 
 mod branch;
 mod last_arrival;
+mod pc_table;
 
 pub use branch::{Btb, CombinedPredictor, DirectionPredictor, Ras};
 pub use last_arrival::{LastArrivalBank, LastArrivalPredictor, LastArrivalStats, Side};
+pub use pc_table::PcTable;

@@ -1,0 +1,78 @@
+//! A direct-mapped, PC-indexed hardware table.
+//!
+//! Every PC-keyed predictor structure in the machine — the last-arriving
+//! predictor, the 21264-style stWait bits, the wakeup-order history —
+//! indexes the same way real hardware does: drop the byte-offset bits and
+//! mask with a power-of-two table size. [`PcTable`] centralizes that
+//! indexing so the simulator never reaches for a `HashMap` on a per-cycle
+//! path (hashing plus possible rehash allocation) where a silicon
+//! structure would be a direct RAM lookup.
+//!
+//! Aliasing is intentional: two PCs that collide share an entry, exactly
+//! like the modeled hardware.
+
+/// A power-of-two direct-mapped table indexed by instruction address.
+#[derive(Clone, Debug)]
+pub struct PcTable<T> {
+    table: Vec<T>,
+}
+
+impl<T: Clone> PcTable<T> {
+    /// Builds a table of `entries` copies of `init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    #[must_use]
+    pub fn new(entries: usize, init: T) -> PcTable<T> {
+        assert!(entries.is_power_of_two(), "table size must be a power of two");
+        PcTable { table: vec![init; entries] }
+    }
+}
+
+impl<T> PcTable<T> {
+    /// Number of entries.
+    #[must_use]
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The entry index for `pc`: word-aligned address bits, masked.
+    #[must_use]
+    pub fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.table.len() - 1)
+    }
+
+    /// The entry `pc` maps to.
+    #[must_use]
+    pub fn get(&self, pc: u64) -> &T {
+        &self.table[self.index(pc)]
+    }
+
+    /// Mutable access to the entry `pc` maps to.
+    pub fn get_mut(&mut self, pc: u64) -> &mut T {
+        let idx = self.index(pc);
+        &mut self.table[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_granular_direct_mapping() {
+        let mut t: PcTable<u32> = PcTable::new(8, 0);
+        *t.get_mut(0x40) = 7;
+        assert_eq!(*t.get(0x40), 7);
+        assert_eq!(*t.get(0x44), 0, "neighbor word is a distinct entry");
+        assert_eq!(*t.get(0x40 + 8 * 4), 7, "one table span away aliases");
+        assert_eq!(t.entries(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_is_rejected() {
+        let _ = PcTable::new(6, 0u8);
+    }
+}

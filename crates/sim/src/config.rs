@@ -160,6 +160,10 @@ pub struct SimConfig {
     /// last-arrival shadow bank stay warm across the reset; the
     /// memory-hierarchy and Figure-7 counters span the whole run.
     pub warmup_insts: u64,
+    /// Entries in the direct-mapped PC-indexed side tables (the 21264
+    /// stWait bits and the wakeup-order history). Power of two; PCs one
+    /// table span apart alias, like the modeled hardware.
+    pub pc_table_entries: usize,
 }
 
 impl SimConfig {
@@ -180,6 +184,7 @@ impl SimConfig {
             hierarchy: HierarchyConfig::table1(),
             max_insts: u64::MAX,
             warmup_insts: 0,
+            pc_table_entries: 4096,
         }
     }
 
@@ -241,6 +246,17 @@ impl SimConfig {
     #[must_use]
     pub fn with_bypass(mut self, bypass: BypassScheme) -> SimConfig {
         self.bypass = bypass;
+        self
+    }
+
+    /// Sets the PC-indexed side-table size (builder style).
+    ///
+    /// # Panics
+    ///
+    /// The simulator constructor panics if the size is not a power of two.
+    #[must_use]
+    pub fn with_pc_table_entries(mut self, pc_table_entries: usize) -> SimConfig {
+        self.pc_table_entries = pc_table_entries;
         self
     }
 

@@ -124,6 +124,9 @@ pub struct DynInst {
     /// Statistics flag: the second pending operand's wakeup has been
     /// recorded (slack/predictor stats fire once per instruction).
     pub wakeup_pair_recorded: bool,
+    /// Whether the instruction is enqueued on the scheduler's
+    /// ready-candidate list (guards against duplicate enqueues).
+    pub in_ready_list: bool,
 }
 
 impl DynInst {
@@ -176,6 +179,7 @@ impl DynInst {
             seq_rf: false,
             rf_category: None,
             wakeup_pair_recorded: false,
+            in_ready_list: false,
         }
     }
 

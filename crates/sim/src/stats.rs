@@ -129,6 +129,15 @@ pub struct SimStats {
 }
 
 impl SimStats {
+    /// Zeroes every counter in place, preserving the `issue_histogram`
+    /// allocation — the warmup-boundary reset runs mid-simulation, inside
+    /// the otherwise allocation-free cycle loop.
+    pub fn reset_in_place(&mut self) {
+        let mut histogram = std::mem::take(&mut self.issue_histogram);
+        histogram.fill(0);
+        *self = SimStats { issue_histogram: histogram, ..SimStats::default() };
+    }
+
     /// Committed instructions per cycle.
     #[must_use]
     pub fn ipc(&self) -> f64 {
@@ -221,6 +230,23 @@ mod tests {
         assert_eq!(s.avg_window_occupancy(), 0.0);
         assert_eq!(s.idle_issue_fraction(), 0.0);
         assert_eq!(s.format.total(), 0);
+    }
+
+    #[test]
+    fn reset_in_place_keeps_the_histogram_allocation() {
+        let mut s = SimStats {
+            cycles: 10,
+            committed: 20,
+            window_occupancy_sum: 320,
+            issue_histogram: vec![4, 2, 2, 1, 1],
+            wakeup_slack: [1, 2, 3, 4],
+            ..SimStats::default()
+        };
+        let ptr = s.issue_histogram.as_ptr();
+        s.reset_in_place();
+        assert_eq!(s.issue_histogram.as_ptr(), ptr, "no reallocation");
+        assert_eq!(s.issue_histogram, vec![0; 5], "zeroed, same length");
+        assert_eq!(s, SimStats { issue_histogram: vec![0; 5], ..SimStats::default() });
     }
 
     #[test]

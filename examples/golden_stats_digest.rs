@@ -1,0 +1,34 @@
+//! Prints the stats digest table consumed by `tests/stats_golden.rs`.
+//!
+//! The digest is an FNV-1a hash of the full `SimStats` debug formatting, so
+//! any counter change — IPC, histograms, predictor accuracy — changes the
+//! digest. Run after an intentional behavior change and paste the output
+//! over the `GOLDEN` table in the test:
+//!
+//! ```text
+//! cargo run --release --example golden_stats_digest
+//! ```
+
+use half_price::workloads::Scale;
+use half_price::{run_workload, MachineWidth, Scheme};
+
+/// FNV-1a over the debug formatting of a value.
+fn digest(s: &impl std::fmt::Debug) -> u64 {
+    let text = format!("{s:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn main() {
+    for name in ["gap", "mcf", "perl"] {
+        for scheme in Scheme::ALL {
+            let r = run_workload(name, Scale::Tiny, MachineWidth::Four, scheme)
+                .unwrap_or_else(|e| panic!("{e}"));
+            println!("    (\"{name}\", Scheme::{scheme:?}, {:#018x}),", digest(&r.stats));
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Before/after stats equivalence for scheduler-core rewrites.
+//!
+//! The `GOLDEN` table pins an FNV-1a digest of the full `SimStats` debug
+//! formatting — every counter, histogram and predictor-accuracy field —
+//! for three workloads under every scheme, captured from the pre-
+//! event-driven scheduler (PR 1). Any rewrite of wakeup/select, the LSQ
+//! walk or the PC-indexed tables must keep all of them bit-identical.
+//!
+//! Regenerate (only after an *intentional* timing change) with
+//! `cargo run --release --example golden_stats_digest`.
+
+use half_price::workloads::Scale;
+use half_price::{run_workload, MachineWidth, Scheme};
+
+/// FNV-1a over the debug formatting of a value (kept in sync with
+/// `examples/golden_stats_digest.rs`).
+fn digest(s: &impl std::fmt::Debug) -> u64 {
+    let text = format!("{s:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const GOLDEN: [(&str, Scheme, u64); 24] = [
+    ("gap", Scheme::Base, 0xb63cdac63665bc31),
+    ("gap", Scheme::SeqWakeupPredictor, 0xa56ef9aff220785f),
+    ("gap", Scheme::SeqWakeupStatic, 0x22c87c0d608e2cd9),
+    ("gap", Scheme::TagElimination, 0xca541eb69d1c3a3e),
+    ("gap", Scheme::SeqRegAccess, 0x143765ed2cc76e15),
+    ("gap", Scheme::ExtraRfStage, 0x3a7d317aa9cbe9b9),
+    ("gap", Scheme::HalfPortsCrossbar, 0x5d554b5313a83fb3),
+    ("gap", Scheme::Combined, 0x4d92144ef73e7df4),
+    ("mcf", Scheme::Base, 0xa1026ee4190746b9),
+    ("mcf", Scheme::SeqWakeupPredictor, 0xd951a37132153a4c),
+    ("mcf", Scheme::SeqWakeupStatic, 0xda51d899da435981),
+    ("mcf", Scheme::TagElimination, 0x14da699664f99aaa),
+    ("mcf", Scheme::SeqRegAccess, 0xede5532b5c5b9996),
+    ("mcf", Scheme::ExtraRfStage, 0x9a766e7d024059f8),
+    ("mcf", Scheme::HalfPortsCrossbar, 0x42a2e0ae47cd0f9d),
+    ("mcf", Scheme::Combined, 0x688767037a51ccf6),
+    ("perl", Scheme::Base, 0xb2f91c3806326787),
+    ("perl", Scheme::SeqWakeupPredictor, 0xaf3e24033872033d),
+    ("perl", Scheme::SeqWakeupStatic, 0xb447f36a9104338b),
+    ("perl", Scheme::TagElimination, 0x3b7714d59e8a8acf),
+    ("perl", Scheme::SeqRegAccess, 0x25d17ec6c5ab440b),
+    ("perl", Scheme::ExtraRfStage, 0x7982a9eaf7a15ba2),
+    ("perl", Scheme::HalfPortsCrossbar, 0xb2f91c3806326787),
+    ("perl", Scheme::Combined, 0x47b7840ad890c063),
+];
+
+/// Every scheme's full statistics stay bit-identical to the pre-rewrite
+/// scheduler, for a compute-bound, a memory-bound and a branchy workload.
+#[test]
+fn stats_match_pre_rewrite_golden_digests() {
+    let mut failures = Vec::new();
+    for &(name, scheme, expected) in &GOLDEN {
+        let r = run_workload(name, Scale::Tiny, MachineWidth::Four, scheme)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let got = digest(&r.stats);
+        if got != expected {
+            failures.push(format!("{name}/{scheme:?}: {got:#018x} != {expected:#018x}"));
+        }
+    }
+    assert!(failures.is_empty(), "stats diverged from golden:\n{}", failures.join("\n"));
+}

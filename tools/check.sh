@@ -21,4 +21,21 @@ out="$(mktemp /tmp/hpa-perf-smoke.XXXXXX.json)"
 cargo run --release -q -p hpa-bench --bin perf_smoke -- --scale tiny --out "$out"
 echo "perf smoke wrote $out"
 
+echo "== throughput regression check =="
+# Compare the fresh tiny-scale aggregate against the newest committed
+# BENCH_*.json. Non-fatal: wall-clock throughput is machine-dependent, so
+# a drop only warns — but a >10% drop on the same machine usually means a
+# real cycle-loop regression worth investigating.
+baseline_file="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
+if [ -n "$baseline_file" ]; then
+  fresh="$(grep -o '"aggregate_mcycles_per_sec": [0-9.]*' "$out" | head -1 | grep -o '[0-9.]*$')"
+  base="$(grep -o '"aggregate_mcycles_per_sec": [0-9.]*' "$baseline_file" | head -1 | grep -o '[0-9.]*$')"
+  echo "fresh aggregate: $fresh Mcycles/s; $baseline_file: $base Mcycles/s"
+  if awk -v f="$fresh" -v b="$base" 'BEGIN { exit !(b > 0 && f < 0.9 * b) }'; then
+    echo "WARNING: aggregate throughput dropped >10% vs $baseline_file ($fresh < 0.9 * $base)" >&2
+  fi
+else
+  echo "no committed BENCH_*.json baseline; skipping"
+fi
+
 echo "== check.sh: all gates passed =="
