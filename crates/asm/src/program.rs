@@ -100,9 +100,26 @@ impl Program {
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Data segments first, as the directives the parser accepts, so
+        // `parse_program(&p.to_string())` reproduces data as well as text.
+        for (addr, bytes) in &self.data {
+            writeln!(f, ".org {addr}")?;
+            for chunk in bytes.chunks(16) {
+                write!(f, ".byte ")?;
+                for (i, b) in chunk.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                writeln!(f)?;
+            }
+        }
         let mut by_addr: Vec<(&str, u64)> =
             self.labels.iter().map(|(n, &a)| (n.as_str(), a)).collect();
-        by_addr.sort_by_key(|&(_, a)| a);
+        // Co-located labels tie-break by name so rendering is
+        // deterministic (the label map iterates in hash order).
+        by_addr.sort_by_key(|&(n, a)| (a, n));
         let mut next_label = by_addr.iter().peekable();
         for (pc, inst) in self.iter() {
             while let Some(&&(name, addr)) = next_label.peek() {

@@ -3,7 +3,7 @@
 
 use crate::pool::parallel_map;
 use crate::scheme::{MachineWidth, Scheme};
-use hpa_sim::{SimConfig, SimStats, Simulator};
+use hpa_sim::{SimConfig, SimFault, SimStats, Simulator};
 use hpa_workloads::{workload, Scale, Workload, CHECKSUM_REG};
 use std::fmt;
 
@@ -26,6 +26,14 @@ pub enum RunError {
         /// Reference checksum.
         expected: u64,
     },
+    /// The simulation itself faulted (emulator error, deadlock, invariant
+    /// or commit-hook violation) instead of running to completion.
+    Sim {
+        /// The workload.
+        name: String,
+        /// The structured fault.
+        fault: SimFault,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -35,6 +43,7 @@ impl fmt::Display for RunError {
             RunError::ChecksumMismatch { name, actual, expected } => {
                 write!(f, "{name}: timing run checksum {actual:#x} != reference {expected:#x}")
             }
+            RunError::Sim { name, fault } => write!(f, "{name}: {fault}"),
         }
     }
 }
@@ -84,7 +93,7 @@ pub fn run_prepared(
     width: MachineWidth,
 ) -> Result<RunResult, RunError> {
     let mut sim = Simulator::new(&w.program, config);
-    sim.run();
+    sim.try_run().map_err(|fault| RunError::Sim { name: w.name.to_string(), fault })?;
     let actual = sim.emulator().reg(CHECKSUM_REG);
     if actual != w.expected_checksum {
         return Err(RunError::ChecksumMismatch {

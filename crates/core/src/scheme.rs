@@ -104,6 +104,28 @@ impl Scheme {
         }
     }
 
+    /// The stable CLI key (`hpa run --scheme <key>`), also used in corpus
+    /// reproducer headers.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            Scheme::Base => "base",
+            Scheme::SeqWakeupPredictor => "seq-wakeup",
+            Scheme::SeqWakeupStatic => "seq-wakeup-static",
+            Scheme::TagElimination => "tag-elimination",
+            Scheme::SeqRegAccess => "seq-rf",
+            Scheme::ExtraRfStage => "extra-rf-stage",
+            Scheme::HalfPortsCrossbar => "crossbar",
+            Scheme::Combined => "combined",
+        }
+    }
+
+    /// Parses a CLI key produced by [`Scheme::key`].
+    #[must_use]
+    pub fn from_key(key: &str) -> Option<Scheme> {
+        Scheme::ALL.into_iter().find(|s| s.key() == key)
+    }
+
     /// The label used in the paper's figures.
     #[must_use]
     pub fn label(self) -> &'static str {
@@ -150,5 +172,13 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), Scheme::ALL.len());
+    }
+
+    #[test]
+    fn keys_round_trip() {
+        for s in Scheme::ALL {
+            assert_eq!(Scheme::from_key(s.key()), Some(s));
+        }
+        assert_eq!(Scheme::from_key("nonesuch"), None);
     }
 }

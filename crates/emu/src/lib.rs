@@ -34,5 +34,5 @@
 mod machine;
 mod memory;
 
-pub use machine::{EmuError, Emulator, RunOutcome, StepRecord};
+pub use machine::{EmuError, Emulator, RunOutcome, StepRecord, MEM_ADDR_LIMIT};
 pub use memory::Memory;

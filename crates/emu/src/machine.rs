@@ -2,8 +2,15 @@
 
 use crate::Memory;
 use hpa_asm::Program;
-use hpa_isa::{FReg, Inst, MemWidth, Reg, RegOrLit, INST_BYTES};
+use hpa_isa::{ArchReg, FReg, Inst, MemWidth, Reg, RegOrLit, INST_BYTES};
 use std::fmt;
+
+/// Data addresses must stay below this limit (a 48-bit address space, as
+/// on real Alpha implementations). A wild address — typically a negative
+/// offset applied to an uninitialized base register wrapping past zero —
+/// is reported as a structured error instead of silently allocating pages
+/// until memory is exhausted.
+pub const MEM_ADDR_LIMIT: u64 = 1 << 48;
 
 /// Errors raised during emulation. These indicate program bugs, not
 /// emulator failures.
@@ -14,12 +21,38 @@ pub enum EmuError {
         /// The offending program counter.
         pc: u64,
     },
+    /// A load or store addressed memory at or beyond [`MEM_ADDR_LIMIT`].
+    MemOutOfRange {
+        /// PC of the faulting load/store.
+        pc: u64,
+        /// The offending effective address.
+        addr: u64,
+        /// Access size in bytes.
+        width: u64,
+    },
+    /// A load or store was not naturally aligned for its width. Only
+    /// raised when [`Emulator::set_strict_alignment`] is enabled; the ISA
+    /// permits unaligned access by default.
+    Misaligned {
+        /// PC of the faulting load/store.
+        pc: u64,
+        /// The offending effective address.
+        addr: u64,
+        /// Access size in bytes.
+        width: u64,
+    },
 }
 
 impl fmt::Display for EmuError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EmuError::PcOutOfRange { pc } => write!(f, "program counter {pc:#x} outside text"),
+            EmuError::MemOutOfRange { pc, addr, width } => {
+                write!(f, "pc {pc:#x}: {width}-byte access at {addr:#x} outside data memory")
+            }
+            EmuError::Misaligned { pc, addr, width } => {
+                write!(f, "pc {pc:#x}: misaligned {width}-byte access at {addr:#x}")
+            }
         }
     }
 }
@@ -67,6 +100,7 @@ pub struct Emulator {
     halted: bool,
     executed: u64,
     memory: Memory,
+    strict_alignment: bool,
 }
 
 impl Emulator {
@@ -86,7 +120,16 @@ impl Emulator {
             halted: false,
             executed: 0,
             memory,
+            strict_alignment: false,
         }
+    }
+
+    /// Makes every load/store require natural alignment for its width,
+    /// raising [`EmuError::Misaligned`] otherwise. Off by default: the ISA
+    /// allows unaligned access, but fuzzing harnesses can opt in to flag
+    /// accidental misalignment in generated programs.
+    pub fn set_strict_alignment(&mut self, on: bool) {
+        self.strict_alignment = on;
     }
 
     /// The current program counter.
@@ -158,11 +201,40 @@ impl Emulator {
         &self.program
     }
 
+    /// Reads any architectural register by its unified name: integer
+    /// registers as their value, floating-point registers as the raw bits
+    /// of their `f64` (so values compare exactly, including NaNs).
+    #[must_use]
+    pub fn arch_value(&self, r: ArchReg) -> u64 {
+        if r.is_zero() {
+            if r.is_int() {
+                0
+            } else {
+                0.0f64.to_bits()
+            }
+        } else if r.is_int() {
+            self.regs[r.index()]
+        } else {
+            self.fregs[r.index() - 32].to_bits()
+        }
+    }
+
     fn operand(&self, rb: RegOrLit) -> u64 {
         match rb {
             RegOrLit::Reg(r) => self.reg(r),
             RegOrLit::Lit(l) => l as i64 as u64,
         }
+    }
+
+    /// Validates a data access before it touches memory.
+    fn check_mem(&self, pc: u64, addr: u64, width: u64) -> Result<(), EmuError> {
+        if addr >= MEM_ADDR_LIMIT || MEM_ADDR_LIMIT - addr < width {
+            return Err(EmuError::MemOutOfRange { pc, addr, width });
+        }
+        if self.strict_alignment && !addr.is_multiple_of(width) {
+            return Err(EmuError::Misaligned { pc, addr, width });
+        }
+        Ok(())
     }
 
     /// Executes one instruction and reports what it did.
@@ -209,6 +281,7 @@ impl Emulator {
             }
             Inst::Load { width, rt, base, disp } => {
                 let addr = self.reg(base).wrapping_add_signed(disp as i64);
+                self.check_mem(pc, addr, width.bytes())?;
                 mem_addr = Some(addr);
                 let v = match width {
                     MemWidth::Byte => u64::from(self.memory.read_u8(addr)),
@@ -219,6 +292,7 @@ impl Emulator {
             }
             Inst::Store { width, rt, base, disp } => {
                 let addr = self.reg(base).wrapping_add_signed(disp as i64);
+                self.check_mem(pc, addr, width.bytes())?;
                 mem_addr = Some(addr);
                 let v = self.reg(rt);
                 match width {
@@ -229,12 +303,14 @@ impl Emulator {
             }
             Inst::FLoad { ft, base, disp } => {
                 let addr = self.reg(base).wrapping_add_signed(disp as i64);
+                self.check_mem(pc, addr, 8)?;
                 mem_addr = Some(addr);
                 let v = f64::from_bits(self.memory.read_u64(addr));
                 self.set_freg(ft, v);
             }
             Inst::FStore { ft, base, disp } => {
                 let addr = self.reg(base).wrapping_add_signed(disp as i64);
+                self.check_mem(pc, addr, 8)?;
                 mem_addr = Some(addr);
                 self.memory.write_u64(addr, self.freg(ft).to_bits());
             }
@@ -558,6 +634,79 @@ mod edge_case_tests {
         assert_eq!(b.next_pc, b.pc + 4, "fallthrough");
         emu.run(100).unwrap();
         assert_eq!(emu.reg(Reg::R2), 9);
+    }
+
+    #[test]
+    fn wild_address_is_a_structured_error() {
+        // An uninitialized base with a negative displacement wraps past
+        // zero to the top of the address space: MemOutOfRange, not an
+        // unbounded page allocation.
+        let mut a = Asm::new();
+        a.ldq(Reg::R2, Reg::R1, -8); // r1 = 0 -> addr = 2^64 - 8
+        a.halt();
+        let mut emu = Emulator::new(&a.assemble().unwrap());
+        assert_eq!(
+            emu.step(),
+            Err(EmuError::MemOutOfRange { pc: 0, addr: (-8i64) as u64, width: 8 })
+        );
+    }
+
+    #[test]
+    fn access_straddling_the_limit_is_out_of_range() {
+        let mut a = Asm::new();
+        a.stq(Reg::R2, Reg::R1, 0);
+        a.halt();
+        let mut emu = Emulator::new(&a.assemble().unwrap());
+        emu.set_reg(Reg::R1, MEM_ADDR_LIMIT - 4); // quad crosses the limit
+        assert_eq!(
+            emu.step(),
+            Err(EmuError::MemOutOfRange { pc: 0, addr: MEM_ADDR_LIMIT - 4, width: 8 })
+        );
+    }
+
+    #[test]
+    fn strict_alignment_is_opt_in() {
+        let build = || {
+            let mut a = Asm::new();
+            a.li(Reg::R1, 0x1_0003);
+            a.stl(Reg::R2, Reg::R1, 0);
+            a.halt();
+            Emulator::new(&a.assemble().unwrap())
+        };
+        // Default: unaligned access is legal.
+        let mut emu = build();
+        assert!(emu.run(100).is_ok());
+        // Strict: the same access is a structured error at the store.
+        let mut emu = build();
+        emu.set_strict_alignment(true);
+        assert!(matches!(emu.run(100), Err(EmuError::Misaligned { addr: 0x1_0003, width: 4, .. })));
+    }
+
+    #[test]
+    fn faulting_access_leaves_state_unchanged() {
+        let mut a = Asm::new();
+        a.ldq(Reg::R2, Reg::R1, -8);
+        a.halt();
+        let mut emu = Emulator::new(&a.assemble().unwrap());
+        assert!(emu.step().is_err());
+        assert_eq!(emu.pc(), 0, "faulting instruction does not advance the PC");
+        assert_eq!(emu.executed(), 0);
+        assert_eq!(emu.reg(Reg::R2), 0);
+    }
+
+    #[test]
+    fn arch_value_reads_both_files() {
+        use hpa_isa::ArchReg;
+        let mut a = Asm::new();
+        a.li(Reg::R1, 7);
+        a.itof(FReg::F2, Reg::R1);
+        a.halt();
+        let mut emu = Emulator::new(&a.assemble().unwrap());
+        emu.run(100).unwrap();
+        assert_eq!(emu.arch_value(ArchReg::from(Reg::R1)), 7);
+        assert_eq!(emu.arch_value(ArchReg::from(FReg::F2)), 7.0f64.to_bits());
+        assert_eq!(emu.arch_value(ArchReg::from(Reg::R31)), 0);
+        assert_eq!(emu.arch_value(ArchReg::from(FReg::F31)), 0.0f64.to_bits());
     }
 
     #[test]

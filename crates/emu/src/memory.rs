@@ -133,4 +133,76 @@ mod tests {
         m.write_u8(9, 0);
         assert_eq!(m.read_u64(8), 0xFFFF_FFFF_FFFF_00FF);
     }
+
+    /// Byte-granular overlap semantics: these are the semantics the LSQ
+    /// disambiguator relies on — a *covering* older store may forward its
+    /// value verbatim, while any partial overlap must produce the byte
+    /// merge that memory itself would, so the simulator conservatively
+    /// blocks partial overlaps and replays through memory.
+    mod overlap_semantics {
+        use super::*;
+
+        #[test]
+        fn covering_store_forwards_exact_value() {
+            let mut m = Memory::new();
+            m.write_u64(0x100, 0x1122_3344_5566_7788);
+            // A narrower load inside the stored quad reads the matching
+            // little-endian slice — exactly what LSQ forwarding returns.
+            assert_eq!(m.read_u32(0x100), 0x5566_7788);
+            assert_eq!(m.read_u32(0x104), 0x1122_3344);
+            assert_eq!(m.read_u8(0x107), 0x11);
+        }
+
+        #[test]
+        fn partial_width_store_then_wider_load_merges_bytes() {
+            let mut m = Memory::new();
+            m.write_u64(0x200, 0xAAAA_AAAA_AAAA_AAAA);
+            m.write_u32(0x202, 0x1234_5678);
+            // The wider load sees a byte merge of both stores: no single
+            // store covers it, so the LSQ would block rather than forward.
+            assert_eq!(m.read_u64(0x200), 0xAAAA_1234_5678_AAAA);
+        }
+
+        #[test]
+        fn unaligned_store_straddles_and_merges() {
+            let mut m = Memory::new();
+            m.write_u64(0x300, 0);
+            m.write_u64(0x308, u64::MAX);
+            m.write_u32(0x306, 0xDDCC_BBAA); // straddles the quad boundary
+            assert_eq!(m.read_u64(0x300), 0xBBAA_0000_0000_0000);
+            assert_eq!(m.read_u64(0x308), 0xFFFF_FFFF_FFFF_DDCC);
+        }
+
+        #[test]
+        fn overlapping_loads_see_latest_store_per_byte() {
+            let mut m = Memory::new();
+            m.write_u32(0x400, 0x0101_0101);
+            m.write_u8(0x401, 0xFF);
+            assert_eq!(m.read_u32(0x400), 0x0101_FF01);
+            // Unaligned load overlapping the patched byte.
+            assert_eq!(m.read_u32(0x3FE), 0xFF01_0000);
+        }
+    }
+
+    #[test]
+    fn unaligned_cross_page_round_trip() {
+        let mut m = Memory::new();
+        let addr = 2 * PAGE_SIZE - 3; // quad spans two pages, unaligned
+        m.write_u64(addr, 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.read_u64(addr), 0x0123_4567_89AB_CDEF);
+        assert_eq!(m.read_u8(addr), 0xEF);
+        assert_eq!(m.read_u8(addr + 7), 0x01);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn wrapping_byte_loop_is_total() {
+        // read_bytes/write_bytes wrap address arithmetic rather than
+        // panicking; the emulator rejects such addresses before access,
+        // but the Memory type itself stays a total function.
+        let mut m = Memory::new();
+        m.write_bytes(u64::MAX, &[0xAB, 0xCD]);
+        assert_eq!(m.read_u8(u64::MAX), 0xAB);
+        assert_eq!(m.read_u8(0), 0xCD);
+    }
 }

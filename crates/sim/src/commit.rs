@@ -1,0 +1,70 @@
+//! The commit hook: an instruction-by-instruction view of the retire
+//! stream, for lockstep co-simulation oracles.
+//!
+//! The simulator is execution-driven — architectural state always comes
+//! from the functional emulator stepped at fetch — so a timing bug cannot
+//! silently corrupt register or memory *values*. What a timing bug *can*
+//! do is corrupt the retire stream itself: drop, duplicate or reorder a
+//! commit, retire past a halt, or deadlock. A [`CommitHook`] observes
+//! every committed instruction in program order and can veto the run by
+//! returning an error, which surfaces as
+//! [`SimFault::Hook`](crate::SimFault::Hook) with a pipeline-state dump.
+
+use hpa_isa::{ArchReg, Inst};
+
+/// Everything the simulator knows about one committed instruction, in
+/// retirement (program) order.
+///
+/// The value fields (`dest_value`, `mem_data`) are captured from the
+/// functional emulator when the instruction executed, so a hook can check
+/// them against an independent shadow emulator without re-deriving them
+/// from pipeline state.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CommitRecord {
+    /// Global sequence number (program order, nops excluded).
+    pub seq: u64,
+    /// Cycle the instruction committed.
+    pub cycle: u64,
+    /// Fetch address.
+    pub pc: u64,
+    /// The committed instruction.
+    pub inst: Inst,
+    /// Architectural next PC.
+    pub next_pc: u64,
+    /// For control instructions: whether the transfer was taken.
+    pub taken: bool,
+    /// For loads/stores: the effective byte address.
+    pub mem_addr: Option<u64>,
+    /// Destination register, if the instruction writes one.
+    pub dest: Option<ArchReg>,
+    /// Value written to `dest` (f64 results as raw bits).
+    pub dest_value: Option<u64>,
+    /// For stores: the memory image of the stored bytes (zero-extended to
+    /// 64 bits for sub-quad widths).
+    pub mem_data: Option<u64>,
+}
+
+/// An observer of the retire stream.
+///
+/// Attached with [`Simulator::set_commit_hook`](crate::Simulator::set_commit_hook)
+/// and invoked once per committed instruction, in program order. Returning
+/// `Err` stops the simulation at that commit and surfaces the reason as a
+/// [`SimFault::Hook`](crate::SimFault::Hook) from
+/// [`Simulator::try_run`](crate::Simulator::try_run).
+pub trait CommitHook: std::fmt::Debug {
+    /// Observes one committed instruction.
+    ///
+    /// # Errors
+    ///
+    /// A description of the divergence, if the hook rejects the commit.
+    fn on_commit(&mut self, rec: &CommitRecord) -> Result<(), String>;
+
+    /// Clones the hook behind the trait object (`Simulator` is `Clone`).
+    fn box_clone(&self) -> Box<dyn CommitHook>;
+}
+
+impl Clone for Box<dyn CommitHook> {
+    fn clone(&self) -> Box<dyn CommitHook> {
+        self.box_clone()
+    }
+}

@@ -127,6 +127,13 @@ pub struct DynInst {
     /// Whether the instruction is enqueued on the scheduler's
     /// ready-candidate list (guards against duplicate enqueues).
     pub in_ready_list: bool,
+
+    /// Value written to the destination register, captured from the
+    /// emulator at fetch (f64 results as raw bits); for commit hooks.
+    pub dest_value: Option<u64>,
+    /// For stores: the stored bytes as memory holds them after the step;
+    /// for commit hooks.
+    pub mem_data: Option<u64>,
 }
 
 impl DynInst {
@@ -180,6 +187,8 @@ impl DynInst {
             rf_category: None,
             wakeup_pair_recorded: false,
             in_ready_list: false,
+            dest_value: None,
+            mem_data: None,
         }
     }
 

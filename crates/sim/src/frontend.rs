@@ -10,7 +10,7 @@ use crate::stats::SimStats;
 use hpa_bpred::{Btb, CombinedPredictor, Ras};
 use hpa_cache::Hierarchy;
 use hpa_emu::{EmuError, Emulator, StepRecord};
-use hpa_isa::{FormatClass, Inst, JumpKind, INST_BYTES};
+use hpa_isa::{FormatClass, Inst, JumpKind, MemWidth, INST_BYTES};
 use std::collections::VecDeque;
 
 /// One fetched instruction waiting in the front-end pipe.
@@ -23,6 +23,11 @@ pub struct FetchedInst {
     /// Whether fetch mispredicted this (control) instruction and is now
     /// stalled waiting for it to resolve.
     pub mispredicted: bool,
+    /// Value the instruction wrote to its destination register, captured
+    /// from the emulator at the fetch-time step (f64 results as raw bits).
+    pub dest_value: Option<u64>,
+    /// For stores: the stored bytes as memory holds them after the step.
+    pub mem_data: Option<u64>,
 }
 
 /// The fetch engine and front-end pipe.
@@ -155,6 +160,8 @@ impl FrontEnd {
                 step,
                 ready_cycle: cycle + u64::from(self.depth),
                 mispredicted,
+                dest_value: step.inst.dest().map(|d| self.emu.arch_value(d)),
+                mem_data: store_image(&self.emu, &step),
             });
             if mispredicted {
                 self.stalled = true;
@@ -217,6 +224,21 @@ impl FrontEnd {
             }
             _ => false,
         }
+    }
+}
+
+/// For a store step: the bytes just written, read back from the emulator's
+/// memory (zero-extended for sub-quad widths). `None` for non-stores.
+fn store_image(emu: &Emulator, step: &StepRecord) -> Option<u64> {
+    let addr = step.mem_addr?;
+    match step.inst {
+        Inst::Store { width, .. } => Some(match width {
+            MemWidth::Byte => u64::from(emu.memory().read_u8(addr)),
+            MemWidth::Long => u64::from(emu.memory().read_u32(addr)),
+            MemWidth::Quad => emu.memory().read_u64(addr),
+        }),
+        Inst::FStore { .. } => Some(emu.memory().read_u64(addr)),
+        _ => None,
     }
 }
 

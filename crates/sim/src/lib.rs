@@ -31,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod commit;
 mod config;
 mod dyninst;
 mod frontend;
@@ -40,11 +41,12 @@ mod stats;
 mod trace;
 pub mod wheel;
 
+pub use commit::{CommitHook, CommitRecord};
 pub use config::{
     BypassScheme, FuCounts, RecoveryKind, RegFileScheme, RenameScheme, SimConfig, WakeupScheme,
 };
 pub use dyninst::{DynInst, IState, RfCategory, SrcState};
-pub use pipeline::Simulator;
+pub use pipeline::{FaultInjection, SimFault, Simulator};
 pub use stats::{FormatStats, SimStats, WakeupOrderStats};
 pub use trace::{PipeTrace, TraceRecord};
 pub use wheel::EventWheel;

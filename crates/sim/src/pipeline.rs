@@ -25,6 +25,7 @@
 //! squashes the issue shadow `(t, t_detect]` (non-selective) or its
 //! dependent subset (selective, Figure 5).
 
+use crate::commit::{CommitHook, CommitRecord};
 use crate::config::{
     BypassScheme, RecoveryKind, RegFileScheme, RenameScheme, SimConfig, WakeupScheme,
 };
@@ -37,13 +38,90 @@ use crate::wheel::EventWheel;
 use hpa_asm::Program;
 use hpa_bpred::{LastArrivalBank, LastArrivalPredictor, PcTable, Side};
 use hpa_cache::Hierarchy;
-use hpa_emu::Emulator;
+use hpa_emu::{EmuError, Emulator};
 use hpa_isa::{Inst, NUM_ARCH_REGS};
 use std::collections::VecDeque;
+use std::fmt;
 
 /// Cycles without a commit after which `run` declares a deadlock
 /// (a simulator bug, not a program property).
 const DEADLOCK_LIMIT: u64 = 200_000;
+
+/// Why [`Simulator::try_run`] stopped before draining the machine. Every
+/// variant indicates a simulator bug (or an injected one), never a program
+/// property — which is exactly why the verification subsystem reports them
+/// as structured values instead of panicking mid-sweep.
+#[derive(Clone, Debug)]
+pub enum SimFault {
+    /// The functional emulator faulted while fetch stepped it.
+    Emu {
+        /// Cycle of the faulting fetch.
+        cycle: u64,
+        /// The underlying emulator error.
+        error: EmuError,
+    },
+    /// No instruction committed for [`DEADLOCK_LIMIT`] cycles.
+    Deadlock {
+        /// Cycle at which the deadlock was declared.
+        cycle: u64,
+        /// Debug rendering of the window head, if any.
+        head: String,
+    },
+    /// A per-cycle invariant check failed (strict-invariants mode).
+    Invariant {
+        /// Cycle of the violation.
+        cycle: u64,
+        /// The violated invariant.
+        reason: String,
+        /// Pipeline-state dump at the violation.
+        dump: String,
+    },
+    /// A [`CommitHook`] rejected a committed instruction.
+    Hook {
+        /// Sequence number of the rejected commit.
+        seq: u64,
+        /// Cycle of the rejected commit.
+        cycle: u64,
+        /// The hook's description of the divergence.
+        reason: String,
+        /// Pipeline-state dump at the rejected commit.
+        dump: String,
+    },
+}
+
+impl fmt::Display for SimFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimFault::Emu { cycle, error } => write!(f, "cycle {cycle}: emulator fault: {error}"),
+            SimFault::Deadlock { cycle, head } => {
+                write!(f, "no commit for {DEADLOCK_LIMIT} cycles at cycle {cycle} (head {head})")
+            }
+            SimFault::Invariant { cycle, reason, .. } => {
+                write!(f, "cycle {cycle}: invariant violated: {reason}")
+            }
+            SimFault::Hook { seq, cycle, reason, .. } => {
+                write!(f, "cycle {cycle}: commit hook rejected seq {seq}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimFault {}
+
+/// A deliberately planted scheduler bug, for mutation-testing the
+/// verification subsystem (does the oracle actually catch a broken
+/// wakeup?). Not part of the simulator's public contract.
+#[doc(hidden)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultInjection {
+    /// Starting with the `nth` wakeup delivery, the first delivery whose
+    /// consumer still has another pending operand wrongly marks that
+    /// operand ready too — a spurious wakeup with no producer broadcast.
+    SpuriousWakeup {
+        /// Delivery count (1-based) at which the injection arms.
+        nth: u64,
+    },
+}
 
 #[derive(Clone, Copy, Debug)]
 enum Event {
@@ -143,6 +221,18 @@ pub struct Simulator {
     /// Reusable per-cycle buffers; once warm, the cycle loop allocates
     /// nothing.
     scratch: Scratch,
+    /// Retire-stream observer (lockstep oracle); `None` in normal runs.
+    commit_hook: Option<Box<dyn CommitHook>>,
+    /// First fault observed; stops `try_run` at the end of the cycle.
+    fault: Option<SimFault>,
+    /// Run the full invariant sweep at the end of every cycle. Defaults to
+    /// the `strict-invariants` cargo feature; the verifier enables it at
+    /// runtime regardless of the feature.
+    strict_invariants: bool,
+    /// Armed fault injection (mutation testing), if any.
+    injection: Option<FaultInjection>,
+    /// Wakeup deliveries seen so far (drives the injection trigger).
+    wakeup_deliveries: u64,
 }
 
 /// Scratch buffers for the hot cycle loop. Each phase takes the buffer it
@@ -232,7 +322,34 @@ impl Simulator {
             committed_total: 0,
             stats_start_cycle: 0,
             scratch: Scratch::default(),
+            commit_hook: None,
+            fault: None,
+            strict_invariants: cfg!(feature = "strict-invariants"),
+            injection: None,
+            wakeup_deliveries: 0,
         }
+    }
+
+    /// Attaches a retire-stream observer, called once per committed
+    /// instruction in program order. A hook error stops the run with
+    /// [`SimFault::Hook`].
+    pub fn set_commit_hook(&mut self, hook: Box<dyn CommitHook>) {
+        self.commit_hook = Some(hook);
+    }
+
+    /// Runs the full [`Simulator::check_invariants`] sweep at the end of
+    /// every cycle, converting the first violation into
+    /// [`SimFault::Invariant`]. On by default when the crate is built with
+    /// the `strict-invariants` feature.
+    pub fn set_strict_invariants(&mut self, on: bool) {
+        self.strict_invariants = on;
+    }
+
+    /// Plants a scheduler bug (mutation testing of the verification
+    /// subsystem).
+    #[doc(hidden)]
+    pub fn inject_fault(&mut self, injection: FaultInjection) {
+        self.injection = Some(injection);
     }
 
     /// The accumulated statistics (finalized by [`Simulator::run`]).
@@ -303,31 +420,60 @@ impl Simulator {
         matches!(self.config.wakeup, WakeupScheme::SequentialWakeup { .. })
     }
 
-    /// Whether the machine still has work: not finished, and either the
-    /// front end or the window holds instructions.
+    /// Whether the machine still has work: not finished or faulted, and
+    /// either the front end or the window holds instructions.
     fn active(&self) -> bool {
-        !(self.finished || (self.frontend.drained() && self.window.is_empty()))
+        !(self.finished
+            || self.fault.is_some()
+            || (self.frontend.drained() && self.window.is_empty()))
     }
 
     /// Runs the simulation to completion and returns the final statistics.
     ///
     /// # Panics
     ///
-    /// Panics if no instruction commits for a very long time, which would
-    /// indicate a scheduling deadlock (a simulator bug).
+    /// Panics on any [`SimFault`] — an emulator fault at fetch or a
+    /// scheduling deadlock (both simulator bugs). Use
+    /// [`Simulator::try_run`] to receive faults as values instead.
     pub fn run(&mut self) -> &SimStats {
+        if let Err(fault) = self.try_run() {
+            panic!("{fault}");
+        }
+        &self.stats
+    }
+
+    /// Runs the simulation to completion, reporting any [`SimFault`] as a
+    /// value so verification sweeps can collect and localize failures
+    /// instead of panicking.
+    ///
+    /// Statistics are finalized either way; on `Err` they cover the cycles
+    /// up to the fault.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SimFault`] observed: an emulator fault at fetch, a
+    /// commit-hook divergence, a strict-invariants violation, or a
+    /// scheduling deadlock.
+    pub fn try_run(&mut self) -> Result<(), SimFault> {
         let mut last_progress = (0u64, 0u64);
+        let mut result = Ok(());
         while self.active() {
             self.step_cycle();
+            if let Some(fault) = self.fault.take() {
+                self.fault = Some(fault.clone());
+                result = Err(fault);
+                break;
+            }
             if self.stats.committed != last_progress.0 {
                 last_progress = (self.stats.committed, self.cycle);
             }
-            assert!(
-                self.cycle - last_progress.1 < DEADLOCK_LIMIT,
-                "no commit for {DEADLOCK_LIMIT} cycles at cycle {} (head {:?})",
-                self.cycle,
-                self.window.front().map(|i| (i.seq, i.state, i.inst.to_string()))
-            );
+            if self.cycle - last_progress.1 >= DEADLOCK_LIMIT {
+                let head = format!("{:?}", self.window.front().map(|i| (i.seq, i.state, &i.inst)));
+                let fault = SimFault::Deadlock { cycle: self.cycle, head };
+                self.fault = Some(fault.clone());
+                result = Err(fault);
+                break;
+            }
         }
         self.stats.cycles = self.cycle - self.stats_start_cycle;
         self.stats.hierarchy = self.hierarchy.stats();
@@ -335,7 +481,14 @@ impl Simulator {
         if let Some(t) = self.trace.as_mut() {
             t.flush();
         }
-        &self.stats
+        result
+    }
+
+    /// The first fault observed so far, if any (set by faulting phases and
+    /// by strict-invariants checking; cleared only by construction).
+    #[must_use]
+    pub fn fault(&self) -> Option<&SimFault> {
+        self.fault.as_ref()
     }
 
     /// Advances the machine by one cycle.
@@ -345,12 +498,24 @@ impl Simulator {
         self.phase_select();
         self.phase_events();
         self.phase_commit();
-        if !self.finished {
+        if !self.finished && self.fault.is_none() {
             self.phase_fetch();
             self.phase_insert();
         }
         self.cycle += 1;
         self.blocked_slots = std::mem::take(&mut self.blocked_slots_next);
+        if self.injection.is_some() {
+            self.maybe_inject_spurious_wakeup();
+        }
+        if self.strict_invariants && self.fault.is_none() {
+            if let Err(reason) = self.check_invariants_result() {
+                self.fault = Some(SimFault::Invariant {
+                    cycle: self.cycle,
+                    reason,
+                    dump: self.dump_state(),
+                });
+            }
+        }
     }
 
     // ---------------------------------------------------------- wakeup --
@@ -418,6 +583,48 @@ impl Simulator {
             let fast = c.fast_slot;
             self.record_wakeup_pair(pc, cycles[0], cycles[1], fast);
         }
+        if self.injection.is_some() {
+            self.wakeup_deliveries += 1;
+        }
+    }
+
+    /// Mutation testing: once armed and past its wakeup-delivery count,
+    /// the end of the cycle wrongly marks one genuinely-pending operand
+    /// ready — its producer has not broadcast and the consumer is not on
+    /// the ready list — with no enqueue, exactly the kind of missed-wakeup
+    /// scheduler bug the strict invariant sweep exists to catch. Runs at
+    /// end of cycle so a same-cycle broadcast of the chosen producer
+    /// cannot retroactively legitimize the marking.
+    fn maybe_inject_spurious_wakeup(&mut self) {
+        let Some(FaultInjection::SpuriousWakeup { nth }) = self.injection else { return };
+        if self.wakeup_deliveries < nth {
+            return;
+        }
+        let cycle = self.cycle;
+        let mut target = None;
+        'scan: for i in &self.window {
+            if i.state != IState::Waiting || i.in_ready_list {
+                continue;
+            }
+            for (k, s) in i.srcs.iter().enumerate() {
+                let Some(s) = s else { continue };
+                if s.ready {
+                    continue;
+                }
+                let Some(p) = s.producer else { continue };
+                if p >= self.head_seq && self.inst(p).is_some_and(|pi| !pi.broadcast_done) {
+                    target = Some((i.seq, k));
+                    break 'scan;
+                }
+            }
+        }
+        let Some((seq, slot)) = target else { return };
+        let Some(c) = self.inst_mut(seq) else { return };
+        let Some(src) = c.srcs[slot].as_mut() else { return };
+        src.ready = true;
+        src.effective_cycle = cycle;
+        src.broadcast_cycle = cycle;
+        self.injection = None; // fire once
     }
 
     fn record_wakeup_pair(&mut self, pc: u64, left: u64, right: u64, fast_slot: usize) {
@@ -984,6 +1191,31 @@ impl Simulator {
                 }
             }
             let cycle = self.cycle;
+            if let Some(mut hook) = self.commit_hook.take() {
+                let rec = CommitRecord {
+                    seq: head.seq,
+                    cycle,
+                    pc: head.pc,
+                    inst: head.inst,
+                    next_pc: head.next_pc,
+                    taken: head.taken,
+                    mem_addr: head.mem_addr,
+                    dest: head.dest,
+                    dest_value: head.dest_value,
+                    mem_data: head.mem_data,
+                };
+                let verdict = hook.on_commit(&rec);
+                self.commit_hook = Some(hook);
+                if let Err(reason) = verdict {
+                    self.fault = Some(SimFault::Hook {
+                        seq: head.seq,
+                        cycle,
+                        reason,
+                        dump: self.dump_state(),
+                    });
+                    return;
+                }
+            }
             if let Some(t) = self.trace.as_mut() {
                 t.line(format_args!("{cycle} COMMIT {} pc={:#x} {}", head.seq, head.pc, head.inst));
             }
@@ -1029,9 +1261,13 @@ impl Simulator {
     // ----------------------------------------------------------- front --
 
     fn phase_fetch(&mut self) {
-        self.frontend
-            .run_cycle(self.cycle, &mut self.hierarchy, &mut self.stats)
-            .expect("verified workloads do not fault");
+        if let Err(error) =
+            self.frontend.run_cycle(self.cycle, &mut self.hierarchy, &mut self.stats)
+        {
+            // A program bug (wild PC or data address), surfaced as a
+            // structured fault so fuzzing sweeps can report it.
+            self.fault = Some(SimFault::Emu { cycle: self.cycle, error });
+        }
     }
 
     fn phase_insert(&mut self) {
@@ -1064,6 +1300,8 @@ impl Simulator {
             let mut di = DynInst::from_step(seq, &f.step);
             di.insert_cycle = self.cycle;
             di.mispredicted = f.mispredicted;
+            di.dest_value = f.dest_value;
+            di.mem_data = f.mem_data;
 
             // Rename the scheduler sources against in-flight producers.
             for slot in 0..2 {
@@ -1660,31 +1898,61 @@ mod extension_tests {
     }
 }
 
+/// Early-returns a formatted violation description when `cond` is false.
+macro_rules! ensure {
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
 impl Simulator {
     /// Checks the scheduler's internal invariants; intended for tests and
     /// debugging (it walks the whole window).
     ///
     /// # Panics
     ///
-    /// Panics with a description of the violated invariant.
+    /// Panics with a description of the violated invariant. Use
+    /// [`Simulator::check_invariants_result`] to receive the violation as
+    /// a value.
     pub fn check_invariants(&self) {
+        if let Err(reason) = self.check_invariants_result() {
+            panic!("{reason}");
+        }
+    }
+
+    /// Checks the scheduler's internal invariants, returning the first
+    /// violation as a description instead of panicking. Runs every cycle
+    /// under strict-invariants mode (the `strict-invariants` cargo feature
+    /// or [`Simulator::set_strict_invariants`]), where a violation
+    /// surfaces as [`SimFault::Invariant`].
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated invariant.
+    pub fn check_invariants_result(&self) -> Result<(), String> {
         // Window sequencing and capacity.
-        assert!(self.window.len() <= self.config.ruu_size, "RUU overfull");
-        assert!(self.lsq_used <= self.config.lsq_size, "LSQ overfull");
+        ensure!(self.window.len() <= self.config.ruu_size, "RUU overfull");
+        ensure!(self.lsq_used <= self.config.lsq_size, "LSQ overfull");
         let mem_in_window = self.window.iter().filter(|i| i.is_mem()).count();
-        assert_eq!(mem_in_window, self.lsq_used, "LSQ accounting drift");
+        ensure!(
+            mem_in_window == self.lsq_used,
+            "LSQ accounting drift: {mem_in_window} mem ops in window, lsq_used {}",
+            self.lsq_used
+        );
         for (k, i) in self.window.iter().enumerate() {
-            assert_eq!(i.seq, self.head_seq + k as u64, "window seq gap at {k}");
+            ensure!(i.seq == self.head_seq + k as u64, "window seq gap at {k}");
             // An operand marked ready must have an available producer:
             // committed, already-broadcast, or (transiently, between a
             // wakeup and its squash recompute) an in-window producer.
             for src in i.srcs_iter() {
                 if let Some(p) = src.producer {
-                    assert!(p < i.seq, "source produced by younger inst");
+                    ensure!(p < i.seq, "source of seq {} produced by younger inst {p}", i.seq);
                     if src.ready && i.state == IState::Waiting {
                         let avail =
                             p < self.head_seq || self.inst(p).is_some_and(|pi| pi.broadcast_done);
-                        assert!(
+                        ensure!(
                             avail,
                             "seq {} waiting with ready operand from unavailable producer {p}",
                             i.seq
@@ -1694,19 +1962,22 @@ impl Simulator {
             }
             // Completed instructions have a coherent timeline.
             if i.state == IState::Completed {
-                assert!(i.complete_cycle >= i.issue_cycle, "completion precedes issue");
+                ensure!(
+                    i.complete_cycle >= i.issue_cycle,
+                    "seq {} completion precedes issue",
+                    i.seq
+                );
             }
         }
         // Rename entries point at live window entries that really write
         // that register.
         for (idx, entry) in self.rename.iter().enumerate() {
             if let Some(seq) = entry {
-                let i = self
-                    .inst(*seq)
-                    .unwrap_or_else(|| panic!("rename[{idx}] points outside the window"));
-                assert_eq!(
-                    i.dest.map(|d| d.index()),
-                    Some(idx),
+                let Some(i) = self.inst(*seq) else {
+                    return Err(format!("rename[{idx}] points outside the window"));
+                };
+                ensure!(
+                    i.dest.map(|d| d.index()) == Some(idx),
                     "rename[{idx}] points at a non-producer"
                 );
             }
@@ -1715,7 +1986,10 @@ impl Simulator {
         let window_stores: Vec<u64> =
             self.window.iter().filter(|i| i.is_store()).map(|i| i.seq).collect();
         let queued: Vec<u64> = self.store_queue.iter().copied().collect();
-        assert_eq!(queued, window_stores, "store queue out of sync with window stores");
+        ensure!(
+            queued == window_stores,
+            "store queue out of sync with window stores: {queued:?} vs {window_stores:?}"
+        );
         // The ready list holds no duplicates, its entries are flagged, and
         // every Waiting instruction whose scheme-level wakeup condition
         // holds is on it (the list may also hold already-issued or
@@ -1724,28 +1998,79 @@ impl Simulator {
         listed.sort_unstable();
         let before = listed.len();
         listed.dedup();
-        assert_eq!(listed.len(), before, "duplicate ready-list entries");
+        ensure!(listed.len() == before, "duplicate ready-list entries");
         for &seq in &self.ready_list {
             if let Some(i) = self.inst(seq) {
-                assert!(i.in_ready_list, "ready-listed seq {seq} not flagged");
+                ensure!(i.in_ready_list, "ready-listed seq {seq} not flagged");
             }
         }
         for i in &self.window {
             if i.in_ready_list {
-                assert!(
+                ensure!(
                     listed.binary_search(&i.seq).is_ok(),
                     "seq {} flagged in_ready_list but not listed",
                     i.seq
                 );
             }
             if i.state == IState::Waiting && wakeup_ready(i, self.config.wakeup) {
-                assert!(
+                ensure!(
                     i.in_ready_list,
                     "waiting seq {} is wakeup-ready but not on the ready list",
                     i.seq
                 );
             }
         }
+        Ok(())
+    }
+
+    /// Renders the pipeline state — cycle, occupancy and a per-entry line
+    /// for the window head region — for first-divergence reports. Long
+    /// windows are truncated.
+    #[must_use]
+    pub fn dump_state(&self) -> String {
+        use std::fmt::Write as _;
+        const MAX_LINES: usize = 24;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "cycle {} | window {}/{} (head seq {}) | lsq {}/{} | ready-list {} | {}",
+            self.cycle,
+            self.window.len(),
+            self.config.ruu_size,
+            self.head_seq,
+            self.lsq_used,
+            self.config.lsq_size,
+            self.ready_list.len(),
+            if self.finished { "finished" } else { "running" },
+        );
+        for i in self.window.iter().take(MAX_LINES) {
+            let srcs: Vec<String> = i
+                .srcs_iter()
+                .map(|s| {
+                    format!(
+                        "{}{}{}",
+                        s.reg,
+                        if s.ready { "+" } else { "-" },
+                        s.producer.map(|p| format!("<{p}")).unwrap_or_default()
+                    )
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "  seq {:>4} {:9} pc={:#06x} {:24} [{}]{}{}",
+                i.seq,
+                format!("{:?}", i.state),
+                i.pc,
+                i.inst.to_string(),
+                srcs.join(" "),
+                if i.in_ready_list { " ready-listed" } else { "" },
+                if i.replays > 0 { " replayed" } else { "" },
+            );
+        }
+        if self.window.len() > MAX_LINES {
+            let _ = writeln!(out, "  ... {} more window entries", self.window.len() - MAX_LINES);
+        }
+        out
     }
 }
 
@@ -1799,6 +2124,158 @@ mod invariant_tests {
             // All dynamic instructions commit (no nops in this program).
             assert_eq!(sim.stats.committed, sim.emulator().executed());
         }
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::commit::{CommitHook, CommitRecord};
+    use hpa_asm::Asm;
+    use hpa_isa::Reg;
+
+    fn replay_heavy_program() -> Program {
+        let mut a = Asm::new();
+        a.li(Reg::R1, 0x1_0000);
+        a.li(Reg::R9, 30);
+        a.label("loop");
+        a.ldq(Reg::R2, Reg::R1, 0);
+        a.add(Reg::R3, Reg::R2, Reg::R3);
+        a.stq(Reg::R3, Reg::R1, 8);
+        a.ldq(Reg::R4, Reg::R1, 8);
+        a.add(Reg::R5, Reg::R4, Reg::R2);
+        a.add(Reg::R1, Reg::R1, 64);
+        a.sub(Reg::R9, Reg::R9, 1);
+        a.bgt(Reg::R9, "loop");
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    /// Records the retire stream, asserting program order.
+    #[derive(Clone, Debug, Default)]
+    struct Recorder {
+        seqs: Vec<u64>,
+        cycles: Vec<u64>,
+    }
+
+    impl CommitHook for Recorder {
+        fn on_commit(&mut self, rec: &CommitRecord) -> Result<(), String> {
+            if let Some(&last) = self.seqs.last() {
+                if rec.seq != last + 1 {
+                    return Err(format!("out-of-order commit: {} after {last}", rec.seq));
+                }
+            }
+            self.seqs.push(rec.seq);
+            self.cycles.push(rec.cycle);
+            Ok(())
+        }
+        fn box_clone(&self) -> Box<dyn CommitHook> {
+            Box::new(self.clone())
+        }
+    }
+
+    /// Rejects the nth commit, to exercise the Hook fault path.
+    #[derive(Clone, Debug)]
+    struct RejectNth {
+        n: u64,
+        seen: u64,
+    }
+
+    impl CommitHook for RejectNth {
+        fn on_commit(&mut self, _rec: &CommitRecord) -> Result<(), String> {
+            self.seen += 1;
+            if self.seen == self.n {
+                return Err("synthetic divergence".into());
+            }
+            Ok(())
+        }
+        fn box_clone(&self) -> Box<dyn CommitHook> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn commit_hook_observes_the_full_retire_stream_unchanged() {
+        let p = replay_heavy_program();
+        // Reference run without a hook.
+        let mut plain = Simulator::new(&p, SimConfig::four_wide());
+        plain.run();
+        // Hooked run: same timing, every commit observed, in order.
+        let mut sim = Simulator::new(&p, SimConfig::four_wide());
+        sim.set_commit_hook(Box::new(Recorder::default()));
+        sim.try_run().expect("no fault");
+        assert_eq!(sim.stats().committed, plain.stats().committed);
+        assert_eq!(sim.stats().cycles, plain.stats().cycles, "hook must not change timing");
+    }
+
+    #[test]
+    fn hook_rejection_is_a_localized_fault() {
+        let p = replay_heavy_program();
+        let mut sim = Simulator::new(&p, SimConfig::four_wide());
+        sim.set_commit_hook(Box::new(RejectNth { n: 5, seen: 0 }));
+        let fault = sim.try_run().expect_err("hook rejects commit 5");
+        match fault {
+            SimFault::Hook { seq, reason, ref dump, .. } => {
+                assert_eq!(seq, 4, "5th commit is seq 4");
+                assert!(reason.contains("synthetic divergence"));
+                assert!(dump.contains("cycle"), "dump present: {dump}");
+            }
+            other => panic!("wrong fault: {other}"),
+        }
+        assert!(sim.fault().is_some());
+    }
+
+    #[test]
+    fn injected_spurious_wakeup_is_caught_by_strict_invariants() {
+        let p = replay_heavy_program();
+        let mut sim = Simulator::new(&p, SimConfig::four_wide());
+        sim.set_strict_invariants(true);
+        sim.inject_fault(FaultInjection::SpuriousWakeup { nth: 3 });
+        let fault = sim.try_run().expect_err("planted wakeup bug must be caught");
+        match fault {
+            SimFault::Invariant { reason, .. } => {
+                assert!(
+                    reason.contains("unavailable producer")
+                        || reason.contains("not on the ready list"),
+                    "localized to the wakeup invariant: {reason}"
+                );
+            }
+            other => panic!("wrong fault: {other}"),
+        }
+    }
+
+    #[test]
+    fn without_injection_strict_invariants_pass() {
+        let p = replay_heavy_program();
+        let mut sim = Simulator::new(&p, SimConfig::four_wide());
+        sim.set_strict_invariants(true);
+        sim.try_run().expect("clean run");
+    }
+
+    #[test]
+    fn emulator_fault_surfaces_as_sim_fault() {
+        // A wild store: uninitialized base, negative displacement.
+        let mut a = Asm::new();
+        a.stq(Reg::R2, Reg::R1, -8);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut sim = Simulator::new(&p, SimConfig::four_wide());
+        let fault = sim.try_run().expect_err("wild address faults");
+        assert!(matches!(
+            fault,
+            SimFault::Emu { error: hpa_emu::EmuError::MemOutOfRange { .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn try_run_matches_run_on_clean_programs() {
+        let p = replay_heavy_program();
+        let mut a = Simulator::new(&p, SimConfig::four_wide());
+        a.run();
+        let mut b = Simulator::new(&p, SimConfig::four_wide());
+        b.try_run().unwrap();
+        assert_eq!(a.stats().cycles, b.stats().cycles);
+        assert_eq!(a.stats().committed, b.stats().committed);
     }
 }
 

@@ -1,0 +1,99 @@
+//! Delta-debugging reduction of failing generated programs.
+
+use crate::generate::GenProgram;
+
+/// Minimizes `gen` with respect to `fails` (which must return `true` for
+/// `gen` itself): repeatedly deletes body chunks ddmin-style (halves, then
+/// quarters, down to single instructions), reduces the loop count, and
+/// zeroes register seeds, keeping each change only if the program still
+/// fails. Deletion subsets always terminate by construction (forward-only
+/// clamped skips), so `fails` never has to worry about hangs.
+#[must_use]
+pub fn shrink(gen: &GenProgram, fails: impl Fn(&GenProgram) -> bool) -> GenProgram {
+    let mut best = gen.clone();
+
+    // Fewer loop iterations first: cheaper re-runs for everything below.
+    for iters in 1..best.iters {
+        let candidate = GenProgram { iters, ..best.clone() };
+        if fails(&candidate) {
+            best = candidate;
+            break;
+        }
+    }
+
+    // ddmin over the body: try deleting chunks, refining the granularity
+    // whenever a whole pass makes no progress.
+    let mut chunk = (best.body.len() / 2).max(1);
+    loop {
+        let mut progressed = false;
+        let mut start = 0;
+        while start < best.body.len() {
+            let end = (start + chunk).min(best.body.len());
+            let mut candidate = best.clone();
+            candidate.body.drain(start..end);
+            if fails(&candidate) {
+                best = candidate;
+                progressed = true;
+                // Same `start` now addresses the next chunk.
+            } else {
+                start = end;
+            }
+        }
+        if !progressed {
+            if chunk == 1 {
+                break;
+            }
+            chunk = (chunk / 2).max(1);
+        }
+    }
+
+    // Zero the register seeds where the failure doesn't depend on them.
+    for k in 0..best.int_seeds.len() {
+        if best.int_seeds[k] == 0 {
+            continue;
+        }
+        let mut candidate = best.clone();
+        candidate.int_seeds[k] = 0;
+        if fails(&candidate) {
+            best = candidate;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::GenInst;
+    use hpa_core::isa::MemWidth;
+    use hpa_core::workloads::SplitMix64;
+
+    #[test]
+    fn shrinks_to_the_guilty_instruction() {
+        let mut rng = SplitMix64::new(99);
+        let gen = GenProgram::random(&mut rng);
+        // Synthetic failure predicate: "fails" iff the body still contains
+        // a quad store. The shrinker should strip everything else.
+        let guilty = |g: &GenProgram| {
+            g.body.iter().any(|i| matches!(i, GenInst::Store { width: MemWidth::Quad, .. }))
+        };
+        if !guilty(&gen) {
+            return; // this seed drew no quad store; nothing to shrink
+        }
+        let small = shrink(&gen, guilty);
+        assert!(guilty(&small));
+        assert_eq!(small.body.len(), 1, "exactly the guilty instruction survives");
+        assert_eq!(small.iters, 1);
+        assert_eq!(small.int_seeds, [0; 4]);
+    }
+
+    #[test]
+    fn never_returns_a_passing_program() {
+        let mut rng = SplitMix64::new(5);
+        let gen = GenProgram::random(&mut rng);
+        let fails = |g: &GenProgram| g.body.len() >= 3;
+        let small = shrink(&gen, fails);
+        assert!(fails(&small));
+        assert_eq!(small.body.len(), 3);
+    }
+}

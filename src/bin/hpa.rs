@@ -9,12 +9,16 @@
 //! hpa sim prog.s [--scheme S] [--width W] [--trace N]  # cycle-level simulation
 //! hpa bench mcf [--scheme S] [--scale T] # one built-in benchmark
 //! hpa bench all --scheme all [--jobs N]  # full sweep, parallel cells
+//! hpa verify prog.s [--scheme S]         # lockstep-check one program
+//! hpa verify tests/corpus                # replay a reproducer corpus
+//! hpa fuzz [--iters N] [--seed S]        # differential fuzzing campaign
 //! ```
 
 use half_price::asm::parse_program;
 use half_price::emu::Emulator;
 use half_price::isa::Reg;
 use half_price::sim::{SimStats, Simulator};
+use half_price::verify;
 use half_price::workloads::{workload, Scale, WORKLOAD_NAMES};
 use half_price::{MachineWidth, Scheme};
 use std::process::ExitCode;
@@ -27,13 +31,17 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         _ => {
             eprintln!(
-                "usage: hpa <list|asm|run|sim|bench> ...\n\
+                "usage: hpa <list|asm|run|sim|bench|verify|fuzz> ...\n\
                  \n  hpa list\n  hpa asm <file.s>\n  hpa run <file.s> [--insts N]\n  \
                  hpa sim <file.s> [--scheme S] [--width 4|8]\n  \
                  hpa bench <name|all> [--scheme S|all] [--scale tiny|default|large] \
-                 [--width 4|8] [--jobs N]"
+                 [--width 4|8] [--jobs N]\n  \
+                 hpa verify <file.s|dir> [--scheme S|all] [--width 4|8]\n  \
+                 hpa fuzz [--iters N] [--seed S] [--jobs N] [--corpus DIR]"
             );
             return ExitCode::from(2);
         }
@@ -57,29 +65,13 @@ fn list() -> CliResult {
     }
     println!("\nschemes:");
     for s in Scheme::ALL {
-        println!("  {:22} (--scheme {})", s.label(), scheme_key(s));
+        println!("  {:22} (--scheme {})", s.label(), s.key());
     }
     Ok(())
 }
 
-fn scheme_key(s: Scheme) -> &'static str {
-    match s {
-        Scheme::Base => "base",
-        Scheme::SeqWakeupPredictor => "seq-wakeup",
-        Scheme::SeqWakeupStatic => "seq-wakeup-static",
-        Scheme::TagElimination => "tag-elimination",
-        Scheme::SeqRegAccess => "seq-rf",
-        Scheme::ExtraRfStage => "extra-rf-stage",
-        Scheme::HalfPortsCrossbar => "crossbar",
-        Scheme::Combined => "combined",
-    }
-}
-
 fn parse_scheme(key: &str) -> Result<Scheme, String> {
-    Scheme::ALL
-        .into_iter()
-        .find(|s| scheme_key(*s) == key)
-        .ok_or_else(|| format!("unknown scheme `{key}`; see `hpa list`"))
+    Scheme::from_key(key).ok_or_else(|| format!("unknown scheme `{key}`; see `hpa list`"))
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -206,6 +198,110 @@ fn cmd_bench(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Checks a program (or a whole corpus directory) against the lockstep
+/// oracle. A single file runs either one scheme (`--scheme S`) or the full
+/// differential set; a directory replays every `.s` reproducer in it.
+fn cmd_verify(args: &[String]) -> CliResult {
+    let target = args
+        .iter()
+        .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
+        .ok_or("missing file or directory; usage: hpa verify <file.s|dir>")?;
+    let path = std::path::Path::new(target);
+
+    if path.is_dir() {
+        let report = verify::replay_dir(path)?;
+        for (file, scheme, d) in &report.failures {
+            eprintln!("FAIL {} under `{}`:\n{d}", file.display(), scheme.key());
+        }
+        if !report.failures.is_empty() {
+            return Err(format!(
+                "{} of {} corpus case(s) diverged",
+                report.failures.len(),
+                report.cases
+            )
+            .into());
+        }
+        println!("corpus clean: {} case(s) replayed from {target}", report.cases);
+        return Ok(());
+    }
+
+    let case = verify::load_case(path)?;
+    let width = if flag(args, "--width").is_some() { machine_width(args)? } else { case.width };
+    let variant = verify::Variant { width, selective_recovery: false, small_pc_table: false };
+    match flag(args, "--scheme").as_deref() {
+        None | Some("all") => {
+            verify::run_differential(&case.program, variant).map_err(|(scheme, d)| {
+                format!("{target} diverged under `{}`:\n{d}", scheme.key())
+            })?;
+            println!(
+                "{target}: {} scheme(s) agree in lockstep on the {} machine",
+                verify::FUZZ_SCHEMES.len(),
+                width.label()
+            );
+        }
+        Some(key) => {
+            let scheme = parse_scheme(key)?;
+            let out = verify::run_lockstep(&case.program, variant.configure(scheme))
+                .map_err(|d| format!("{target} diverged under `{key}`:\n{d}"))?;
+            println!(
+                "{target}: lockstep clean under {} ({} committed, {} cycles)",
+                scheme.label(),
+                out.committed,
+                out.cycles
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Runs a differential fuzzing campaign; shrunk reproducers for any
+/// divergence land in the corpus directory (default `tests/corpus`).
+fn cmd_fuzz(args: &[String]) -> CliResult {
+    let mut cfg = verify::FuzzConfig::default();
+    if let Some(v) = flag(args, "--iters") {
+        cfg.iters = v.parse()?;
+    }
+    if let Some(v) = flag(args, "--seed") {
+        cfg.seed = v.parse()?;
+    }
+    if let Some(v) = flag(args, "--jobs") {
+        cfg.jobs = match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("bad --jobs `{v}` (want an integer >= 1)").into()),
+        };
+    }
+    let corpus = flag(args, "--corpus").unwrap_or_else(|| "tests/corpus".into());
+    cfg.corpus_dir = Some(corpus.clone().into());
+
+    let t0 = std::time::Instant::now();
+    let report = verify::fuzz(&cfg);
+    println!(
+        "fuzz: {} program(s), {} lockstep run(s), seed {}, {} job(s), {:.1}s",
+        report.iters,
+        report.runs,
+        cfg.seed,
+        cfg.jobs,
+        t0.elapsed().as_secs_f64()
+    );
+    if report.failures.is_empty() {
+        println!("no divergences");
+        return Ok(());
+    }
+    for f in &report.failures {
+        eprintln!(
+            "FAIL iteration {} under `{}` ({} machine):\n{}",
+            f.index,
+            f.scheme.key(),
+            f.variant.width.label(),
+            f.divergence
+        );
+        if let Some(p) = &f.reproducer {
+            eprintln!("  reproducer written to {}", p.display());
+        }
+    }
+    Err(format!("{} divergence(s); reproducers in {corpus}", report.failures.len()).into())
+}
+
 /// Whether `a` is the value of a preceding `--flag` (so the benchmark-name
 /// scan skips e.g. the `4` of `--jobs 4`).
 fn is_flag_value(args: &[String], a: &String) -> bool {
@@ -239,10 +335,10 @@ fn bench_matrix_schemes(
         width.label(),
         t0.elapsed().as_secs_f64()
     );
-    let col = schemes.iter().map(|&s| scheme_key(s).len()).max().unwrap_or(0).max(8);
+    let col = schemes.iter().map(|&s| s.key().len()).max().unwrap_or(0).max(8);
     print!("{:10}", "bench");
     for &s in schemes {
-        print!(" {:>col$}", scheme_key(s));
+        print!(" {:>col$}", s.key());
     }
     println!();
     for row in &m.rows {

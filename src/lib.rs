@@ -21,3 +21,4 @@
 #![warn(missing_docs)]
 
 pub use hpa_core::*;
+pub use hpa_verify as verify;

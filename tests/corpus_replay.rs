@@ -1,0 +1,26 @@
+//! Replays every checked-in reproducer in `tests/corpus/` through the full
+//! differential lockstep check. Any file the fuzzer (or a human) drops in
+//! the corpus becomes a permanent regression guard; a divergence here means
+//! a previously-fixed scheduler bug has come back.
+
+use half_price::verify::replay_dir;
+use std::path::Path;
+
+#[test]
+fn corpus_reproducers_replay_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let report = replay_dir(&dir).expect("corpus files load and parse");
+    assert!(
+        report.cases >= 4,
+        "seed corpus missing — regenerate with \
+         `cargo run --release -p hpa-verify --example seed_corpus -- tests/corpus` \
+         (found {} case(s))",
+        report.cases
+    );
+    let summary: Vec<String> = report
+        .failures
+        .iter()
+        .map(|(path, scheme, d)| format!("{} under `{}`: {d}", path.display(), scheme.key()))
+        .collect();
+    assert!(summary.is_empty(), "corpus divergences:\n{}", summary.join("\n"));
+}

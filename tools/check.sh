@@ -16,6 +16,21 @@ cargo build --release --workspace
 echo "== cargo test (workspace) =="
 cargo test -q --workspace
 
+echo "== cargo test (sim, strict-invariants) =="
+# The fuzzer always runs with runtime invariants on; this pass makes sure
+# the compile-time feature gate builds and the sim suite holds under it.
+cargo test -q -p hpa-sim --features strict-invariants
+
+echo "== fuzz smoke (fixed seed) =="
+# Differential fuzzing gate: 200 random programs, each run in lockstep with
+# the shadow emulator under base + three half-price schemes. Any divergence
+# exits non-zero and leaves a shrunk reproducer in tests/corpus/.
+cargo run --release -q --bin hpa -- fuzz --iters 200 --seed 42
+
+echo "== corpus replay =="
+# Replay every checked-in reproducer through the full differential check.
+cargo run --release -q --bin hpa -- verify tests/corpus
+
 echo "== perf smoke (tiny) =="
 out="$(mktemp /tmp/hpa-perf-smoke.XXXXXX.json)"
 cargo run --release -q -p hpa-bench --bin perf_smoke -- --scale tiny --out "$out"
