@@ -75,4 +75,62 @@ mod tests {
     fn non_power_of_two_is_rejected() {
         let _ = PcTable::new(6, 0u8);
     }
+
+    /// Adversarial stride stream: every PC exactly one table span apart
+    /// lands on the same entry, and each write evicts the previous
+    /// occupant (direct-mapped, no victim storage).
+    #[test]
+    fn strided_stream_aliases_and_evicts() {
+        let entries = 64usize;
+        let span = (entries as u64) * 4;
+        let mut t: PcTable<u64> = PcTable::new(entries, u64::MAX);
+        let base = 0x1000u64;
+        for k in 0..100u64 {
+            let pc = base + k * span;
+            assert_eq!(t.index(pc), t.index(base), "stride {k} must alias");
+            *t.get_mut(pc) = k;
+            // The latest writer owns the entry — earlier values are gone.
+            assert_eq!(*t.get(base), k);
+        }
+        // Every other entry was never touched.
+        let untouched = (0..entries as u64)
+            .map(|i| i * 4)
+            .filter(|&pc| t.index(pc) != t.index(base))
+            .map(|pc| *t.get(pc))
+            .collect::<Vec<_>>();
+        assert_eq!(untouched.len(), entries - 1);
+        assert!(untouched.iter().all(|&v| v == u64::MAX));
+    }
+
+    /// One span of word-aligned PCs covers each entry exactly once, in
+    /// any visit order — the index function is a bijection over a span.
+    #[test]
+    fn scrambled_span_covers_every_entry_once() {
+        let entries = 32usize;
+        let t: PcTable<u8> = PcTable::new(entries, 0);
+        // A maximal-period LCG-style scramble of the 32 word slots.
+        let mut seen = vec![0u32; entries];
+        let mut slot = 0u64;
+        for _ in 0..entries {
+            slot = (slot * 5 + 17) % entries as u64;
+            seen[t.index(0x4000 + slot * 4)] += 1;
+        }
+        assert!(seen.iter().all(|&n| n == 1), "coverage: {seen:?}");
+    }
+
+    /// Byte-offset bits never split an entry: all four byte addresses of
+    /// one instruction word share it, and PCs in the far upper address
+    /// space alias exactly like nearby ones.
+    #[test]
+    fn byte_offsets_and_high_bits_fold_away() {
+        let mut t: PcTable<u32> = PcTable::new(16, 0);
+        *t.get_mut(0x88) = 9;
+        for off in 1..4 {
+            assert_eq!(*t.get(0x88 + off), 9, "byte offset {off}");
+        }
+        let span = 16u64 * 4;
+        for pc in [0x88 + span * 1000, 0x88 + (u64::MAX / span) / 2 * span] {
+            assert_eq!(t.index(pc), t.index(0x88), "pc {pc:#x} must fold onto 0x88");
+        }
+    }
 }

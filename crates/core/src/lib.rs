@@ -57,7 +57,7 @@ pub mod report;
 mod runner;
 mod scheme;
 
-pub use pool::{default_jobs, parallel_map};
+pub use pool::{default_jobs, parallel_map, parallel_map_isolated, JobError};
 pub use runner::{
     run_matrix, run_matrix_parallel, run_prepared, run_workload, MatrixResult, RunError, RunResult,
 };

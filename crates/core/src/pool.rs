@@ -7,9 +7,43 @@
 //! per-item slots so output order always matches input order regardless
 //! of completion order.
 
+use std::fmt;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A job that panicked inside a [`parallel_map_isolated`] worker.
+///
+/// The panic is caught at the job boundary, so one failing item reports a
+/// structured error instead of tearing down the whole map.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JobError {
+    /// Index of the input item whose job panicked.
+    pub index: usize,
+    /// The panic payload rendered as text (`&str`/`String` payloads are
+    /// recovered verbatim; anything else becomes a placeholder).
+    pub message: String,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Renders a panic payload from [`catch_unwind`] as text.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// The default worker count: the host's available parallelism, or 1 if
 /// it cannot be determined.
@@ -61,6 +95,25 @@ where
         .collect()
 }
 
+/// Like [`parallel_map`], but each job runs under [`catch_unwind`]: a
+/// panicking item yields `Err(JobError)` in its slot while every other
+/// item still completes. Results stay in input order.
+///
+/// The closure must be effectively unwind-safe: jobs communicate only
+/// through their return value, so a panicking job can at worst leave
+/// torn state in values it exclusively owns (which are then discarded).
+pub fn parallel_map_isolated<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<Result<R, JobError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map(items, jobs, |i, t| {
+        catch_unwind(AssertUnwindSafe(|| f(i, t)))
+            .map_err(|payload| JobError { index: i, message: panic_message(payload) })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +153,50 @@ mod tests {
     #[test]
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn isolated_map_reports_panics_without_killing_siblings() {
+        let items: Vec<usize> = (0..40).collect();
+        for jobs in [1, 3, 8] {
+            let out = parallel_map_isolated(&items, jobs, |_, &x| {
+                assert!(x != 17, "planted failure at item 17");
+                x * 2
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                if i == 17 {
+                    let e = r.as_ref().expect_err("item 17 panics");
+                    assert_eq!(e.index, 17);
+                    assert!(e.message.contains("planted failure"), "message: {}", e.message);
+                } else {
+                    assert_eq!(r.as_ref().copied().expect("healthy item"), i * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_map_error_path_is_deterministic_across_job_counts() {
+        let items: Vec<usize> = (0..30).collect();
+        let run = |jobs| {
+            parallel_map_isolated(&items, jobs, |_, &x| {
+                assert!(x % 11 != 5, "item {x} fails");
+                x + 1
+            })
+        };
+        let reference = run(1);
+        for jobs in [2, 4, 16] {
+            assert_eq!(run(jobs), reference);
+        }
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_reported() {
+        let out = parallel_map_isolated(&[0u32], 1, |_, _| -> u32 {
+            std::panic::panic_any(42i32);
+        });
+        let e = out[0].as_ref().expect_err("payload panic");
+        assert_eq!(e.message, "non-string panic payload");
     }
 }

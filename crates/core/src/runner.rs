@@ -1,7 +1,7 @@
 //! Experiment execution: workloads × schemes, with architectural
 //! verification after every run.
 
-use crate::pool::parallel_map;
+use crate::pool::parallel_map_isolated;
 use crate::scheme::{MachineWidth, Scheme};
 use hpa_sim::{SimConfig, SimFault, SimStats, Simulator};
 use hpa_workloads::{workload, Scale, Workload, CHECKSUM_REG};
@@ -34,6 +34,17 @@ pub enum RunError {
         /// The structured fault.
         fault: SimFault,
     },
+    /// A matrix cell's job panicked. The panic was caught at the job
+    /// boundary, so the rest of the matrix still ran; the first panicking
+    /// cell (row-major) is reported here.
+    CellPanic {
+        /// The workload of the panicking cell.
+        name: String,
+        /// The scheme of the panicking cell.
+        scheme: Scheme,
+        /// The panic payload rendered as text.
+        message: String,
+    },
 }
 
 impl fmt::Display for RunError {
@@ -44,6 +55,9 @@ impl fmt::Display for RunError {
                 write!(f, "{name}: timing run checksum {actual:#x} != reference {expected:#x}")
             }
             RunError::Sim { name, fault } => write!(f, "{name}: {fault}"),
+            RunError::CellPanic { name, scheme, message } => {
+                write!(f, "{name}/{}: cell panicked: {message}", scheme.key())
+            }
         }
     }
 }
@@ -229,7 +243,10 @@ pub fn run_matrix_parallel(
         .collect::<Result<Vec<_>, _>>()?;
     let cells: Vec<(usize, usize)> =
         (0..workloads.len()).flat_map(|wi| (0..schemes.len()).map(move |si| (wi, si))).collect();
-    let results = parallel_map(&cells, jobs, |_, &(wi, si)| {
+    // Each cell runs panic-isolated: a panicking cell becomes a structured
+    // `CellPanic` error instead of tearing down the whole sweep, and every
+    // other cell still runs to completion.
+    let results = parallel_map_isolated(&cells, jobs, |_, &(wi, si)| {
         let scheme = schemes[si];
         let r = run_prepared(&workloads[wi], scheme.configure(width), scheme, width);
         if let Ok(ref ok) = r {
@@ -238,9 +255,20 @@ pub fn run_matrix_parallel(
         r
     });
     let mut rows = Vec::with_capacity(workloads.len());
-    let mut it = results.into_iter();
+    let mut it = results.into_iter().zip(&cells);
     for _ in 0..workloads.len() {
-        let row = it.by_ref().take(schemes.len()).collect::<Result<Vec<_>, _>>()?;
+        let row = it
+            .by_ref()
+            .take(schemes.len())
+            .map(|(r, &(wi, si))| match r {
+                Ok(cell) => cell,
+                Err(e) => Err(RunError::CellPanic {
+                    name: workloads[wi].name.to_string(),
+                    scheme: schemes[si],
+                    message: e.message,
+                }),
+            })
+            .collect::<Result<Vec<_>, _>>()?;
         rows.push(row);
     }
     Ok(MatrixResult { width, rows })
@@ -306,6 +334,37 @@ mod tests {
             |_| {},
         );
         assert!(matches!(e, Err(RunError::UnknownWorkload { .. })));
+    }
+
+    /// A panicking cell surfaces as a structured `CellPanic` naming the
+    /// cell, while the sibling cells still run to completion.
+    #[test]
+    fn parallel_matrix_isolates_a_panicking_cell() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let completed = AtomicUsize::new(0);
+        let e = run_matrix_parallel(
+            &["gcc", "gzip"],
+            Scale::Tiny,
+            MachineWidth::Four,
+            &[Scheme::Base, Scheme::Combined],
+            2,
+            |r| {
+                assert!(
+                    !(r.workload == "gzip" && r.scheme == Scheme::Combined),
+                    "planted cell failure"
+                );
+                completed.fetch_add(1, Ordering::Relaxed);
+            },
+        );
+        match e {
+            Err(RunError::CellPanic { name, scheme, message }) => {
+                assert_eq!(name, "gzip");
+                assert_eq!(scheme, Scheme::Combined);
+                assert!(message.contains("planted cell failure"), "message: {message}");
+            }
+            other => panic!("expected CellPanic, got {other:?}"),
+        }
+        assert_eq!(completed.load(Ordering::Relaxed), 3, "sibling cells all completed");
     }
 
     /// The progress callback fires exactly once per cell.

@@ -1,0 +1,161 @@
+//! AVF-style classification of one injected run.
+
+use hpa_core::asm::Program;
+use hpa_core::emu::{Emulator, RunOutcome};
+use hpa_core::sim::{FaultInjection, SimConfig, Simulator};
+use hpa_verify::{ArchState, LockstepOracle};
+
+/// Step budget for the independent reference emulation (matches the
+/// lockstep oracle's budget; campaign programs are tiny).
+const REFERENCE_BUDGET: u64 = 10_000_000;
+
+/// What one injected run did to the architecture, in the AVF taxonomy.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Classification {
+    /// The verification net fired: the lockstep oracle, the strict
+    /// invariant sweep, an emulator fault, or the deadlock watchdog.
+    Detected {
+        /// The structured fault, rendered.
+        reason: String,
+    },
+    /// The run completed and the final architectural state is identical
+    /// to the reference emulation — the fault was absorbed.
+    Masked,
+    /// Silent data corruption: the run completed cleanly but the final
+    /// architectural state differs from the reference. Must never happen
+    /// for the speculation-free fault classes.
+    Sdc {
+        /// First architectural difference found.
+        reason: String,
+    },
+}
+
+impl Classification {
+    /// Stable textual key (used in `RESILIENCE.json`).
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            Classification::Detected { .. } => "detected",
+            Classification::Masked => "masked",
+            Classification::Sdc { .. } => "sdc",
+        }
+    }
+}
+
+/// Runs `program` under `config` with `injection` planted, the lockstep
+/// oracle attached, strict invariants on, and a `cycle_budget` watchdog,
+/// then classifies the outcome.
+///
+/// The watchdog is what makes hang-class faults (e.g. a dropped wakeup)
+/// terminate: a run that exceeds the budget comes back as a structured
+/// deadlock, i.e. **Detected**.
+#[must_use]
+pub fn classify_injected(
+    program: &Program,
+    config: SimConfig,
+    injection: FaultInjection,
+    cycle_budget: u64,
+) -> Classification {
+    let mut sim = Simulator::new(program, config);
+    sim.set_commit_hook(Box::new(LockstepOracle::new(program)));
+    sim.set_strict_invariants(true);
+    sim.set_cycle_budget(cycle_budget);
+    sim.inject_fault(injection);
+    if let Err(fault) = sim.try_run() {
+        return Classification::Detected { reason: fault.to_string() };
+    }
+
+    // The run finished cleanly; only the final-state cross-check against
+    // an independent emulation can still unmask silent corruption.
+    let mut reference = Emulator::new(program);
+    match reference.run(REFERENCE_BUDGET) {
+        Ok(RunOutcome::Halted { .. }) => {}
+        Ok(RunOutcome::BudgetExhausted { .. }) => {
+            // Campaign programs are generated to halt; a non-halting
+            // reference is a harness defect, surfaced loudly rather than
+            // misfiled as masked or SDC.
+            return Classification::Detected {
+                reason: format!("harness: reference emulation exceeded {REFERENCE_BUDGET} steps"),
+            };
+        }
+        Err(e) => {
+            return Classification::Detected {
+                reason: format!("harness: reference emulation faulted: {e}"),
+            };
+        }
+    }
+    let sim_state = ArchState::capture(sim.emulator());
+    let ref_state = ArchState::capture(&reference);
+    match sim_state.first_difference(&ref_state, "simulator", "reference") {
+        Some(reason) => Classification::Sdc { reason },
+        None => Classification::Masked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpa_core::workloads::SplitMix64;
+    use hpa_core::{MachineWidth, Scheme};
+    use hpa_verify::GenProgram;
+
+    fn gen_program(seed: u64) -> Program {
+        GenProgram::random(&mut SplitMix64::new(seed)).lower()
+    }
+
+    #[test]
+    fn clean_run_is_masked() {
+        // A storm scheduled far past the program's lifetime never fires.
+        let c = classify_injected(
+            &gen_program(3),
+            Scheme::Combined.configure(MachineWidth::Four),
+            FaultInjection::ReadPortStorm { from_cycle: u64::MAX / 2, cycles: 1 },
+            200_000,
+        );
+        assert_eq!(c, Classification::Masked);
+    }
+
+    #[test]
+    fn spurious_wakeup_is_detected() {
+        // The PR 3 mutation-test fault: strict invariants or the oracle
+        // must fire on a wrongly-ready operand.
+        let c = classify_injected(
+            &gen_program(3),
+            Scheme::Combined.configure(MachineWidth::Four),
+            FaultInjection::SpuriousWakeup { nth: 3 },
+            200_000,
+        );
+        assert!(matches!(c, Classification::Detected { .. }), "got {c:?}");
+    }
+
+    #[test]
+    fn premature_halt_is_silent_corruption() {
+        // The classifier's own mutation test: a silently-truncated run
+        // must be filed as SDC, not masked.
+        let c = classify_injected(
+            &gen_program(3),
+            Scheme::Base.configure(MachineWidth::Four),
+            FaultInjection::PrematureHalt { at_commit: 3 },
+            200_000,
+        );
+        assert!(matches!(c, Classification::Sdc { .. }), "got {c:?}");
+    }
+
+    #[test]
+    fn watchdog_converts_a_hang_into_detected() {
+        // An impossibly small cycle budget: the watchdog must fire and
+        // classify the run as detected rather than spinning.
+        let c = classify_injected(
+            &gen_program(3),
+            Scheme::Base.configure(MachineWidth::Four),
+            FaultInjection::ReadPortStorm { from_cycle: 0, cycles: u64::MAX / 2 },
+            64,
+        );
+        match c {
+            Classification::Detected { reason } => {
+                assert!(reason.contains("cycle budget"), "reason: {reason}");
+            }
+            other => panic!("expected detected deadlock, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Campaign results: aggregation, the human-readable table, and the
+//! `RESILIENCE.json` rendering (hand-rolled — the workspace is
+//! dependency-free, so no serde).
+
+use crate::classify::Classification;
+use crate::model::FaultClass;
+use hpa_core::Scheme;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// The outcome of one completed `(program, scheme, fault-class)` cell.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CellOutcome {
+    /// Index of the generated program.
+    pub program: u64,
+    /// The scheme the cell ran under.
+    pub scheme: Scheme,
+    /// The injected fault class.
+    pub class: FaultClass,
+    /// Debug rendering of the concrete injection parameters.
+    pub injection: String,
+    /// AVF classification of the run.
+    pub classification: Classification,
+    /// Attempts consumed (1 = first try; >1 means a transient harness
+    /// failure was retried with a fresh derived seed).
+    pub attempts: u32,
+    /// Where the shrunk reproducer was written, for SDC cells with a
+    /// corpus directory configured.
+    pub reproducer: Option<PathBuf>,
+}
+
+/// A panic caught at the job boundary during the campaign.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PanicEvent {
+    /// Row-major cell index within the campaign matrix.
+    pub cell: usize,
+    /// The attempt (0-based) that panicked.
+    pub attempt: u32,
+    /// The panic payload rendered as text.
+    pub message: String,
+    /// Whether a retry later completed the cell.
+    pub recovered: bool,
+}
+
+/// Everything a campaign run produced.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CampaignReport {
+    /// The campaign master seed.
+    pub seed: u64,
+    /// Number of generated programs.
+    pub programs: u64,
+    /// Every completed cell, in row-major `(program, scheme, class)` order.
+    pub cells: Vec<CellOutcome>,
+    /// Cells that failed every attempt (descriptors, not outcomes).
+    pub aborted: Vec<(u64, Scheme, FaultClass)>,
+    /// Panics caught at the job boundary (recovered or not).
+    pub panics: Vec<PanicEvent>,
+}
+
+impl CampaignReport {
+    /// Completed cells classified Detected.
+    #[must_use]
+    pub fn detected(&self) -> usize {
+        self.count(|c| matches!(c, Classification::Detected { .. }))
+    }
+
+    /// Completed cells classified Masked.
+    #[must_use]
+    pub fn masked(&self) -> usize {
+        self.count(|c| matches!(c, Classification::Masked))
+    }
+
+    /// Completed cells classified SDC.
+    #[must_use]
+    pub fn sdc(&self) -> usize {
+        self.count(|c| matches!(c, Classification::Sdc { .. }))
+    }
+
+    fn count(&self, pred: impl Fn(&Classification) -> bool) -> usize {
+        self.cells.iter().filter(|c| pred(&c.classification)).count()
+    }
+
+    fn schemes(&self) -> Vec<Scheme> {
+        let mut out: Vec<Scheme> = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.scheme) {
+                out.push(c.scheme);
+            }
+        }
+        out
+    }
+
+    fn classes(&self) -> Vec<FaultClass> {
+        let mut out: Vec<FaultClass> = Vec::new();
+        for c in &self.cells {
+            if !out.contains(&c.class) {
+                out.push(c.class);
+            }
+        }
+        out
+    }
+
+    fn tally(&self, scheme: Scheme, class: FaultClass) -> (usize, usize, usize) {
+        let mut t = (0, 0, 0);
+        for c in self.cells.iter().filter(|c| c.scheme == scheme && c.class == class) {
+            match c.classification {
+                Classification::Detected { .. } => t.0 += 1,
+                Classification::Masked => t.1 += 1,
+                Classification::Sdc { .. } => t.2 += 1,
+            }
+        }
+        t
+    }
+
+    /// The human-readable per-scheme resilience table.
+    #[must_use]
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fault-injection campaign: seed {}, {} programs, {} runs \
+             ({} detected, {} masked, {} sdc, {} aborted)",
+            self.seed,
+            self.programs,
+            self.cells.len(),
+            self.detected(),
+            self.masked(),
+            self.sdc(),
+            self.aborted.len(),
+        );
+        let classes = self.classes();
+        for scheme in self.schemes() {
+            let runs = self.cells.iter().filter(|c| c.scheme == scheme).count();
+            let _ = writeln!(out, "\nscheme `{}` ({} runs)", scheme.key(), runs);
+            let _ =
+                writeln!(out, "  {:<20} {:>8} {:>8} {:>5}", "class", "detected", "masked", "sdc");
+            for class in &classes {
+                let (d, m, s) = self.tally(scheme, *class);
+                if d + m + s == 0 {
+                    continue;
+                }
+                let _ = writeln!(out, "  {:<20} {d:>8} {m:>8} {s:>5}", class.key());
+            }
+        }
+        for c in
+            self.cells.iter().filter(|c| matches!(c.classification, Classification::Sdc { .. }))
+        {
+            let Classification::Sdc { reason } = &c.classification else { continue };
+            let _ = writeln!(
+                out,
+                "\nSDC: program {} scheme `{}` class `{}` ({}): {}",
+                c.program,
+                c.scheme.key(),
+                c.class.key(),
+                c.injection,
+                reason
+            );
+            if let Some(p) = &c.reproducer {
+                let _ = writeln!(out, "  reproducer: {}", p.display());
+            }
+        }
+        for p in &self.panics {
+            let _ = writeln!(
+                out,
+                "\njob error: cell {} attempt {} panicked ({}): {}",
+                p.cell,
+                p.attempt,
+                if p.recovered { "recovered by retry" } else { "NOT recovered" },
+                p.message
+            );
+        }
+        for (pi, scheme, class) in &self.aborted {
+            let _ = writeln!(
+                out,
+                "\naborted cell: program {pi} scheme `{}` class `{}` failed every attempt",
+                scheme.key(),
+                class.key()
+            );
+        }
+        out
+    }
+
+    /// The machine-readable `RESILIENCE.json` document.
+    #[must_use]
+    pub fn json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"programs\": {},", self.programs);
+        let _ = writeln!(out, "  \"runs\": {},", self.cells.len());
+        let _ = writeln!(out, "  \"detected\": {},", self.detected());
+        let _ = writeln!(out, "  \"masked\": {},", self.masked());
+        let _ = writeln!(out, "  \"sdc\": {},", self.sdc());
+        let _ = writeln!(out, "  \"aborted\": {},", self.aborted.len());
+        out.push_str("  \"schemes\": [\n");
+        let schemes = self.schemes();
+        let classes = self.classes();
+        for (i, scheme) in schemes.iter().enumerate() {
+            let _ = writeln!(out, "    {{\"scheme\": \"{}\", \"classes\": [", scheme.key());
+            let mut rows = Vec::new();
+            for class in &classes {
+                let (d, m, s) = self.tally(*scheme, *class);
+                if d + m + s == 0 {
+                    continue;
+                }
+                rows.push(format!(
+                    "      {{\"class\": \"{}\", \"detected\": {d}, \"masked\": {m}, \"sdc\": {s}}}",
+                    class.key()
+                ));
+            }
+            out.push_str(&rows.join(",\n"));
+            out.push('\n');
+            let _ = writeln!(out, "    ]}}{}", if i + 1 < schemes.len() { "," } else { "" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"sdc_cells\": [\n");
+        let sdc_rows: Vec<String> = self
+            .cells
+            .iter()
+            .filter_map(|c| {
+                let Classification::Sdc { reason } = &c.classification else { return None };
+                Some(format!(
+                    "    {{\"program\": {}, \"scheme\": \"{}\", \"class\": \"{}\", \
+                     \"injection\": \"{}\", \"reason\": \"{}\", \"reproducer\": {}}}",
+                    c.program,
+                    c.scheme.key(),
+                    c.class.key(),
+                    json_escape(&c.injection),
+                    json_escape(reason),
+                    match &c.reproducer {
+                        Some(p) => format!("\"{}\"", json_escape(&p.display().to_string())),
+                        None => "null".to_string(),
+                    }
+                ))
+            })
+            .collect();
+        out.push_str(&sdc_rows.join(",\n"));
+        if !sdc_rows.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"panics\": [\n");
+        let panic_rows: Vec<String> = self
+            .panics
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\"cell\": {}, \"attempt\": {}, \"recovered\": {}, \"message\": \"{}\"}}",
+                    p.cell,
+                    p.attempt,
+                    p.recovered,
+                    json_escape(&p.message)
+                )
+            })
+            .collect();
+        out.push_str(&panic_rows.join(",\n"));
+        if !panic_rows.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CampaignReport {
+        CampaignReport {
+            seed: 42,
+            programs: 1,
+            cells: vec![
+                CellOutcome {
+                    program: 0,
+                    scheme: Scheme::Base,
+                    class: FaultClass::SpuriousWakeup,
+                    injection: "SpuriousWakeup { nth: 3 }".to_string(),
+                    classification: Classification::Detected { reason: "oracle".to_string() },
+                    attempts: 1,
+                    reproducer: None,
+                },
+                CellOutcome {
+                    program: 0,
+                    scheme: Scheme::Base,
+                    class: FaultClass::DelayedSlowBus,
+                    injection: "DelayedSlowBus { nth: 1 }".to_string(),
+                    classification: Classification::Masked,
+                    attempts: 2,
+                    reproducer: None,
+                },
+                CellOutcome {
+                    program: 0,
+                    scheme: Scheme::Combined,
+                    class: FaultClass::PrematureHalt,
+                    injection: "PrematureHalt { at_commit: 4 }".to_string(),
+                    classification: Classification::Sdc { reason: "r3 \"differs\"".to_string() },
+                    attempts: 1,
+                    reproducer: None,
+                },
+            ],
+            aborted: vec![(0, Scheme::Combined, FaultClass::TagBitFlip)],
+            panics: vec![PanicEvent {
+                cell: 7,
+                attempt: 0,
+                message: "planted".to_string(),
+                recovered: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn counts_and_table() {
+        let r = sample();
+        assert_eq!((r.detected(), r.masked(), r.sdc()), (1, 1, 1));
+        let t = r.table();
+        assert!(t.contains("scheme `base`"));
+        assert!(t.contains("spurious-wakeup"));
+        assert!(t.contains("SDC: program 0 scheme `combined`"));
+        assert!(t.contains("recovered by retry"));
+        assert!(t.contains("aborted cell"));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_round_trip_quotes() {
+        let j = sample().json();
+        assert!(j.contains("\"seed\": 42"));
+        assert!(j.contains("\"sdc\": 1"));
+        // The embedded quote in the SDC reason must be escaped.
+        assert!(j.contains("r3 \\\"differs\\\""));
+        // Balanced braces/brackets as a cheap structural check.
+        let opens = j.matches('{').count() + j.matches('[').count();
+        let closes = j.matches('}').count() + j.matches(']').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn json_escape_handles_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

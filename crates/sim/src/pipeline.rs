@@ -108,9 +108,16 @@ impl fmt::Display for SimFault {
 
 impl std::error::Error for SimFault {}
 
-/// A deliberately planted scheduler bug, for mutation-testing the
-/// verification subsystem (does the oracle actually catch a broken
-/// wakeup?). Not part of the simulator's public contract.
+/// A deliberately planted hardware fault, for mutation-testing the
+/// verification subsystem and for the fault-injection campaign engine
+/// (`hpa-faultsim`): each variant corrupts one internal scheduler
+/// structure at a deterministic trigger point, so a run is reproducible
+/// from its parameters alone. Not part of the simulator's public contract.
+///
+/// The variants cover the structures the paper's speculation-free claim
+/// rests on: the fast/slow wakeup buses, the last-arriving predictor, the
+/// `now` bypass-match bits, the register-file read ports and the
+/// destination-tag broadcast network.
 #[doc(hidden)]
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum FaultInjection {
@@ -120,6 +127,65 @@ pub enum FaultInjection {
     SpuriousWakeup {
         /// Delivery count (1-based) at which the injection arms.
         nth: u64,
+    },
+    /// The `nth` fast-bus wakeup delivery is lost: the consumer never
+    /// hears the tag. Unless a later squash recompute re-derives the
+    /// readiness, the consumer waits forever — the watchdog's job.
+    DroppedWakeup {
+        /// Delivery count (1-based) at which the pulse is dropped.
+        nth: u64,
+    },
+    /// Starting with the `nth` delivery, the first slow-bus rebroadcast
+    /// arrives one cycle later than architected (+2 instead of +1). A
+    /// timing-only fault: sequential wakeup must absorb it as a stall.
+    DelayedSlowBus {
+        /// Delivery count (1-based) at which the injection arms.
+        nth: u64,
+    },
+    /// The `nth` last-arriving predictor lookup returns the opposite side
+    /// (a bit-flip in the PC-indexed table). Sequential wakeup pays at
+    /// most one slow-bus cycle; never a wrong result.
+    LastArrivalFlip {
+        /// Lookup count (1-based) at which the prediction flips.
+        nth: u64,
+    },
+    /// Starting with the `nth` two-source issue under sequential register
+    /// access, the first issue whose `now` bits claim a bypass match has
+    /// them read as stale (no match): the port is read twice and the slot
+    /// blocks — the bypass-miss penalty, never a wrong value.
+    StaleNowBits {
+        /// Two-source SeqRegAccess issue count (1-based) at which the
+        /// injection arms.
+        nth: u64,
+    },
+    /// A register-file read-port conflict storm: for `cycles` cycles
+    /// starting at `from_cycle`, all but one issue slot (and all but one
+    /// crossbar read port) are unavailable.
+    ReadPortStorm {
+        /// First stormy cycle.
+        from_cycle: u64,
+        /// Storm length in cycles.
+        cycles: u64,
+    },
+    /// The `nth` destination-tag broadcast has bit `bit` of its tag
+    /// flipped in flight: the true consumers never hear it, and an
+    /// aliased in-flight instruction may be wrongly marked as having
+    /// broadcast.
+    TagBitFlip {
+        /// Broadcast count (1-based) at which the tag is corrupted.
+        nth: u64,
+        /// Which tag bit flips (kept low so the corrupted tag lands near
+        /// the window).
+        bit: u32,
+    },
+    /// The machine silently stops fetching and committing after
+    /// `at_commit` commits, leaving the program's tail unexecuted — the
+    /// one planted fault that produces genuine silent data corruption
+    /// (no oracle fires; only the final-state cross-check can see it).
+    /// Exists to mutation-test the campaign engine's SDC classifier.
+    PrematureHalt {
+        /// Total commit count after which the machine halts.
+        at_commit: u64,
     },
 }
 
@@ -231,8 +297,14 @@ pub struct Simulator {
     strict_invariants: bool,
     /// Armed fault injection (mutation testing), if any.
     injection: Option<FaultInjection>,
-    /// Wakeup deliveries seen so far (drives the injection trigger).
-    wakeup_deliveries: u64,
+    /// Kind-specific event count driving the armed injection's trigger
+    /// (wakeup deliveries, broadcasts, predictor lookups, ...).
+    injection_events: u64,
+    /// Watchdog: `try_run` reports [`SimFault::Deadlock`] once the cycle
+    /// count reaches this budget (`u64::MAX` = no budget). Campaign
+    /// runners use it to convert injected hangs into structured outcomes
+    /// long before the no-commit-progress limit.
+    cycle_budget: u64,
 }
 
 /// Scratch buffers for the hot cycle loop. Each phase takes the buffer it
@@ -326,7 +398,8 @@ impl Simulator {
             fault: None,
             strict_invariants: cfg!(feature = "strict-invariants"),
             injection: None,
-            wakeup_deliveries: 0,
+            injection_events: 0,
+            cycle_budget: u64::MAX,
         }
     }
 
@@ -350,6 +423,15 @@ impl Simulator {
     #[doc(hidden)]
     pub fn inject_fault(&mut self, injection: FaultInjection) {
         self.injection = Some(injection);
+    }
+
+    /// Arms the per-run watchdog: [`Simulator::try_run`] reports
+    /// [`SimFault::Deadlock`] if the machine is still active when the
+    /// cycle count reaches `budget`. Fault-injection campaigns use this
+    /// to turn injected hangs into structured outcomes quickly; normal
+    /// runs leave it unarmed (`u64::MAX`).
+    pub fn set_cycle_budget(&mut self, budget: u64) {
+        self.cycle_budget = budget;
     }
 
     /// The accumulated statistics (finalized by [`Simulator::run`]).
@@ -474,6 +556,17 @@ impl Simulator {
                 result = Err(fault);
                 break;
             }
+            if self.cycle >= self.cycle_budget {
+                let head = format!(
+                    "cycle budget {} exhausted; {:?}",
+                    self.cycle_budget,
+                    self.window.front().map(|i| (i.seq, i.state, &i.inst))
+                );
+                let fault = SimFault::Deadlock { cycle: self.cycle, head };
+                self.fault = Some(fault.clone());
+                result = Err(fault);
+                break;
+            }
         }
         self.stats.cycles = self.cycle - self.stats_start_cycle;
         self.stats.hierarchy = self.hierarchy.stats();
@@ -524,7 +617,18 @@ impl Simulator {
         let mut list = std::mem::take(&mut self.scratch.broadcasts);
         self.broadcasts.pop_into(self.cycle, &mut list);
         let mut consumers = std::mem::take(&mut self.scratch.consumers);
-        for ev in &list {
+        for &(mut ev) in &list {
+            // Injection: a single-bit upset of the in-flight dest tag. The
+            // true consumers never hear this broadcast; the corrupted tag
+            // either names nothing (a lost pulse) or aliases another
+            // in-flight instruction.
+            if let Some(FaultInjection::TagBitFlip { nth, bit }) = self.injection {
+                self.injection_events += 1;
+                if self.injection_events >= nth {
+                    ev.seq ^= 1u64 << bit;
+                    self.injection = None;
+                }
+            }
             let Some(p) = self.inst_mut(ev.seq) else { continue };
             if p.epoch != ev.epoch || p.state != IState::Issued {
                 continue;
@@ -544,12 +648,32 @@ impl Simulator {
         let cycle = self.cycle;
         let slow_bus = self.uses_slow_bus();
         let wakeup = self.config.wakeup;
+        // Injection: the nth delivery's fast-bus pulse is lost entirely —
+        // the consumer's comparator never fires. Only a later squash
+        // recompute can re-derive the readiness; otherwise the consumer
+        // waits forever and the watchdog reports the hang.
+        if let Some(FaultInjection::DroppedWakeup { nth }) = self.injection {
+            self.injection_events += 1;
+            if self.injection_events >= nth {
+                self.injection = None;
+                return;
+            }
+        }
+        // Injection: starting with the nth delivery, one slow-bus
+        // rebroadcast lands a cycle late (+2 instead of the architected
+        // +1). Armed here, applied below once a slow slot actually wakes.
+        let mut delay_slow = false;
+        if let Some(FaultInjection::DelayedSlowBus { nth }) = self.injection {
+            self.injection_events += 1;
+            delay_slow = self.injection_events >= nth;
+        }
         let Some(c) = self.inst_mut(c_seq) else { return };
         if c.state != IState::Waiting {
             return;
         }
         let fast_slot = c.fast_slot;
         let two_src = c.is_two_source();
+        let mut slow_delayed = false;
         for slot in 0..2 {
             let Some(src) = c.srcs[slot].as_mut() else { continue };
             if src.producer != Some(producer) || src.ready {
@@ -559,6 +683,10 @@ impl Simulator {
             src.broadcast_cycle = cycle;
             let slow = slow_bus && two_src && slot != fast_slot;
             src.effective_cycle = cycle + u64::from(slow);
+            if slow && delay_slow && !slow_delayed {
+                src.effective_cycle = cycle + 2;
+                slow_delayed = true;
+            }
         }
         // The consumer becomes a select candidate once the scheme's wakeup
         // condition holds; timing (slow-bus effective cycles) and LSQ state
@@ -569,6 +697,9 @@ impl Simulator {
         }
         if enqueue {
             self.ready_list.push(c_seq);
+        }
+        if slow_delayed {
+            self.injection = None; // the delayed-rebroadcast fault fires once
         }
         let Some(c) = self.inst_mut(c_seq) else { return };
         // Wakeup-pair statistics (Figures 6/7, Table 3) fire once, when the
@@ -583,8 +714,8 @@ impl Simulator {
             let fast = c.fast_slot;
             self.record_wakeup_pair(pc, cycles[0], cycles[1], fast);
         }
-        if self.injection.is_some() {
-            self.wakeup_deliveries += 1;
+        if matches!(self.injection, Some(FaultInjection::SpuriousWakeup { .. })) {
+            self.injection_events += 1;
         }
     }
 
@@ -597,7 +728,7 @@ impl Simulator {
     /// cannot retroactively legitimize the marking.
     fn maybe_inject_spurious_wakeup(&mut self) {
         let Some(FaultInjection::SpuriousWakeup { nth }) = self.injection else { return };
-        if self.wakeup_deliveries < nth {
+        if self.injection_events < nth {
             return;
         }
         let cycle = self.cycle;
@@ -689,8 +820,19 @@ impl Simulator {
         if cycle < self.issue_stall_until {
             return; // scheduler restart after a pullback
         }
-        let budget = self.config.width.saturating_sub(self.blocked_slots);
+        let mut budget = self.config.width.saturating_sub(self.blocked_slots);
         let mut port_budget = self.config.width;
+        // Injection: a read-port conflict storm — for the armed window all
+        // but one issue slot (and all but one shared read port) are busy.
+        // Purely a structural-hazard fault: issue throttles, nothing else.
+        if let Some(FaultInjection::ReadPortStorm { from_cycle, cycles }) = self.injection {
+            if cycle >= from_cycle + cycles {
+                self.injection = None;
+            } else if cycle >= from_cycle {
+                budget = budget.min(1);
+                port_budget = 1;
+            }
+        }
         // Compact the ready list: drop instructions that issued (or left
         // the window) since they were enqueued. Entries that merely fail
         // this cycle's timing/FU/LSQ checks stay enqueued for later
@@ -775,9 +917,21 @@ impl Simulator {
             // instruction with no `now` bit needs two reads of its single
             // port. Combined with sequential wakeup only the fast-side
             // `now` bit exists (paper §5.3).
-            let seq_rf = self.config.regfile == RegFileScheme::SequentialAccess
+            let mut seq_rf = self.config.regfile == RegFileScheme::SequentialAccess
                 && two_source
                 && !(if self.uses_slow_bus() { now_fast } else { now_any });
+            // Injection: a stale `nowL/nowR` bit claimed a bypass match that
+            // is not really there. The speculation-free fallback is the full
+            // two-read sequence: +1 cycle, never a wrong value.
+            if let Some(FaultInjection::StaleNowBits { nth }) = self.injection {
+                if self.config.regfile == RegFileScheme::SequentialAccess && two_source && !seq_rf {
+                    self.injection_events += 1;
+                    if self.injection_events >= nth {
+                        seq_rf = true;
+                        self.injection = None;
+                    }
+                }
+            }
 
             // Tag elimination: scoreboard-verify the unwatched operand.
             let te_misfire = matches!(self.config.wakeup, WakeupScheme::TagElimination { .. })
@@ -1255,6 +1409,16 @@ impl Simulator {
                 self.finished = true;
                 break;
             }
+            // Injection (classifier self-test only): stop the machine as if
+            // the program had halted. The truncated run silently disagrees
+            // with the reference — a genuine SDC the campaign must flag.
+            if let Some(FaultInjection::PrematureHalt { at_commit }) = self.injection {
+                if self.committed_total >= at_commit {
+                    self.finished = true;
+                    self.injection = None;
+                    break;
+                }
+            }
         }
     }
 
@@ -1357,7 +1521,7 @@ impl Simulator {
         }
     }
 
-    fn choose_fast_slot(&self, di: &DynInst) -> usize {
+    fn choose_fast_slot(&mut self, di: &DynInst) -> usize {
         if !di.is_two_source() {
             return 0;
         }
@@ -1375,10 +1539,24 @@ impl Simulator {
                 _,
                 WakeupScheme::SequentialWakeup { predictor_entries: Some(_) }
                 | WakeupScheme::TagElimination { .. },
-            ) => match self.predictor.as_ref().expect("predictor configured").predict(di.pc) {
-                Side::Left => 0,
-                Side::Right => 1,
-            },
+            ) => {
+                let mut side =
+                    self.predictor.as_ref().expect("predictor configured").predict(di.pc);
+                // Injection: a bit-flip in the last-arrival predictor table.
+                // A wrong prediction is a legal prediction — the machine pays
+                // the slow-bus penalty, never produces a wrong value.
+                if let Some(FaultInjection::LastArrivalFlip { nth }) = self.injection {
+                    self.injection_events += 1;
+                    if self.injection_events >= nth {
+                        side = side.other();
+                        self.injection = None;
+                    }
+                }
+                match side {
+                    Side::Left => 0,
+                    Side::Right => 1,
+                }
+            }
             // Static policy: the right operand is assumed last-arriving.
             _ => 1,
         }

@@ -220,6 +220,67 @@ mod tests {
         assert!(w.is_empty());
     }
 
+    /// The watchdog scenario: a run cut off at a cycle budget stops
+    /// draining mid-lap, right past a wrap of the slot array. Everything
+    /// due before the budget must have been delivered on its exact cycle;
+    /// items scheduled beyond the budget stay queued (visible to
+    /// `is_empty`) and deliver correctly if draining resumes.
+    #[test]
+    fn budget_boundary_cut_mid_wrap_keeps_future_items() {
+        let mut w = EventWheel::new();
+        // A budget just past a slot-count multiple, so the final drained
+        // cycle sits in a freshly reused slot.
+        let budget = WHEEL_SLOTS as u64 * 2 + 3;
+        let before = budget - 1;
+        let after = budget + 5;
+        let mut out = Vec::new();
+        let mut delivered = Vec::new();
+        for c in 0..budget {
+            // Keep scheduling one-cycle-ahead traffic as the wheel turns,
+            // like broadcasts do, plus the two probes around the budget.
+            if c == 0 {
+                w.schedule(before, 111);
+                w.schedule(after, 999); // overflow at schedule time
+            }
+            w.schedule(c + 1, c as u32);
+            w.pop_into(c, &mut out);
+            delivered.extend(out.iter().copied());
+        }
+        // The pre-budget probe and every 1-ahead event up to the cut.
+        assert!(delivered.contains(&111));
+        assert_eq!(delivered.len(), budget as usize); // budget-1 ticks + probe
+                                                      // The post-budget probe (and the last 1-ahead event) survive the cut.
+        assert!(!w.is_empty(), "items past the budget are still queued");
+        for c in budget..=after {
+            w.pop_into(c, &mut out);
+            if c == after {
+                assert_eq!(out, [999]);
+            }
+        }
+        assert!(w.is_empty());
+    }
+
+    /// Draining and delivering exactly at a slot-count multiple exercises
+    /// the modulo index at the wrap point itself.
+    #[test]
+    fn delivery_exactly_on_the_wrap_cycle() {
+        let mut w = EventWheel::new();
+        let mut out = Vec::new();
+        for lap in 1..=3u64 {
+            let wrap = WHEEL_SLOTS as u64 * lap;
+            w.schedule(wrap, lap as u32);
+        }
+        for c in 0..=WHEEL_SLOTS as u64 * 3 {
+            w.pop_into(c, &mut out);
+            if c % WHEEL_SLOTS as u64 == 0 && c > 0 {
+                assert_eq!(out, [(c / WHEEL_SLOTS as u64) as u32], "cycle {c}");
+            } else {
+                assert!(out.is_empty(), "cycle {c}: {out:?}");
+            }
+        }
+        assert!(w.is_empty());
+    }
+
     /// The scratch buffer swap keeps capacity flowing between caller and
     /// slots — no per-cycle allocation once warm.
     #[test]

@@ -12,10 +12,16 @@
 //! hpa verify prog.s [--scheme S]         # lockstep-check one program
 //! hpa verify tests/corpus                # replay a reproducer corpus
 //! hpa fuzz [--iters N] [--seed S]        # differential fuzzing campaign
+//! hpa faults [--campaign SPEC] [--seed S] [--jobs N]  # fault-injection campaign
 //! ```
+//!
+//! Exit codes: `0` success, `1` operational error (I/O, bad input file),
+//! `2` usage error, `3` a fault/divergence was detected, `4` silent data
+//! corruption (SDC) was detected.
 
 use half_price::asm::parse_program;
 use half_price::emu::Emulator;
+use half_price::faultsim;
 use half_price::isa::Reg;
 use half_price::sim::{SimStats, Simulator};
 use half_price::verify;
@@ -33,29 +39,73 @@ fn main() -> ExitCode {
         Some("bench") => cmd_bench(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
-        _ => {
-            eprintln!(
-                "usage: hpa <list|asm|run|sim|bench|verify|fuzz> ...\n\
-                 \n  hpa list\n  hpa asm <file.s>\n  hpa run <file.s> [--insts N]\n  \
-                 hpa sim <file.s> [--scheme S] [--width 4|8]\n  \
-                 hpa bench <name|all> [--scheme S|all] [--scale tiny|default|large] \
-                 [--width 4|8] [--jobs N]\n  \
-                 hpa verify <file.s|dir> [--scheme S|all] [--width 4|8]\n  \
-                 hpa fuzz [--iters N] [--seed S] [--jobs N] [--corpus DIR]"
-            );
-            return ExitCode::from(2);
-        }
+        Some("faults") => cmd_faults(&args[1..]),
+        _ => Err(CliError::Usage(
+            "usage: hpa <list|asm|run|sim|bench|verify|fuzz|faults> ...\n\
+             \n  hpa list\n  hpa asm <file.s>\n  hpa run <file.s> [--insts N]\n  \
+             hpa sim <file.s> [--scheme S] [--width 4|8]\n  \
+             hpa bench <name|all> [--scheme S|all] [--scale tiny|default|large] \
+             [--width 4|8] [--jobs N]\n  \
+             hpa verify <file.s|dir> [--scheme S|all] [--width 4|8]\n  \
+             hpa fuzz [--iters N] [--seed S] [--jobs N] [--corpus DIR]\n  \
+             hpa faults [--campaign SPEC] [--seed S] [--jobs N] [--out FILE] [--corpus DIR]"
+                .to_string(),
+        )),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.code())
         }
     }
 }
 
-type CliResult = Result<(), Box<dyn std::error::Error>>;
+/// A structured CLI failure; the variant picks the process exit code.
+#[derive(Debug)]
+enum CliError {
+    /// Bad flags or arguments (exit 2).
+    Usage(String),
+    /// A fault or divergence was detected by the verification layers
+    /// (exit 3).
+    Fault(String),
+    /// Silent data corruption was detected (exit 4).
+    Sdc(String),
+    /// Operational failure: I/O, unparsable input file, emulator fault
+    /// (exit 1).
+    Other(String),
+}
+
+impl CliError {
+    fn code(&self) -> u8 {
+        match self {
+            CliError::Other(_) => 1,
+            CliError::Usage(_) => 2,
+            CliError::Fault(_) => 3,
+            CliError::Sdc(_) => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Fault(m) | CliError::Sdc(m) | CliError::Other(m) => {
+                write!(f, "{m}")
+            }
+        }
+    }
+}
+
+type CliResult = Result<(), CliError>;
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn other(msg: impl std::fmt::Display) -> CliError {
+    CliError::Other(msg.to_string())
+}
 
 fn list() -> CliResult {
     println!("workloads (SPEC CINT2000 stand-ins):");
@@ -70,18 +120,38 @@ fn list() -> CliResult {
     Ok(())
 }
 
-fn parse_scheme(key: &str) -> Result<Scheme, String> {
-    Scheme::from_key(key).ok_or_else(|| format!("unknown scheme `{key}`; see `hpa list`"))
+fn parse_scheme(key: &str) -> Result<Scheme, CliError> {
+    Scheme::from_key(key).ok_or_else(|| usage(format!("unknown scheme `{key}`; see `hpa list`")))
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
 }
 
-fn load_program(args: &[String]) -> Result<half_price::asm::Program, Box<dyn std::error::Error>> {
-    let path = args.iter().find(|a| !a.starts_with("--")).ok_or("missing program file argument")?;
-    let source = std::fs::read_to_string(path)?;
-    Ok(parse_program(&source)?)
+/// Parses the value of `--name` as an integer, with a usage error naming
+/// the flag on failure; `default` when the flag is absent.
+fn num_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, CliError> {
+    match flag(args, name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| usage(format!("bad {name} `{v}` (want an integer)"))),
+    }
+}
+
+fn jobs_flag(args: &[String]) -> Result<usize, CliError> {
+    let jobs = num_flag(args, "--jobs", half_price::default_jobs())?;
+    if jobs == 0 {
+        return Err(usage("bad --jobs `0` (want an integer >= 1)"));
+    }
+    Ok(jobs)
+}
+
+fn load_program(args: &[String]) -> Result<half_price::asm::Program, CliError> {
+    let path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
+        .ok_or_else(|| usage("missing program file argument"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| other(format_args!("{path}: {e}")))?;
+    parse_program(&source).map_err(|e| other(format_args!("{path}: {e}")))
 }
 
 fn cmd_asm(args: &[String]) -> CliResult {
@@ -93,12 +163,9 @@ fn cmd_asm(args: &[String]) -> CliResult {
 
 fn cmd_run(args: &[String]) -> CliResult {
     let program = load_program(args)?;
-    let budget: u64 = match flag(args, "--insts") {
-        Some(v) => v.parse()?,
-        None => 100_000_000,
-    };
+    let budget: u64 = num_flag(args, "--insts", 100_000_000)?;
     let mut emu = Emulator::new(&program);
-    let outcome = emu.run(budget)?;
+    let outcome = emu.run(budget).map_err(other)?;
     println!("{outcome:?}");
     for r in 0..32 {
         let v = emu.reg(Reg::new(r));
@@ -109,11 +176,11 @@ fn cmd_run(args: &[String]) -> CliResult {
     Ok(())
 }
 
-fn machine_width(args: &[String]) -> Result<MachineWidth, String> {
+fn machine_width(args: &[String]) -> Result<MachineWidth, CliError> {
     match flag(args, "--width").as_deref() {
         None | Some("4") => Ok(MachineWidth::Four),
         Some("8") => Ok(MachineWidth::Eight),
-        Some(other) => Err(format!("bad --width {other}")),
+        Some(o) => Err(usage(format!("bad --width {o}"))),
     }
 }
 
@@ -146,10 +213,7 @@ fn cmd_sim(args: &[String]) -> CliResult {
     let scheme = parse_scheme(&flag(args, "--scheme").unwrap_or_else(|| "base".into()))?;
     let width = machine_width(args)?;
     let mut sim = Simulator::new(&program, scheme.configure(width));
-    let trace: usize = match flag(args, "--trace") {
-        Some(v) => v.parse()?,
-        None => 0,
-    };
+    let trace: usize = num_flag(args, "--trace", 0)?;
     if trace > 0 {
         sim.enable_trace(trace);
     }
@@ -167,21 +231,15 @@ fn cmd_bench(args: &[String]) -> CliResult {
     let name = args
         .iter()
         .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
-        .ok_or("missing benchmark name; see `hpa list`")?;
+        .ok_or_else(|| usage("missing benchmark name; see `hpa list`"))?;
     let scale = match flag(args, "--scale").as_deref() {
         Some("tiny") => Scale::Tiny,
         None | Some("default") => Scale::Default,
         Some("large") => Scale::Large,
-        Some(other) => return Err(format!("bad --scale {other}").into()),
+        Some(o) => return Err(usage(format!("bad --scale {o}"))),
     };
     let width = machine_width(args)?;
-    let jobs: usize = match flag(args, "--jobs") {
-        Some(v) => match v.parse() {
-            Ok(n) if n >= 1 => n,
-            _ => return Err(format!("bad --jobs `{v}` (want an integer >= 1)").into()),
-        },
-        None => half_price::default_jobs(),
-    };
+    let jobs = jobs_flag(args)?;
     let scheme_key = flag(args, "--scheme").unwrap_or_else(|| "base".into());
     let names: Vec<&str> =
         if name == "all" { WORKLOAD_NAMES.to_vec() } else { vec![name.as_str()] };
@@ -192,7 +250,7 @@ fn cmd_bench(args: &[String]) -> CliResult {
     if names.len() > 1 {
         return bench_matrix_schemes(&names, scale, width, &[scheme], jobs);
     }
-    let r = half_price::run_workload(name, scale, width, scheme)?;
+    let r = half_price::run_workload(name, scale, width, scheme).map_err(other)?;
     println!("`{name}` under {} on the {} machine:", scheme.label(), width.label());
     print_stats(&r.stats);
     Ok(())
@@ -205,33 +263,32 @@ fn cmd_verify(args: &[String]) -> CliResult {
     let target = args
         .iter()
         .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
-        .ok_or("missing file or directory; usage: hpa verify <file.s|dir>")?;
+        .ok_or_else(|| usage("missing file or directory; usage: hpa verify <file.s|dir>"))?;
     let path = std::path::Path::new(target);
 
     if path.is_dir() {
-        let report = verify::replay_dir(path)?;
+        let report = verify::replay_dir(path).map_err(other)?;
         for (file, scheme, d) in &report.failures {
             eprintln!("FAIL {} under `{}`:\n{d}", file.display(), scheme.key());
         }
         if !report.failures.is_empty() {
-            return Err(format!(
+            return Err(CliError::Fault(format!(
                 "{} of {} corpus case(s) diverged",
                 report.failures.len(),
                 report.cases
-            )
-            .into());
+            )));
         }
         println!("corpus clean: {} case(s) replayed from {target}", report.cases);
         return Ok(());
     }
 
-    let case = verify::load_case(path)?;
+    let case = verify::load_case(path).map_err(other)?;
     let width = if flag(args, "--width").is_some() { machine_width(args)? } else { case.width };
     let variant = verify::Variant { width, selective_recovery: false, small_pc_table: false };
     match flag(args, "--scheme").as_deref() {
         None | Some("all") => {
             verify::run_differential(&case.program, variant).map_err(|(scheme, d)| {
-                format!("{target} diverged under `{}`:\n{d}", scheme.key())
+                CliError::Fault(format!("{target} diverged under `{}`:\n{d}", scheme.key()))
             })?;
             println!(
                 "{target}: {} scheme(s) agree in lockstep on the {} machine",
@@ -242,7 +299,7 @@ fn cmd_verify(args: &[String]) -> CliResult {
         Some(key) => {
             let scheme = parse_scheme(key)?;
             let out = verify::run_lockstep(&case.program, variant.configure(scheme))
-                .map_err(|d| format!("{target} diverged under `{key}`:\n{d}"))?;
+                .map_err(|d| CliError::Fault(format!("{target} diverged under `{key}`:\n{d}")))?;
             println!(
                 "{target}: lockstep clean under {} ({} committed, {} cycles)",
                 scheme.label(),
@@ -258,18 +315,9 @@ fn cmd_verify(args: &[String]) -> CliResult {
 /// divergence land in the corpus directory (default `tests/corpus`).
 fn cmd_fuzz(args: &[String]) -> CliResult {
     let mut cfg = verify::FuzzConfig::default();
-    if let Some(v) = flag(args, "--iters") {
-        cfg.iters = v.parse()?;
-    }
-    if let Some(v) = flag(args, "--seed") {
-        cfg.seed = v.parse()?;
-    }
-    if let Some(v) = flag(args, "--jobs") {
-        cfg.jobs = match v.parse() {
-            Ok(n) if n >= 1 => n,
-            _ => return Err(format!("bad --jobs `{v}` (want an integer >= 1)").into()),
-        };
-    }
+    cfg.iters = num_flag(args, "--iters", cfg.iters)?;
+    cfg.seed = num_flag(args, "--seed", cfg.seed)?;
+    cfg.jobs = jobs_flag(args)?;
     let corpus = flag(args, "--corpus").unwrap_or_else(|| "tests/corpus".into());
     cfg.corpus_dir = Some(corpus.clone().into());
 
@@ -299,7 +347,50 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
             eprintln!("  reproducer written to {}", p.display());
         }
     }
-    Err(format!("{} divergence(s); reproducers in {corpus}", report.failures.len()).into())
+    Err(CliError::Fault(format!(
+        "{} divergence(s); reproducers in {corpus}",
+        report.failures.len()
+    )))
+}
+
+/// Runs a fault-injection campaign: seeded faults in the scheduler's
+/// internal structures, each run classified Detected / Masked / SDC via
+/// the lockstep oracle, with a resilience report written as JSON.
+fn cmd_faults(args: &[String]) -> CliResult {
+    let spec_str = flag(args, "--campaign").unwrap_or_else(|| "mini".into());
+    let seed: u64 = num_flag(args, "--seed", 42)?;
+    let mut spec = faultsim::CampaignSpec::parse(&spec_str, seed).map_err(usage)?;
+    spec.jobs = jobs_flag(args)?;
+    let corpus = flag(args, "--corpus").unwrap_or_else(|| "tests/corpus".into());
+    spec.corpus_dir = Some(corpus.clone().into());
+    let out_path = flag(args, "--out").unwrap_or_else(|| "RESILIENCE.json".into());
+
+    let t0 = std::time::Instant::now();
+    let report = faultsim::run_campaign(&spec);
+    print!("{}", report.table());
+    println!(
+        "\ncampaign `{spec_str}`: {} run(s), {} job(s), {:.1}s",
+        report.cells.len(),
+        spec.jobs,
+        t0.elapsed().as_secs_f64()
+    );
+    std::fs::write(&out_path, report.json())
+        .map_err(|e| other(format_args!("writing {out_path}: {e}")))?;
+    println!("resilience report written to {out_path}");
+
+    if report.sdc() > 0 {
+        return Err(CliError::Sdc(format!(
+            "{} run(s) ended in silent data corruption; shrunk reproducer(s) in {corpus}",
+            report.sdc()
+        )));
+    }
+    if !report.aborted.is_empty() {
+        return Err(CliError::Fault(format!(
+            "{} campaign cell(s) failed every attempt (see job errors above)",
+            report.aborted.len()
+        )));
+    }
+    Ok(())
 }
 
 /// Whether `a` is the value of a preceding `--flag` (so the benchmark-name
@@ -327,7 +418,8 @@ fn bench_matrix_schemes(
     let t0 = std::time::Instant::now();
     let m = half_price::run_matrix_parallel(names, scale, width, schemes, jobs, |r| {
         eprintln!("  {} / {}: ipc {:.3}", r.workload, r.scheme.label(), r.stats.ipc());
-    })?;
+    })
+    .map_err(other)?;
     println!(
         "{} benchmark(s) x {} scheme(s) on the {} machine ({jobs} job(s), {:.1}s):",
         names.len(),

@@ -21,4 +21,5 @@
 #![warn(missing_docs)]
 
 pub use hpa_core::*;
+pub use hpa_faultsim as faultsim;
 pub use hpa_verify as verify;

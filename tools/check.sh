@@ -27,6 +27,15 @@ echo "== fuzz smoke (fixed seed) =="
 # exits non-zero and leaves a shrunk reproducer in tests/corpus/.
 cargo run --release -q --bin hpa -- fuzz --iters 200 --seed 42
 
+echo "== fault-injection mini campaign (fixed seed) =="
+# Resilience gate: 140 injected runs (5 seeded programs x 4 schemes x 7
+# fault classes) against the lockstep oracle. Exits non-zero on any SDC
+# (code 4, reproducer shrunk into tests/corpus/) or aborted cell (code 3),
+# so zero silent corruption and zero unhandled panics are enforced here.
+resilience="$(mktemp /tmp/hpa-resilience.XXXXXX.json)"
+cargo run --release -q --bin hpa -- faults --campaign mini --seed 42 --out "$resilience"
+echo "resilience report written to $resilience"
+
 echo "== corpus replay =="
 # Replay every checked-in reproducer through the full differential check.
 cargo run --release -q --bin hpa -- verify tests/corpus
