@@ -16,7 +16,7 @@
 //! * `--scale tiny|default|large` — restrict to one workload size;
 //! * `--jobs N` — worker threads for the parallel matrix (default: host
 //!   parallelism);
-//! * `--out FILE` — JSON output path (default `BENCH_2.json`);
+//! * `--out FILE` — JSON output path (default `BENCH_3.json`);
 //! * `--baseline FILE` — a previous `perf_smoke` JSON to embed verbatim
 //!   under `"baseline"`, for before/after comparisons in one artifact.
 //!
@@ -24,7 +24,10 @@
 //! emitted by hand.
 
 use hpa_core::workloads::{workload, Scale, Workload};
-use hpa_core::{default_jobs, run_matrix, run_matrix_parallel, run_prepared, MachineWidth, Scheme};
+use hpa_core::{
+    default_jobs, run_matrix, run_matrix_parallel, run_prepared, run_prepared_observed,
+    MachineWidth, Scheme,
+};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -50,7 +53,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         scales: DEFAULT_SCALES.to_vec(),
         jobs: default_jobs(),
-        out: "BENCH_2.json".to_string(),
+        out: "BENCH_3.json".to_string(),
         baseline: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -162,6 +165,51 @@ fn scheme_throughput(ws: &[Workload], scale: Scale) -> Vec<SchemeRate> {
         .collect()
 }
 
+/// Wall-time cost of the observability layer: the same workloads run with
+/// `Counters::disabled()` (the headline path, compiled out of the hot loop)
+/// and again with counters enabled. The stats must be bit-identical either
+/// way; only wall time may move.
+struct ObsOverhead {
+    off_wall_s: f64,
+    on_wall_s: f64,
+}
+
+impl ObsOverhead {
+    fn ratio(&self) -> f64 {
+        if self.off_wall_s > 0.0 {
+            self.on_wall_s / self.off_wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn counters_overhead(ws: &[Workload]) -> ObsOverhead {
+    let width = MachineWidth::Four;
+    let scheme = Scheme::Combined;
+    let run = |observe: bool| -> (f64, u64) {
+        let t0 = Instant::now();
+        let mut digest = 0u64;
+        for w in ws {
+            let r = run_prepared_observed(w, scheme.configure(width), scheme, width, observe)
+                .unwrap_or_else(|e| panic!("{e}"));
+            digest = digest.wrapping_mul(0x100_0000_01b3).wrapping_add(r.stats.cycles);
+        }
+        (t0.elapsed().as_secs_f64(), digest)
+    };
+    let (off_wall_s, off_digest) = run(false);
+    let (on_wall_s, on_digest) = run(true);
+    assert_eq!(off_digest, on_digest, "enabling counters must not perturb timing");
+    let o = ObsOverhead { off_wall_s, on_wall_s };
+    eprintln!(
+        "  counters off {:6.2}s, on {:6.2}s = {:.3}x (bit-identical cycles)",
+        o.off_wall_s,
+        o.on_wall_s,
+        o.ratio()
+    );
+    o
+}
+
 fn main() {
     let args = parse_args();
     let names: Vec<&str> = hpa_core::workloads::WORKLOAD_NAMES.to_vec();
@@ -208,9 +256,18 @@ fn main() {
     );
     assert_eq!(serial, parallel, "parallel matrix must be bit-identical to serial");
 
+    // Observability overhead: pins the `Counters::disabled()` fast path.
+    // Measured on the headline scale's throughput workloads, combined scheme.
+    eprintln!("== observability overhead: counters off vs on ({matrix_scale_name}) ==");
+    let obs_ws: Vec<Workload> = THROUGHPUT_WORKLOADS
+        .iter()
+        .map(|n| workload(n, matrix_scale).expect("known workload"))
+        .collect();
+    let obs = counters_overhead(&obs_ws);
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"hpa-perf-smoke-v2\",");
+    let _ = writeln!(json, "  \"schema\": \"hpa-perf-smoke-v3\",");
     let scale_names: Vec<String> = args.scales.iter().map(|(_, n)| format!("\"{n}\"")).collect();
     let _ = writeln!(json, "  \"scales\": [{}],", scale_names.join(", "));
     let _ = writeln!(json, "  \"host_parallelism\": {},", default_jobs());
@@ -256,6 +313,13 @@ fn main() {
     let _ = writeln!(json, "    \"serial_wall_s\": {serial_s:.3},");
     let _ = writeln!(json, "    \"parallel_wall_s\": {parallel_s:.3},");
     let _ = writeln!(json, "    \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "    \"bit_identical\": true");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"observability\": {{");
+    let _ = writeln!(json, "    \"scale\": \"{matrix_scale_name}\",");
+    let _ = writeln!(json, "    \"counters_off_wall_s\": {:.4},", obs.off_wall_s);
+    let _ = writeln!(json, "    \"counters_on_wall_s\": {:.4},", obs.on_wall_s);
+    let _ = writeln!(json, "    \"overhead_ratio\": {:.4},", obs.ratio());
     let _ = writeln!(json, "    \"bit_identical\": true");
     let _ = write!(json, "  }}");
     if let Some(path) = &args.baseline {

@@ -49,6 +49,7 @@ pub use hpa_cache as cache;
 pub use hpa_circuits as circuits;
 pub use hpa_emu as emu;
 pub use hpa_isa as isa;
+pub use hpa_obs as obs;
 pub use hpa_sim as sim;
 pub use hpa_workloads as workloads;
 
@@ -57,8 +58,10 @@ pub mod report;
 mod runner;
 mod scheme;
 
+pub use hpa_obs::{Counters, CpiCategory, CpiStack};
 pub use pool::{default_jobs, parallel_map, parallel_map_isolated, JobError};
 pub use runner::{
-    run_matrix, run_matrix_parallel, run_prepared, run_workload, MatrixResult, RunError, RunResult,
+    run_matrix, run_matrix_parallel, run_matrix_parallel_observed, run_prepared,
+    run_prepared_observed, run_workload, run_workload_observed, MatrixResult, RunError, RunResult,
 };
 pub use scheme::{MachineWidth, Scheme};

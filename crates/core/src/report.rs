@@ -8,6 +8,7 @@
 
 use crate::runner::MatrixResult;
 use crate::scheme::Scheme;
+use hpa_obs::CpiCategory;
 use hpa_sim::SimStats;
 use std::fmt;
 
@@ -297,6 +298,33 @@ pub fn normalized_ipc_figure(title: &str, matrix: &MatrixResult, schemes: &[Sche
         cells.push(format!("{:.3}", 1.0 - matrix.average_degradation(scheme)));
     }
     t.push_row(cells);
+    t
+}
+
+/// CPI-stack table from an *observed* matrix (see
+/// [`crate::run_matrix_parallel_observed`]): one row per (workload,
+/// scheme) cell, one column per [`CpiCategory`], each the percentage of
+/// the machine's issue slots attributed to that cause. The per-scheme
+/// deltas against the base rows are the paper's Figures 10–14 degradation
+/// sources, measured directly instead of inferred from end-to-end IPC.
+///
+/// Cells without counters (unobserved runs) are skipped.
+#[must_use]
+pub fn cpi_stack_table(title: &str, matrix: &MatrixResult, schemes: &[Scheme]) -> Table {
+    let mut headers = vec!["bench".to_string(), "scheme".to_string()];
+    headers.extend(CpiCategory::ALL.iter().map(|c| c.key().to_string()));
+    let mut t = Table { title: title.to_string(), headers, rows: Vec::new() };
+    for row in &matrix.rows {
+        for &scheme in schemes {
+            let Some(r) = row.iter().find(|r| r.scheme == scheme) else { continue };
+            let Some(c) = r.counters.as_ref() else { continue };
+            let mut cells = vec![r.workload.to_string(), scheme.key().to_string()];
+            cells.extend(
+                CpiCategory::ALL.iter().map(|&cat| format!("{:.2}", 100.0 * c.cpi.fraction(cat))),
+            );
+            t.push_row(cells);
+        }
+    }
     t
 }
 

@@ -3,6 +3,7 @@
 
 use crate::pool::parallel_map_isolated;
 use crate::scheme::{MachineWidth, Scheme};
+use hpa_obs::Counters;
 use hpa_sim::{SimConfig, SimFault, SimStats, Simulator};
 use hpa_workloads::{workload, Scale, Workload, CHECKSUM_REG};
 use std::fmt;
@@ -75,6 +76,11 @@ pub struct RunResult {
     pub width: MachineWidth,
     /// Full simulator statistics.
     pub stats: SimStats,
+    /// Observability registry (CPI stack, penalty histograms); present
+    /// only for `*_observed` runs. Never affects `stats` — the
+    /// differential suite holds observed and unobserved runs
+    /// bit-identical.
+    pub counters: Option<Counters>,
 }
 
 /// Simulates one workload under a named scheme, verifying the checksum.
@@ -90,9 +96,25 @@ pub fn run_workload(
     width: MachineWidth,
     scheme: Scheme,
 ) -> Result<RunResult, RunError> {
+    run_workload_observed(name, scale, width, scheme, false)
+}
+
+/// [`run_workload`] with the observability registry enabled when
+/// `observe` is set: the result then carries [`RunResult::counters`].
+///
+/// # Errors
+///
+/// As [`run_workload`].
+pub fn run_workload_observed(
+    name: &str,
+    scale: Scale,
+    width: MachineWidth,
+    scheme: Scheme,
+    observe: bool,
+) -> Result<RunResult, RunError> {
     let w = workload(name, scale)
         .ok_or_else(|| RunError::UnknownWorkload { name: name.to_string() })?;
-    run_prepared(&w, scheme.configure(width), scheme, width)
+    run_prepared_observed(&w, scheme.configure(width), scheme, width, observe)
 }
 
 /// Simulates an already-built workload under an explicit configuration.
@@ -106,7 +128,26 @@ pub fn run_prepared(
     scheme: Scheme,
     width: MachineWidth,
 ) -> Result<RunResult, RunError> {
+    run_prepared_observed(w, config, scheme, width, false)
+}
+
+/// [`run_prepared`] with the observability registry enabled when
+/// `observe` is set.
+///
+/// # Errors
+///
+/// As [`run_prepared`].
+pub fn run_prepared_observed(
+    w: &Workload,
+    config: SimConfig,
+    scheme: Scheme,
+    width: MachineWidth,
+    observe: bool,
+) -> Result<RunResult, RunError> {
     let mut sim = Simulator::new(&w.program, config);
+    if observe {
+        sim.enable_counters();
+    }
     sim.try_run().map_err(|fault| RunError::Sim { name: w.name.to_string(), fault })?;
     let actual = sim.emulator().reg(CHECKSUM_REG);
     if actual != w.expected_checksum {
@@ -116,7 +157,13 @@ pub fn run_prepared(
             expected: w.expected_checksum,
         });
     }
-    Ok(RunResult { workload: w.name, scheme, width, stats: sim.stats().clone() })
+    Ok(RunResult {
+        workload: w.name,
+        scheme,
+        width,
+        stats: sim.stats().clone(),
+        counters: observe.then(|| sim.counters().clone()),
+    })
 }
 
 /// Results of a benchmarks × schemes sweep at one machine width.
@@ -234,6 +281,27 @@ pub fn run_matrix_parallel(
     jobs: usize,
     progress: impl Fn(&RunResult) + Sync,
 ) -> Result<MatrixResult, RunError> {
+    run_matrix_parallel_observed(workload_names, scale, width, schemes, jobs, false, progress)
+}
+
+/// [`run_matrix_parallel`] with the observability registry enabled when
+/// `observe` is set: every cell then carries its [`RunResult::counters`]
+/// (CPI stacks for the report layer). Observation never perturbs timing,
+/// so the `stats` of an observed matrix are bit-identical to an
+/// unobserved one.
+///
+/// # Errors
+///
+/// As [`run_matrix_parallel`].
+pub fn run_matrix_parallel_observed(
+    workload_names: &[&str],
+    scale: Scale,
+    width: MachineWidth,
+    schemes: &[Scheme],
+    jobs: usize,
+    observe: bool,
+    progress: impl Fn(&RunResult) + Sync,
+) -> Result<MatrixResult, RunError> {
     let workloads = workload_names
         .iter()
         .map(|name| {
@@ -248,7 +316,8 @@ pub fn run_matrix_parallel(
     // other cell still runs to completion.
     let results = parallel_map_isolated(&cells, jobs, |_, &(wi, si)| {
         let scheme = schemes[si];
-        let r = run_prepared(&workloads[wi], scheme.configure(width), scheme, width);
+        let r =
+            run_prepared_observed(&workloads[wi], scheme.configure(width), scheme, width, observe);
         if let Ok(ref ok) = r {
             progress(ok);
         }
@@ -317,6 +386,39 @@ mod tests {
                 let par = run_matrix_parallel(&names, Scale::Tiny, width, &schemes, jobs, |_| {})
                     .expect("parallel runs");
                 assert_eq!(serial, par, "jobs={jobs} width={width:?}");
+            }
+        }
+    }
+
+    /// Observation must be free: an observed matrix carries a balanced
+    /// CPI stack per cell and exactly the same `SimStats` as an
+    /// unobserved run.
+    #[test]
+    fn observed_matrix_balances_books_without_perturbing_stats() {
+        let names = ["gcc"];
+        let schemes = [Scheme::Base, Scheme::Combined];
+        let plain =
+            run_matrix(&names, Scale::Tiny, MachineWidth::Four, &schemes, |_| {}).expect("runs");
+        let observed = run_matrix_parallel_observed(
+            &names,
+            Scale::Tiny,
+            MachineWidth::Four,
+            &schemes,
+            2,
+            true,
+            |_| {},
+        )
+        .expect("runs");
+        let width = u64::from(MachineWidth::Four.base_config().width);
+        for (prow, orow) in plain.rows.iter().zip(&observed.rows) {
+            for (p, o) in prow.iter().zip(orow) {
+                assert_eq!(p.stats, o.stats, "observation perturbed timing");
+                assert!(p.counters.is_none());
+                let c = o.counters.as_ref().expect("observed cell has counters");
+                assert_eq!(c.cpi.total(), o.stats.cycles * width, "books balance");
+                if o.scheme == Scheme::Base {
+                    assert_eq!(c.cpi.penalty_slots(), 0, "no penalties on the base machine");
+                }
             }
         }
     }

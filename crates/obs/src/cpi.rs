@@ -1,0 +1,223 @@
+//! CPI stacks: per-issue-slot cycle attribution.
+//!
+//! Every cycle, every issue slot of the machine does exactly one thing:
+//! it either issues an instruction or it is idle for exactly one reason.
+//! The [`CpiStack`] records that attribution so aggregate IPC can be
+//! decomposed into the paper's degradation sources (Figures 10–14): the
+//! half-price penalties become first-class measurable quantities instead
+//! of an end-to-end IPC delta.
+
+use std::fmt;
+
+/// Why an issue slot spent a cycle the way it did.
+///
+/// The categories form a strict priority cascade (documented per variant);
+/// a slot is attributed to the *first* matching cause, so the counts are
+/// disjoint and sum to `cycles × width`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum CpiCategory {
+    /// The slot issued an instruction this cycle (useful work).
+    Committing,
+    /// The whole machine is inside a post-squash scheduler restart window
+    /// (non-selective pullback): no slot may issue.
+    Squash,
+    /// The slot's select logic disabled itself for one cycle while a
+    /// sequential register access reads its single port twice
+    /// (paper Figure 11b). Zero under `Scheme::Base`.
+    RfRereadStall,
+    /// A selectable instruction was deferred by read-port arbitration
+    /// (shared crossbar) or by the single-bypass-input constraint. Zero
+    /// under `Scheme::Base`.
+    PortConflict,
+    /// A selectable instruction lost functional-unit arbitration
+    /// (structural hazard; present in the base machine too).
+    FuContention,
+    /// An otherwise-ready instruction is held because its last operand
+    /// woke on the slow bus *simultaneously* with the fast side — the
+    /// unavoidable +1 of sequential wakeup (paper §3.3). Zero under
+    /// `Scheme::Base`.
+    SeqWakeupDelay,
+    /// An otherwise-ready instruction is held because the last-arriving
+    /// operand landed on the slow side (predictor miss or static-policy
+    /// miss): the mispredict flavour of the sequential-wakeup +1. Zero
+    /// under `Scheme::Base`.
+    LaMispredictDelay,
+    /// Nothing selectable and an in-flight load is overdue (missed the
+    /// speculative latency or is blocked on an older store): the window
+    /// is waiting on memory.
+    DcacheMissWait,
+    /// The window is completely empty: the front end could not supply
+    /// instructions (fetch stall, IL1 miss, branch-redirect refill).
+    FetchStarved,
+    /// Instructions are in flight but none is selectable this cycle
+    /// (dependence chains still executing).
+    SchedulerEmpty,
+}
+
+impl CpiCategory {
+    /// Every category, in cascade/display order.
+    pub const ALL: [CpiCategory; 10] = [
+        CpiCategory::Committing,
+        CpiCategory::Squash,
+        CpiCategory::RfRereadStall,
+        CpiCategory::PortConflict,
+        CpiCategory::FuContention,
+        CpiCategory::SeqWakeupDelay,
+        CpiCategory::LaMispredictDelay,
+        CpiCategory::DcacheMissWait,
+        CpiCategory::FetchStarved,
+        CpiCategory::SchedulerEmpty,
+    ];
+
+    /// Stable index into [`CpiStack`] storage.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short machine-readable name (JSON keys, table headers).
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            CpiCategory::Committing => "issue",
+            CpiCategory::Squash => "squash",
+            CpiCategory::RfRereadStall => "rf_reread",
+            CpiCategory::PortConflict => "port_conflict",
+            CpiCategory::FuContention => "fu_contention",
+            CpiCategory::SeqWakeupDelay => "seq_wakeup",
+            CpiCategory::LaMispredictDelay => "la_mispredict",
+            CpiCategory::DcacheMissWait => "dcache_wait",
+            CpiCategory::FetchStarved => "fetch_starved",
+            CpiCategory::SchedulerEmpty => "sched_empty",
+        }
+    }
+
+    /// Human-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            CpiCategory::Committing => "issued",
+            CpiCategory::Squash => "squash restart",
+            CpiCategory::RfRereadStall => "RF re-read stall",
+            CpiCategory::PortConflict => "port conflict",
+            CpiCategory::FuContention => "FU contention",
+            CpiCategory::SeqWakeupDelay => "seq-wakeup delay",
+            CpiCategory::LaMispredictDelay => "last-arrival mispredict",
+            CpiCategory::DcacheMissWait => "dcache-miss wait",
+            CpiCategory::FetchStarved => "fetch starved",
+            CpiCategory::SchedulerEmpty => "scheduler empty",
+        }
+    }
+
+    /// Whether the category is a half-price overhead: structurally zero
+    /// on the conventional base machine (`Scheme::Base`).
+    #[must_use]
+    pub fn is_half_price_penalty(self) -> bool {
+        matches!(
+            self,
+            CpiCategory::RfRereadStall
+                | CpiCategory::PortConflict
+                | CpiCategory::SeqWakeupDelay
+                | CpiCategory::LaMispredictDelay
+        )
+    }
+}
+
+impl fmt::Display for CpiCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Issue-slot counts per [`CpiCategory`].
+///
+/// Invariant (enforced by the property suite): after a run with counters
+/// enabled, `total() == stats.cycles * width` — every slot of every
+/// counted cycle is attributed exactly once.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct CpiStack {
+    slots: [u64; CpiCategory::ALL.len()],
+}
+
+impl CpiStack {
+    /// Adds `n` issue slots to `cat`.
+    pub fn add(&mut self, cat: CpiCategory, n: u64) {
+        self.slots[cat.index()] += n;
+    }
+
+    /// The slot count attributed to `cat`.
+    #[must_use]
+    pub fn get(&self, cat: CpiCategory) -> u64 {
+        self.slots[cat.index()]
+    }
+
+    /// Total attributed slots across all categories.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.slots.iter().sum()
+    }
+
+    /// Slots attributed to half-price penalty categories.
+    #[must_use]
+    pub fn penalty_slots(&self) -> u64 {
+        CpiCategory::ALL.iter().filter(|c| c.is_half_price_penalty()).map(|&c| self.get(c)).sum()
+    }
+
+    /// `cat` as a fraction of all attributed slots (`0.0` when empty).
+    #[must_use]
+    pub fn fraction(&self, cat: CpiCategory) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(cat) as f64 / total as f64
+        }
+    }
+
+    /// Zeroes every category in place.
+    pub fn reset_in_place(&mut self) {
+        self.slots = [0; CpiCategory::ALL.len()];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_stable() {
+        for (k, cat) in CpiCategory::ALL.iter().enumerate() {
+            assert_eq!(cat.index(), k);
+        }
+    }
+
+    #[test]
+    fn stack_sums_and_fractions() {
+        let mut s = CpiStack::default();
+        s.add(CpiCategory::Committing, 6);
+        s.add(CpiCategory::SeqWakeupDelay, 2);
+        assert_eq!(s.total(), 8);
+        assert_eq!(s.get(CpiCategory::Committing), 6);
+        assert_eq!(s.penalty_slots(), 2);
+        assert!((s.fraction(CpiCategory::SeqWakeupDelay) - 0.25).abs() < 1e-12);
+        s.reset_in_place();
+        assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn penalty_categories_are_the_half_price_ones() {
+        let penalties: Vec<_> =
+            CpiCategory::ALL.iter().filter(|c| c.is_half_price_penalty()).collect();
+        assert_eq!(penalties.len(), 4);
+        assert!(!CpiCategory::FuContention.is_half_price_penalty());
+        assert!(!CpiCategory::Squash.is_half_price_penalty());
+    }
+
+    #[test]
+    fn keys_and_labels_are_unique() {
+        let mut keys: Vec<_> = CpiCategory::ALL.iter().map(|c| c.key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), CpiCategory::ALL.len());
+    }
+}

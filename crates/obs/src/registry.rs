@@ -1,0 +1,258 @@
+//! The counter/histogram registry: cheap when disabled, rich when on.
+//!
+//! The pipeline carries one [`Counters`] value. In the default
+//! [`Counters::disabled`] state every recording site reduces to a single
+//! branch on [`Counters::is_enabled`], so the hot cycle loop pays nothing
+//! measurable (pinned by the perf-smoke comparison). Enabling the
+//! registry must never perturb timing: recording reads simulator state
+//! but writes only into this struct, and the differential suite asserts
+//! bit-identical `SimStats` and retire streams either way.
+
+use crate::cpi::{CpiCategory, CpiStack};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Number of buckets in a [`Histogram`]; values at or above
+/// `BUCKETS - 1` land in the last (overflow) bucket.
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// A small fixed-bucket histogram of non-negative integer samples.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of the *unclamped* samples, so the mean stays exact even when
+    /// samples overflow into the last bucket.
+    sum: u64,
+}
+
+impl Histogram {
+    /// Records one sample (clamped into the overflow bucket).
+    pub fn record(&mut self, value: u64) {
+        let ix = (value as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[ix] += 1;
+        self.sum += value;
+    }
+
+    /// The count in bucket `ix` (callers index `0..HISTOGRAM_BUCKETS`).
+    #[must_use]
+    pub fn bucket(&self, ix: usize) -> u64 {
+        self.buckets[ix]
+    }
+
+    /// Total recorded samples.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean of the recorded samples (`0.0` when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let n = self.samples();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Zeroes the histogram in place.
+    pub fn reset_in_place(&mut self) {
+        *self = Histogram::default();
+    }
+
+    fn json_into(&self, out: &mut String) {
+        out.push('[');
+        for (k, b) in self.buckets.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{b}");
+        }
+        out.push(']');
+    }
+}
+
+/// The per-run observability registry: a CPI stack plus the penalty
+/// counters and distributions the half-price analysis needs.
+///
+/// Construct with [`Counters::enabled`] or [`Counters::disabled`]; the
+/// flag is immutable for the life of the value so a run is either fully
+/// observed or fully unobserved.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Counters {
+    on: bool,
+    /// Issue-slot attribution (see [`CpiStack`] for the invariant).
+    pub cpi: CpiStack,
+    /// Cycles between an instruction's last operand wakeup (its effective
+    /// ready cycle) and the cycle it was finally selected — the
+    /// issue-to-wakeup delay distribution.
+    pub wakeup_to_select: Histogram,
+    /// Per-cycle count of operand wakeups delivered on the slow bus
+    /// (recorded only under sequential wakeup): slow-bus occupancy.
+    pub slow_bus_occupancy: Histogram,
+    /// Sequential-register-access issues that needed the second port read
+    /// (read-port re-reads; mirrors `SimStats::seq_rf_accesses` from the
+    /// registry side so the differential suite can cross-check).
+    pub rf_rereads: u64,
+}
+
+impl Default for Counters {
+    fn default() -> Counters {
+        Counters::disabled()
+    }
+}
+
+impl Counters {
+    /// A recording registry.
+    #[must_use]
+    pub fn enabled() -> Counters {
+        Counters {
+            on: true,
+            cpi: CpiStack::default(),
+            wakeup_to_select: Histogram::default(),
+            slow_bus_occupancy: Histogram::default(),
+            rf_rereads: 0,
+        }
+    }
+
+    /// The zero-overhead path: recording sites see `is_enabled() ==
+    /// false` and skip all work.
+    #[must_use]
+    pub fn disabled() -> Counters {
+        Counters { on: false, ..Counters::enabled() }
+    }
+
+    /// Whether recording sites should do any work.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.on
+    }
+
+    /// Zeroes every counter in place (warmup boundary), preserving the
+    /// enabled flag.
+    pub fn reset_in_place(&mut self) {
+        self.cpi.reset_in_place();
+        self.wakeup_to_select.reset_in_place();
+        self.slow_bus_occupancy.reset_in_place();
+        self.rf_rereads = 0;
+    }
+
+    /// Renders the registry as a JSON object (hand-rolled; the workspace
+    /// carries no serialization dependency).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\n  \"enabled\": ");
+        let _ = write!(out, "{}", self.on);
+        out.push_str(",\n  \"cpi_stack\": {");
+        for (k, cat) in CpiCategory::ALL.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": {}", cat.key(), self.cpi.get(*cat));
+        }
+        out.push_str("\n  },\n  \"cpi_total_slots\": ");
+        let _ = write!(out, "{}", self.cpi.total());
+        out.push_str(",\n  \"wakeup_to_select\": ");
+        self.wakeup_to_select.json_into(&mut out);
+        out.push_str(",\n  \"wakeup_to_select_mean\": ");
+        let _ = write!(out, "{:.4}", self.wakeup_to_select.mean());
+        out.push_str(",\n  \"slow_bus_occupancy\": ");
+        self.slow_bus_occupancy.json_into(&mut out);
+        out.push_str(",\n  \"rf_rereads\": ");
+        let _ = write!(out, "{}", self.rf_rereads);
+        out.push_str("\n}\n");
+        out
+    }
+}
+
+/// Text rendering: one line per CPI category with percentages, then the
+/// registry counters — the `hpa counters` / `hpa sim --counters` view.
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.on {
+            return writeln!(f, "counters disabled");
+        }
+        writeln!(f, "CPI stack ({} issue slots attributed):", self.cpi.total())?;
+        for cat in CpiCategory::ALL {
+            let slots = self.cpi.get(cat);
+            if slots == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "  {:<24} {:>12}  {:>6.2}%",
+                cat.label(),
+                slots,
+                100.0 * self.cpi.fraction(cat)
+            )?;
+        }
+        writeln!(
+            f,
+            "wakeup-to-select delay: mean {:.3} cycles over {} issues",
+            self.wakeup_to_select.mean(),
+            self.wakeup_to_select.samples()
+        )?;
+        writeln!(
+            f,
+            "slow-bus occupancy:     mean {:.3} wakeups/cycle over {} cycles",
+            self.slow_bus_occupancy.mean(),
+            self.slow_bus_occupancy.samples()
+        )?;
+        writeln!(f, "RF re-reads:            {}", self.rf_rereads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_clamps_and_keeps_exact_mean() {
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(3);
+        h.record(100); // overflow bucket
+        assert_eq!(h.samples(), 3);
+        assert_eq!(h.bucket(0), 1);
+        assert_eq!(h.bucket(3), 1);
+        assert_eq!(h.bucket(HISTOGRAM_BUCKETS - 1), 1);
+        assert!((h.mean() - 103.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_is_default_and_reset_preserves_flag() {
+        let mut c = Counters::default();
+        assert!(!c.is_enabled());
+        c = Counters::enabled();
+        c.cpi.add(CpiCategory::Committing, 4);
+        c.rf_rereads = 7;
+        c.reset_in_place();
+        assert!(c.is_enabled());
+        assert_eq!(c.cpi.total(), 0);
+        assert_eq!(c.rf_rereads, 0);
+    }
+
+    #[test]
+    fn json_contains_every_category_key() {
+        let mut c = Counters::enabled();
+        c.cpi.add(CpiCategory::SeqWakeupDelay, 2);
+        c.wakeup_to_select.record(1);
+        let j = c.to_json();
+        for cat in CpiCategory::ALL {
+            assert!(j.contains(&format!("\"{}\"", cat.key())), "{j}");
+        }
+        assert!(j.contains("\"cpi_total_slots\": 2"), "{j}");
+        assert!(j.contains("\"rf_rereads\": 0"), "{j}");
+    }
+
+    #[test]
+    fn display_skips_empty_categories() {
+        let mut c = Counters::enabled();
+        c.cpi.add(CpiCategory::Committing, 10);
+        let s = c.to_string();
+        assert!(s.contains("issued"), "{s}");
+        assert!(!s.contains("squash restart"), "{s}");
+    }
+}

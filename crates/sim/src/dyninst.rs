@@ -87,6 +87,10 @@ pub struct DynInst {
     pub insert_cycle: u64,
     /// Most recent issue cycle (meaningful once issued at least once).
     pub issue_cycle: u64,
+    /// Effective cycle of the last operand wakeup at the most recent
+    /// (successful) issue, clamped into `[insert_cycle, issue_cycle]`;
+    /// feeds the trace export and the issue-to-wakeup delay histogram.
+    pub wakeup_cycle: u64,
     /// Cycle the result is produced (execution completes).
     pub complete_cycle: u64,
     /// Whether the destination tag has been broadcast (and not
@@ -172,6 +176,7 @@ impl DynInst {
             epoch: 0,
             insert_cycle: 0,
             issue_cycle: 0,
+            wakeup_cycle: 0,
             complete_cycle: 0,
             broadcast_done: false,
             replays: 0,

@@ -46,6 +46,7 @@ pub use config::{
     BypassScheme, FuCounts, RecoveryKind, RegFileScheme, RenameScheme, SimConfig, WakeupScheme,
 };
 pub use dyninst::{DynInst, IState, RfCategory, SrcState};
+pub use hpa_obs::{Counters, CpiCategory, CpiStack, Histogram, InstSpan};
 pub use pipeline::{FaultInjection, SimFault, Simulator};
 pub use stats::{FormatStats, SimStats, WakeupOrderStats};
 pub use trace::{PipeTrace, TraceRecord};

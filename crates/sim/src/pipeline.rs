@@ -40,6 +40,7 @@ use hpa_bpred::{LastArrivalBank, LastArrivalPredictor, PcTable, Side};
 use hpa_cache::Hierarchy;
 use hpa_emu::{EmuError, Emulator};
 use hpa_isa::{Inst, NUM_ARCH_REGS};
+use hpa_obs::{Counters, CpiCategory};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -305,6 +306,35 @@ pub struct Simulator {
     /// runners use it to convert injected hangs into structured outcomes
     /// long before the no-commit-progress limit.
     cycle_budget: u64,
+    /// Observability registry (CPI stack, penalty histograms). Disabled
+    /// by default; recording never touches `stats` or scheduling state,
+    /// so enabling it cannot perturb timing.
+    counters: Counters,
+    /// What select did this cycle, stashed for end-of-cycle CPI
+    /// attribution (select's working values are gone by then).
+    cpi_select: CpiSelectInfo,
+    /// Slow-bus wakeup deliveries this cycle (occupancy histogram);
+    /// incremented only while `counters` is enabled.
+    slow_wakeups_this_cycle: u32,
+}
+
+/// Select-phase facts needed by the end-of-cycle CPI attribution.
+#[derive(Clone, Copy, Debug, Default)]
+struct CpiSelectInfo {
+    /// Instructions issued.
+    issued: u32,
+    /// Issue slots disabled by a previous sequential RF access.
+    rf_blocked: u32,
+    /// Candidates deferred by crossbar port arbitration or the
+    /// single-bypass-input constraint.
+    port_deferrals: u32,
+    /// Candidates that lost functional-unit arbitration.
+    fu_deferrals: u32,
+    /// The whole select phase was suppressed by a post-squash restart.
+    restart: bool,
+    /// Select-time classification of the leftover (unfilled) slots; only
+    /// computed when some slots were left over.
+    stall: Option<CpiCategory>,
 }
 
 /// Scratch buffers for the hot cycle loop. Each phase takes the buffer it
@@ -400,6 +430,9 @@ impl Simulator {
             injection: None,
             injection_events: 0,
             cycle_budget: u64::MAX,
+            counters: Counters::disabled(),
+            cpi_select: CpiSelectInfo::default(),
+            slow_wakeups_this_cycle: 0,
         }
     }
 
@@ -464,6 +497,22 @@ impl Simulator {
     #[must_use]
     pub fn pipetrace(&self) -> Option<&PipeTrace> {
         self.pipetrace.as_ref()
+    }
+
+    /// Turns on the observability registry: CPI-stack attribution of
+    /// every issue slot plus the penalty counters and histograms (see
+    /// [`Counters`]). Off by default; recording reads pipeline state but
+    /// writes only into the registry, so timing and [`SimStats`] are
+    /// bit-identical either way (the differential suite enforces this).
+    pub fn enable_counters(&mut self) {
+        self.counters = Counters::enabled();
+    }
+
+    /// The observability registry (all zeros unless
+    /// [`Simulator::enable_counters`] was called).
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
     }
 
     fn idx(&self, seq: u64) -> Option<usize> {
@@ -595,6 +644,11 @@ impl Simulator {
             self.phase_fetch();
             self.phase_insert();
         }
+        if self.counters.is_enabled() {
+            // After every phase so the warmup-boundary reset inside commit
+            // still sees this cycle attributed exactly once.
+            self.record_cpi_cycle();
+        }
         self.cycle += 1;
         self.blocked_slots = std::mem::take(&mut self.blocked_slots_next);
         if self.injection.is_some() {
@@ -674,6 +728,7 @@ impl Simulator {
         let fast_slot = c.fast_slot;
         let two_src = c.is_two_source();
         let mut slow_delayed = false;
+        let mut slow_delivered = 0u32;
         for slot in 0..2 {
             let Some(src) = c.srcs[slot].as_mut() else { continue };
             if src.producer != Some(producer) || src.ready {
@@ -683,6 +738,9 @@ impl Simulator {
             src.broadcast_cycle = cycle;
             let slow = slow_bus && two_src && slot != fast_slot;
             src.effective_cycle = cycle + u64::from(slow);
+            if slow {
+                slow_delivered += 1;
+            }
             if slow && delay_slow && !slow_delayed {
                 src.effective_cycle = cycle + 2;
                 slow_delayed = true;
@@ -697,6 +755,9 @@ impl Simulator {
         }
         if enqueue {
             self.ready_list.push(c_seq);
+        }
+        if slow_delivered > 0 && self.counters.is_enabled() {
+            self.slow_wakeups_this_cycle += slow_delivered;
         }
         if slow_delayed {
             self.injection = None; // the delayed-rebroadcast fault fires once
@@ -818,8 +879,14 @@ impl Simulator {
     fn phase_select(&mut self) {
         let cycle = self.cycle;
         if cycle < self.issue_stall_until {
-            return; // scheduler restart after a pullback
+            // Scheduler restart after a pullback: every slot of the cycle
+            // is squash overhead.
+            self.cpi_select = CpiSelectInfo { restart: true, ..CpiSelectInfo::default() };
+            return;
         }
+        let mut port_defer = 0u32;
+        let mut fu_defer = 0u32;
+        let rf_blocked = self.blocked_slots;
         let mut budget = self.config.width.saturating_sub(self.blocked_slots);
         let mut port_budget = self.config.width;
         // Injection: a read-port conflict storm — for the armed window all
@@ -875,6 +942,7 @@ impl Simulator {
                 two_source,
                 both_ready_at_insert,
                 ports,
+                wakeup_eff,
             ) = {
                 let i = self.inst(seq).expect("candidate in window");
                 (
@@ -886,6 +954,15 @@ impl Simulator {
                     i.is_two_source(),
                     i.is_two_source() && i.srcs_iter().all(|s| s.ready_at_insert),
                     i.srcs_iter().filter(|s| s.effective_cycle != cycle).count() as u32,
+                    // Effective last-wakeup cycle, clamped so replayed or
+                    // scoreboard-verified operands (stale stamps) stay
+                    // within the instruction's window residency.
+                    i.srcs_iter()
+                        .filter(|s| s.ready)
+                        .map(|s| s.effective_cycle)
+                        .max()
+                        .unwrap_or(i.insert_cycle)
+                        .clamp(i.insert_cycle, cycle),
                 )
             };
 
@@ -895,6 +972,7 @@ impl Simulator {
             // earlier value is then readable from the register file).
             if self.config.bypass == BypassScheme::HalfPaths && two_source && ports == 0 {
                 self.stats.bypass_deferrals += 1;
+                port_defer += 1;
                 continue;
             }
 
@@ -903,13 +981,16 @@ impl Simulator {
             if self.config.regfile == RegFileScheme::SharedCrossbar {
                 if ports > port_budget {
                     self.stats.crossbar_deferrals += 1;
+                    port_defer += 1;
                     continue;
                 }
                 if !self.fu.acquire(class, cycle, base_latency, pipelined) {
+                    fu_defer += 1;
                     continue;
                 }
                 port_budget -= ports;
             } else if !self.fu.acquire(class, cycle, base_latency, pipelined) {
+                fu_defer += 1;
                 continue;
             }
 
@@ -960,6 +1041,7 @@ impl Simulator {
                 let (is_load, is_store, dest) = (i.is_load(), i.is_store(), i.dest);
                 i.state = IState::Issued;
                 i.issue_cycle = cycle;
+                i.wakeup_cycle = wakeup_eff;
                 i.seq_rf = seq_rf;
                 if let Some(cat) = rf_category {
                     i.rf_category = Some(cat);
@@ -1000,6 +1082,9 @@ impl Simulator {
                 // The paper's Figure 11b: the slot's select logic disables
                 // itself for one cycle while the port is read twice.
                 self.blocked_slots_next += 1;
+                if self.counters.is_enabled() {
+                    self.counters.rf_rereads += 1;
+                }
             }
             if te_misfire {
                 // The missing operand is confirmed where operands are
@@ -1011,10 +1096,116 @@ impl Simulator {
                 // machine width and pipeline depth (paper §5.1).
                 self.schedule_event(cycle + exec_offset, Event::TeVerify { seq, epoch });
             }
+            if self.counters.is_enabled() {
+                self.counters.wakeup_to_select.record(cycle - wakeup_eff);
+            }
             issued += 1;
         }
         self.scratch.cands = cands;
         self.stats.issue_histogram[(issued as usize).min(self.config.width as usize)] += 1;
+        if self.counters.is_enabled() {
+            // Classify leftover slots now, while the window still shows
+            // the select-time view (events/commit/insert will change it).
+            let stall = (issued + rf_blocked + port_defer + fu_defer < self.config.width)
+                .then(|| self.classify_stall_cycle());
+            self.cpi_select = CpiSelectInfo {
+                issued,
+                rf_blocked,
+                port_deferrals: port_defer,
+                fu_deferrals: fu_defer,
+                restart: false,
+                stall,
+            };
+        }
+    }
+
+    /// Why no instruction could fill the remaining issue slots this
+    /// cycle: the tail of the CPI attribution cascade (see
+    /// [`Simulator::record_cpi_cycle`]). Read-only.
+    fn classify_stall_cycle(&self) -> CpiCategory {
+        let cycle = self.cycle;
+        if self.window.is_empty() {
+            return CpiCategory::FetchStarved;
+        }
+        let spec = self.load_spec_latency();
+        let mut slow_hold: Option<CpiCategory> = None;
+        let mut mem_wait = false;
+        for i in &self.window {
+            match i.state {
+                IState::Waiting => {
+                    // All operands woke but one is still riding the slow
+                    // bus: the sequential-wakeup +1 in one of its two
+                    // flavours (paper §3.3).
+                    if slow_hold.is_none()
+                        && i.srcs_iter().all(|s| s.ready)
+                        && i.srcs_iter().any(|s| s.effective_cycle > cycle)
+                    {
+                        let mut bcs = [0u64; 2];
+                        for (k, s) in i.srcs_iter().enumerate() {
+                            bcs[k] = s.broadcast_cycle;
+                        }
+                        let simultaneous = i.num_srcs() == 2 && bcs[0] == bcs[1];
+                        slow_hold = Some(if simultaneous {
+                            CpiCategory::SeqWakeupDelay
+                        } else {
+                            CpiCategory::LaMispredictDelay
+                        });
+                    }
+                }
+                IState::Issued => {
+                    // An in-flight load past its speculative latency with
+                    // no broadcast (DL1 miss shadow), or parked on an
+                    // older store: the window is waiting on memory.
+                    if i.is_load()
+                        && (i.load_stalled || (!i.broadcast_done && cycle > i.issue_cycle + spec))
+                    {
+                        mem_wait = true;
+                    }
+                }
+                IState::Completed => {}
+            }
+        }
+        if let Some(c) = slow_hold {
+            return c;
+        }
+        if mem_wait {
+            return CpiCategory::DcacheMissWait;
+        }
+        CpiCategory::SchedulerEmpty
+    }
+
+    /// End-of-cycle CPI attribution: every one of the machine's `width`
+    /// issue slots is charged to exactly one [`CpiCategory`] via a strict
+    /// priority cascade — issued, then squash-restart, RF re-read
+    /// blocks, port conflicts, FU contention, and finally the
+    /// select-time stall classification. The property suite holds the
+    /// books to `cpi.total() == cycles × width`.
+    fn record_cpi_cycle(&mut self) {
+        if self.uses_slow_bus() {
+            self.counters.slow_bus_occupancy.record(u64::from(self.slow_wakeups_this_cycle));
+        }
+        self.slow_wakeups_this_cycle = 0;
+        let width = u64::from(self.config.width);
+        let info = self.cpi_select;
+        let cpi = &mut self.counters.cpi;
+        if info.restart {
+            cpi.add(CpiCategory::Squash, width);
+            return;
+        }
+        cpi.add(CpiCategory::Committing, u64::from(info.issued));
+        let mut remaining = width.saturating_sub(u64::from(info.issued));
+        let rf = u64::from(info.rf_blocked).min(remaining);
+        cpi.add(CpiCategory::RfRereadStall, rf);
+        remaining -= rf;
+        let ports = u64::from(info.port_deferrals).min(remaining);
+        cpi.add(CpiCategory::PortConflict, ports);
+        remaining -= ports;
+        let fu = u64::from(info.fu_deferrals).min(remaining);
+        cpi.add(CpiCategory::FuContention, fu);
+        remaining -= fu;
+        if remaining > 0 {
+            cpi.add(info.stall.unwrap_or(CpiCategory::SchedulerEmpty), remaining);
+        }
     }
 
     // ---------------------------------------------------------- events --
@@ -1382,6 +1573,7 @@ impl Simulator {
                         pc: head.pc,
                         inst: head.inst,
                         insert_cycle: head.insert_cycle,
+                        wakeup_cycle: head.wakeup_cycle,
                         issue_cycle: head.issue_cycle,
                         complete_cycle: head.complete_cycle,
                         commit_cycle: self.cycle,
@@ -1393,8 +1585,13 @@ impl Simulator {
             if self.committed_total == self.config.warmup_insts {
                 // Warmup boundary: restart the counters in place (no
                 // reallocation); warm state (caches, predictors, the
-                // window) carries over.
+                // window) carries over. The CPI attribution of the current
+                // cycle runs at end-of-cycle, after this reset, so the
+                // registry covers exactly the cycles `stats` counts.
                 self.stats.reset_in_place();
+                if self.counters.is_enabled() {
+                    self.counters.reset_in_place();
+                }
                 self.stats_start_cycle = self.cycle;
             }
             if head.is_two_source() {
@@ -1974,6 +2171,106 @@ mod tests {
         let extra = run_with(&p, SimConfig::four_wide().with_regfile(RegFileScheme::ExtraStage));
         assert!(extra.replayed_insts >= base.replayed_insts);
         assert!(extra.cycles >= base.cycles);
+    }
+
+    /// The CPI stack attributes every issue slot of every cycle exactly
+    /// once, and the half-price penalty categories show up only under the
+    /// schemes that create them.
+    #[test]
+    fn cpi_stack_books_balance() {
+        let p = asm(|a| {
+            // Two independent producers waking a consumer simultaneously
+            // (the guaranteed slow-bus +1 under sequential wakeup), plus a
+            // serial chain for scheduler-empty cycles.
+            a.li(Reg::R1, 1);
+            a.li(Reg::R2, 2);
+            a.add(Reg::R3, Reg::R1, Reg::R2);
+            a.mul(Reg::R4, Reg::R3, 3);
+            a.add(Reg::R5, Reg::R4, Reg::R3);
+        });
+        let observed = |config: SimConfig| {
+            let mut sim = Simulator::new(&p, config);
+            sim.enable_counters();
+            sim.run();
+            let width = u64::from(sim.config.width);
+            let c = sim.counters().clone();
+            assert_eq!(
+                c.cpi.total(),
+                sim.stats.cycles * width,
+                "every slot of every cycle is attributed exactly once"
+            );
+            c
+        };
+        let base = observed(SimConfig::four_wide());
+        assert_eq!(base.cpi.penalty_slots(), 0, "no half-price penalties on the base machine");
+        assert_eq!(base.rf_rereads, 0);
+        assert_eq!(base.slow_bus_occupancy.samples(), 0);
+        assert!(base.cpi.get(CpiCategory::Committing) > 0);
+
+        let seq = observed(
+            SimConfig::four_wide()
+                .with_wakeup(WakeupScheme::SequentialWakeup { predictor_entries: Some(1024) }),
+        );
+        assert!(
+            seq.cpi.get(CpiCategory::SeqWakeupDelay) > 0,
+            "the simultaneous dual wakeup holds the add for one slow-bus cycle: {seq}"
+        );
+
+        // A two-source add whose operands are long ready at insert misses
+        // the bypass window and needs the double port read.
+        let p2 = asm(|a| {
+            a.li(Reg::R1, 1);
+            a.li(Reg::R2, 2);
+            for i in 0..24 {
+                a.add(Reg::new(3 + (i % 4)), Reg::R31, i as i32);
+            }
+            a.add(Reg::R8, Reg::R1, Reg::R2);
+            a.sub(Reg::R9, Reg::R8, 1);
+        });
+        let mut sim = Simulator::new(
+            &p2,
+            SimConfig::four_wide().with_regfile(RegFileScheme::SequentialAccess),
+        );
+        sim.enable_counters();
+        sim.run();
+        let rf = sim.counters().clone();
+        assert_eq!(rf.cpi.total(), sim.stats.cycles * 4);
+        assert!(rf.rf_rereads > 0, "non-bypassed two-source adds re-read the port: {rf}");
+        assert_eq!(rf.rf_rereads, rf.cpi.get(CpiCategory::RfRereadStall));
+    }
+
+    /// Enabling the registry must not move a single cycle.
+    #[test]
+    fn counters_never_perturb_timing() {
+        let p = replay_heavy_program();
+        for config in [
+            SimConfig::four_wide(),
+            SimConfig::four_wide()
+                .with_wakeup(WakeupScheme::SequentialWakeup { predictor_entries: Some(64) })
+                .with_regfile(RegFileScheme::SequentialAccess),
+        ] {
+            let plain = run_with(&p, config.clone());
+            let mut sim = Simulator::new(&p, config);
+            sim.enable_counters();
+            sim.run();
+            assert_eq!(*sim.stats(), plain, "counters changed SimStats");
+        }
+    }
+
+    fn replay_heavy_program() -> Program {
+        asm(|a| {
+            a.li(Reg::R1, 0x1_0000);
+            a.li(Reg::R6, 30);
+            a.label("loop");
+            a.ldq(Reg::R2, Reg::R1, 0);
+            a.add(Reg::R3, Reg::R2, 1);
+            a.add(Reg::R4, Reg::R3, 2);
+            a.stq(Reg::R3, Reg::R1, 8);
+            a.ldq(Reg::R5, Reg::R1, 8);
+            a.add(Reg::R1, Reg::R1, 64);
+            a.sub(Reg::R6, Reg::R6, 1);
+            a.bgt(Reg::R6, "loop");
+        })
     }
 }
 

@@ -69,6 +69,9 @@ pub struct TraceRecord {
     pub inst: Inst,
     /// Cycle the instruction entered the window.
     pub insert_cycle: u64,
+    /// Effective cycle of the last operand wakeup before the final issue
+    /// (clamped into `[insert_cycle, issue_cycle]`).
+    pub wakeup_cycle: u64,
     /// Final (successful) issue cycle.
     pub issue_cycle: u64,
     /// Cycle execution completed.
@@ -112,6 +115,30 @@ impl PipeTrace {
     #[must_use]
     pub fn records(&self) -> &[TraceRecord] {
         &self.records
+    }
+
+    /// Converts the recorded instructions into Chrome trace-event spans
+    /// (see [`hpa_obs::chrome`]). `frontend_depth` back-dates the fetch
+    /// stage from the insert cycle; render the result with
+    /// [`hpa_obs::chrome::render`].
+    #[must_use]
+    pub fn chrome_spans(&self, frontend_depth: u32) -> Vec<hpa_obs::InstSpan> {
+        self.records
+            .iter()
+            .map(|r| hpa_obs::InstSpan {
+                seq: r.seq,
+                pc: r.pc,
+                name: r.inst.to_string(),
+                fetch: r.insert_cycle.saturating_sub(u64::from(frontend_depth)),
+                dispatch: r.insert_cycle,
+                wakeup: r.wakeup_cycle.clamp(r.insert_cycle, r.issue_cycle),
+                select: r.issue_cycle,
+                complete: r.complete_cycle,
+                commit: r.commit_cycle,
+                replays: r.replays,
+                seq_rf: r.seq_rf,
+            })
+            .collect()
     }
 
     /// Renders a text pipeline diagram. Stage letters: `i` in-window
@@ -159,6 +186,7 @@ mod tests {
             pc: seq * 4,
             inst: Inst::op(AluOp::Add, Reg::R1, Reg::R2, Reg::R3),
             insert_cycle: insert,
+            wakeup_cycle: insert,
             issue_cycle: issue,
             complete_cycle: complete,
             commit_cycle: commit,
@@ -197,5 +225,26 @@ mod tests {
     #[test]
     fn empty_trace_renders_placeholder() {
         assert_eq!(PipeTrace::new(4).render(), "(empty trace)\n");
+    }
+
+    #[test]
+    fn chrome_spans_back_date_fetch_and_order_stages() {
+        let mut t = PipeTrace::new(4);
+        let mut r = record(7, 10, 13, 15, 16);
+        r.wakeup_cycle = 12;
+        t.push(r);
+        let spans = t.chrome_spans(3);
+        assert_eq!(spans.len(), 1);
+        let s = &spans[0];
+        assert_eq!((s.fetch, s.dispatch, s.wakeup), (7, 10, 12));
+        assert!(s.fetch <= s.dispatch && s.dispatch <= s.wakeup);
+        assert!(s.wakeup <= s.select && s.select <= s.complete && s.complete <= s.commit);
+        // A stale wakeup stamp (e.g. replayed instruction) clamps into
+        // the [insert, issue] range.
+        let mut t = PipeTrace::new(4);
+        let mut r = record(8, 10, 13, 15, 16);
+        r.wakeup_cycle = 99;
+        t.push(r);
+        assert_eq!(t.chrome_spans(0)[0].wakeup, 13);
     }
 }

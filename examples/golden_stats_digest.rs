@@ -10,7 +10,7 @@
 //! ```
 
 use half_price::workloads::Scale;
-use half_price::{run_workload, MachineWidth, Scheme};
+use half_price::{run_workload, run_workload_observed, MachineWidth, Scheme};
 
 /// FNV-1a over the debug formatting of a value.
 fn digest(s: &impl std::fmt::Debug) -> u64 {
@@ -23,7 +23,13 @@ fn digest(s: &impl std::fmt::Debug) -> u64 {
     h
 }
 
+/// Schemes whose observability registry is pinned (kept in sync with
+/// `COUNTER_GOLDEN` in `tests/stats_golden.rs`).
+const COUNTER_SCHEMES: [Scheme; 4] =
+    [Scheme::Base, Scheme::SeqWakeupPredictor, Scheme::SeqRegAccess, Scheme::Combined];
+
 fn main() {
+    println!("const GOLDEN: [(&str, Scheme, u64); 24] = [");
     for name in ["gap", "mcf", "perl"] {
         for scheme in Scheme::ALL {
             let r = run_workload(name, Scale::Tiny, MachineWidth::Four, scheme)
@@ -31,4 +37,15 @@ fn main() {
             println!("    (\"{name}\", Scheme::{scheme:?}, {:#018x}),", digest(&r.stats));
         }
     }
+    println!("];\n");
+    println!("const COUNTER_GOLDEN: [(&str, Scheme, u64); 12] = [");
+    for name in ["gap", "mcf", "perl"] {
+        for scheme in COUNTER_SCHEMES {
+            let r = run_workload_observed(name, Scale::Tiny, MachineWidth::Four, scheme, true)
+                .unwrap_or_else(|e| panic!("{e}"));
+            let c = r.counters.expect("observed run records counters");
+            println!("    (\"{name}\", Scheme::{scheme:?}, {:#018x}),", digest(&c));
+        }
+    }
+    println!("];");
 }

@@ -6,9 +6,11 @@
 //! hpa list                               # workloads and schemes
 //! hpa asm prog.s                         # assemble + disassemble
 //! hpa run prog.s [--insts N]             # functional execution, dump registers
-//! hpa sim prog.s [--scheme S] [--width W] [--trace N]  # cycle-level simulation
+//! hpa sim prog.s [--scheme S] [--width W] [--trace N] [--cpi-stack] [--counters]
 //! hpa bench mcf [--scheme S] [--scale T] # one built-in benchmark
 //! hpa bench all --scheme all [--jobs N]  # full sweep, parallel cells
+//! hpa counters <prog.s|bench> [--scheme S] [--json]    # cycle-accounting report
+//! hpa trace-viz prog.s [--out FILE]      # Chrome trace-event JSON export
 //! hpa verify prog.s [--scheme S]         # lockstep-check one program
 //! hpa verify tests/corpus                # replay a reproducer corpus
 //! hpa fuzz [--iters N] [--seed S]        # differential fuzzing campaign
@@ -37,15 +39,21 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("counters") => cmd_counters(&args[1..]),
+        Some("trace-viz") => cmd_trace_viz(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("faults") => cmd_faults(&args[1..]),
         _ => Err(CliError::Usage(
-            "usage: hpa <list|asm|run|sim|bench|verify|fuzz|faults> ...\n\
+            "usage: hpa <list|asm|run|sim|bench|counters|trace-viz|verify|fuzz|faults> ...\n\
              \n  hpa list\n  hpa asm <file.s>\n  hpa run <file.s> [--insts N]\n  \
-             hpa sim <file.s> [--scheme S] [--width 4|8]\n  \
+             hpa sim <file.s> [--scheme S] [--width 4|8] [--trace N] [--cpi-stack] \
+             [--counters]\n  \
              hpa bench <name|all> [--scheme S|all] [--scale tiny|default|large] \
              [--width 4|8] [--jobs N]\n  \
+             hpa counters <file.s|bench> [--scheme S] [--width 4|8] \
+             [--scale tiny|default|large] [--json]\n  \
+             hpa trace-viz <file.s> [--scheme S] [--width 4|8] [--insts N] [--out FILE]\n  \
              hpa verify <file.s|dir> [--scheme S|all] [--width 4|8]\n  \
              hpa fuzz [--iters N] [--seed S] [--jobs N] [--corpus DIR]\n  \
              hpa faults [--campaign SPEC] [--seed S] [--jobs N] [--out FILE] [--corpus DIR]"
@@ -126,6 +134,15 @@ fn parse_scheme(key: &str) -> Result<Scheme, CliError> {
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+/// Flags that take no value, so the positional-argument scan must not
+/// treat their successor as a flag value.
+const BOOL_FLAGS: [&str; 3] = ["--cpi-stack", "--counters", "--json"];
+
+fn bool_flag(args: &[String], name: &str) -> bool {
+    debug_assert!(BOOL_FLAGS.contains(&name));
+    args.iter().any(|a| a == name)
 }
 
 /// Parses the value of `--name` as an integer, with a usage error naming
@@ -212,18 +229,128 @@ fn cmd_sim(args: &[String]) -> CliResult {
     let program = load_program(args)?;
     let scheme = parse_scheme(&flag(args, "--scheme").unwrap_or_else(|| "base".into()))?;
     let width = machine_width(args)?;
+    let want_cpi = bool_flag(args, "--cpi-stack");
+    let want_counters = bool_flag(args, "--counters");
     let mut sim = Simulator::new(&program, scheme.configure(width));
     let trace: usize = num_flag(args, "--trace", 0)?;
     if trace > 0 {
         sim.enable_trace(trace);
     }
+    if want_cpi || want_counters {
+        sim.enable_counters();
+    }
     sim.run();
     println!("{} on the {} machine:", scheme.label(), width.label());
     print_stats(sim.stats());
+    if want_cpi {
+        println!("\n{}", render_cpi_stack(sim.counters(), sim.stats()));
+    }
+    if want_counters {
+        println!("\n{}", sim.counters());
+    }
     if let Some(t) = sim.pipetrace() {
         println!("\npipeline diagram (first {trace} committed instructions):");
         print!("{}", t.render());
     }
+    Ok(())
+}
+
+/// Renders the CPI stack as a per-category table: issue slots charged,
+/// percentage of `cycles x width`, and CPI contribution.
+fn render_cpi_stack(c: &half_price::Counters, stats: &SimStats) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("CPI stack (every issue slot of every cycle charged once):\n");
+    let committed = stats.committed.max(1) as f64;
+    for cat in half_price::CpiCategory::ALL {
+        let slots = c.cpi.get(cat);
+        if slots == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:14} {:>12} slots {:>6.2}% {:>8.4} CPI",
+            cat.key(),
+            slots,
+            100.0 * c.cpi.fraction(cat),
+            slots as f64 / committed
+        );
+    }
+    let _ = write!(
+        out,
+        "  {:14} {:>12} slots (= {} cycles x width)",
+        "total",
+        c.cpi.total(),
+        stats.cycles
+    );
+    out
+}
+
+/// Cycle-accounting report for a program file or built-in benchmark:
+/// CPI stack plus the counter registry, human-readable or `--json`.
+fn cmd_counters(args: &[String]) -> CliResult {
+    let target = args
+        .iter()
+        .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
+        .ok_or_else(|| usage("missing program file or benchmark name; see `hpa list`"))?;
+    let scheme = parse_scheme(&flag(args, "--scheme").unwrap_or_else(|| "base".into()))?;
+    let width = machine_width(args)?;
+
+    let (counters, stats) = if std::path::Path::new(target).is_file() {
+        let program = load_program(args)?;
+        let mut sim = Simulator::new(&program, scheme.configure(width));
+        sim.enable_counters();
+        sim.run();
+        (sim.counters().clone(), sim.stats().clone())
+    } else {
+        let scale = match flag(args, "--scale").as_deref() {
+            Some("tiny") => Scale::Tiny,
+            None | Some("default") => Scale::Default,
+            Some("large") => Scale::Large,
+            Some(o) => return Err(usage(format!("bad --scale {o}"))),
+        };
+        let r = half_price::run_workload_observed(target, scale, width, scheme, true)
+            .map_err(|e| usage(format!("`{target}` is neither a file nor a benchmark: {e}")))?;
+        (r.counters.expect("observed run records counters"), r.stats)
+    };
+
+    if bool_flag(args, "--json") {
+        println!("{}", counters.to_json());
+        return Ok(());
+    }
+    println!("`{target}` under {} on the {} machine:", scheme.label(), width.label());
+    println!("{}", render_cpi_stack(&counters, &stats));
+    println!("\n{counters}");
+    Ok(())
+}
+
+/// Exports per-instruction lifetime spans (fetch -> dispatch -> wakeup ->
+/// select -> exec -> commit) as Chrome trace-event JSON; open the file at
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+fn cmd_trace_viz(args: &[String]) -> CliResult {
+    let program = load_program(args)?;
+    let scheme = parse_scheme(&flag(args, "--scheme").unwrap_or_else(|| "base".into()))?;
+    let width = machine_width(args)?;
+    let insts: usize = num_flag(args, "--insts", 4096)?;
+    if insts == 0 {
+        return Err(usage("bad --insts `0` (want an integer >= 1)"));
+    }
+    let out = flag(args, "--out").unwrap_or_else(|| "trace.json".into());
+    let config = scheme.configure(width);
+    let frontend_depth = config.frontend_depth;
+    let mut sim = Simulator::new(&program, config);
+    sim.enable_trace(insts);
+    sim.run();
+    let trace = sim.pipetrace().expect("trace was enabled");
+    let spans = trace.chrome_spans(frontend_depth);
+    std::fs::write(&out, half_price::obs::chrome::render(&spans))
+        .map_err(|e| other(format_args!("writing {out}: {e}")))?;
+    println!(
+        "wrote {} span(s) to {out} ({} committed, {} cycles under {})",
+        spans.len(),
+        sim.stats().committed,
+        sim.stats().cycles,
+        scheme.label()
+    );
     Ok(())
 }
 
@@ -400,7 +527,7 @@ fn is_flag_value(args: &[String], a: &String) -> bool {
         .position(|x| std::ptr::eq(x, a))
         .and_then(|i| i.checked_sub(1))
         .and_then(|i| args.get(i))
-        .is_some_and(|prev| prev.starts_with("--"))
+        .is_some_and(|prev| prev.starts_with("--") && !BOOL_FLAGS.contains(&prev.as_str()))
 }
 
 /// Sweeps `names` × all schemes and prints an IPC table (base-normalized).

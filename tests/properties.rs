@@ -210,6 +210,51 @@ fn scheduler_invariants_hold_cycle_by_cycle() {
     }
 }
 
+/// The cycle-accounting books always balance: every issue slot of every
+/// cycle is charged to exactly one CPI-stack category, so the stack sums
+/// to `cycles x width` exactly — for arbitrary programs, under every
+/// scheme the differential fuzzer exercises. On the base machine the
+/// half-price penalty categories and counters must all be zero.
+#[test]
+fn cpi_stack_books_balance_on_fuzzed_programs() {
+    use half_price::verify::FUZZ_SCHEMES;
+    use half_price::{MachineWidth, Scheme};
+
+    let width = MachineWidth::Four;
+    let slots_per_cycle = u64::from(width.base_config().width);
+    for seed in 700..900u64 {
+        let mut rng = SplitMix64::new(seed);
+        let steps = gen_steps(&mut rng, 1, 100);
+        let program = build_program(&steps);
+        for scheme in FUZZ_SCHEMES {
+            let mut sim = Simulator::new(&program, scheme.configure(width));
+            sim.enable_counters();
+            sim.run();
+            let c = sim.counters();
+            let s = sim.stats();
+            assert_eq!(
+                c.cpi.total(),
+                s.cycles * slots_per_cycle,
+                "seed {seed} under `{}`: CPI stack must sum to cycles x width",
+                scheme.key()
+            );
+            if scheme == Scheme::Base {
+                assert_eq!(
+                    c.cpi.penalty_slots(),
+                    0,
+                    "seed {seed}: base machine has no half-price penalties"
+                );
+                assert_eq!(c.rf_rereads, 0, "seed {seed}: base machine never re-reads");
+                assert_eq!(
+                    c.slow_bus_occupancy.samples(),
+                    0,
+                    "seed {seed}: base machine has no slow wakeup bus"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn encode_decode_round_trips() {
     for seed in 200..232u64 {

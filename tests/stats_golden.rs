@@ -10,7 +10,7 @@
 //! `cargo run --release --example golden_stats_digest`.
 
 use half_price::workloads::Scale;
-use half_price::{run_workload, MachineWidth, Scheme};
+use half_price::{run_workload, run_workload_observed, MachineWidth, Scheme};
 
 /// FNV-1a over the debug formatting of a value (kept in sync with
 /// `examples/golden_stats_digest.rs`).
@@ -51,6 +51,25 @@ const GOLDEN: [(&str, Scheme, u64); 24] = [
     ("perl", Scheme::Combined, 0x47b7840ad890c063),
 ];
 
+/// Digests of the observability registry (`Counters` debug formatting:
+/// CPI stack, delay/occupancy histograms, re-read counter) for the
+/// schemes the CPI-stack evaluation reports. Captured when the
+/// observability layer landed; regenerate with the same example.
+const COUNTER_GOLDEN: [(&str, Scheme, u64); 12] = [
+    ("gap", Scheme::Base, 0x1ac7b4abd9090148),
+    ("gap", Scheme::SeqWakeupPredictor, 0x0b796c71d57a0945),
+    ("gap", Scheme::SeqRegAccess, 0xc618fa6f5d013963),
+    ("gap", Scheme::Combined, 0x5c700ff87f8d582f),
+    ("mcf", Scheme::Base, 0x9d3554d8abe9af5b),
+    ("mcf", Scheme::SeqWakeupPredictor, 0x6fb236d48962e52c),
+    ("mcf", Scheme::SeqRegAccess, 0xe28ea24fe4e95e4f),
+    ("mcf", Scheme::Combined, 0xf8bfd0dca905b07d),
+    ("perl", Scheme::Base, 0x5b59ca3999032589),
+    ("perl", Scheme::SeqWakeupPredictor, 0xdbda8882a38d0fed),
+    ("perl", Scheme::SeqRegAccess, 0x8348ddce3a7e6045),
+    ("perl", Scheme::Combined, 0x612147d326218a57),
+];
+
 /// Every scheme's full statistics stay bit-identical to the pre-rewrite
 /// scheduler, for a compute-bound, a memory-bound and a branchy workload.
 #[test]
@@ -65,4 +84,34 @@ fn stats_match_pre_rewrite_golden_digests() {
         }
     }
     assert!(failures.is_empty(), "stats diverged from golden:\n{}", failures.join("\n"));
+}
+
+/// Enabling the observability registry changes no stats digest — the
+/// counters are pure observation — and the registry's own contents are
+/// pinned, so attribution changes are as visible as timing changes.
+#[test]
+fn observed_runs_keep_stats_digests_and_pin_counter_digests() {
+    let mut failures = Vec::new();
+    for &(name, scheme, expected) in &COUNTER_GOLDEN {
+        let r = run_workload_observed(name, Scale::Tiny, MachineWidth::Four, scheme, true)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let stats_expected = GOLDEN
+            .iter()
+            .find(|&&(n, s, _)| n == name && s == scheme)
+            .map(|&(_, _, d)| d)
+            .expect("counter cells are a subset of the stats cells");
+        let got_stats = digest(&r.stats);
+        if got_stats != stats_expected {
+            failures.push(format!(
+                "{name}/{scheme:?}: stats with counters on {got_stats:#018x} != \
+                 {stats_expected:#018x}"
+            ));
+        }
+        let c = r.counters.expect("observed run records counters");
+        let got = digest(&c);
+        if got != expected {
+            failures.push(format!("{name}/{scheme:?}: counters {got:#018x} != {expected:#018x}"));
+        }
+    }
+    assert!(failures.is_empty(), "observability diverged from golden:\n{}", failures.join("\n"));
 }

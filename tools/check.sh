@@ -3,6 +3,10 @@
 # tiny perf smoke run. Everything here works with no network access.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+. tools/lib.sh
+
+echo "== shell helper tests =="
+tools/test_check_lib.sh
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check
@@ -40,6 +44,19 @@ echo "== corpus replay =="
 # Replay every checked-in reproducer through the full differential check.
 cargo run --release -q --bin hpa -- verify tests/corpus
 
+echo "== cycle-accounting smoke =="
+# The observability layer end to end: run one benchmark with counters on
+# and check the books balance — the JSON must report the CPI stack summing
+# to cycles x width (the integration suites prove this exhaustively; this
+# gate proves the CLI path stays wired).
+counters_json="$(cargo run --release -q --bin hpa -- counters gcc --scale tiny --scheme combined --json)"
+total="$(printf '%s\n' "$counters_json" | grep -o '"cpi_total_slots": [0-9]*' | grep -o '[0-9]*$')"
+if [ -z "$total" ] || [ "$total" -eq 0 ]; then
+  echo "ERROR: hpa counters --json reported no attributed issue slots" >&2
+  exit 1
+fi
+echo "hpa counters --json: $total issue slots attributed"
+
 echo "== perf smoke (tiny) =="
 out="$(mktemp /tmp/hpa-perf-smoke.XXXXXX.json)"
 cargo run --release -q -p hpa-bench --bin perf_smoke -- --scale tiny --out "$out"
@@ -47,10 +64,11 @@ echo "perf smoke wrote $out"
 
 echo "== throughput regression check =="
 # Compare the fresh tiny-scale aggregate against the newest committed
-# BENCH_*.json. Non-fatal: wall-clock throughput is machine-dependent, so
-# a drop only warns — but a >10% drop on the same machine usually means a
-# real cycle-loop regression worth investigating.
-baseline_file="$(ls BENCH_*.json 2>/dev/null | sort -V | tail -1 || true)"
+# BENCH_*.json, picked by numeric suffix (tools/lib.sh — a filename sort
+# would choose BENCH_9 over BENCH_10). Non-fatal: wall-clock throughput is
+# machine-dependent, so a drop only warns — but a >10% drop on the same
+# machine usually means a real cycle-loop regression worth investigating.
+baseline_file="$(newest_bench_json .)"
 if [ -n "$baseline_file" ]; then
   fresh="$(grep -o '"aggregate_mcycles_per_sec": [0-9.]*' "$out" | head -1 | grep -o '[0-9.]*$')"
   base="$(grep -o '"aggregate_mcycles_per_sec": [0-9.]*' "$baseline_file" | head -1 | grep -o '[0-9.]*$')"
@@ -60,6 +78,16 @@ if [ -n "$baseline_file" ]; then
   fi
 else
   echo "no committed BENCH_*.json baseline; skipping"
+fi
+
+echo "== coverage report (non-fatal) =="
+# Line-coverage summary via cargo-llvm-cov when the host has it; purely
+# informational — the container images don't ship it, so absence skips.
+if command -v cargo-llvm-cov >/dev/null 2>&1; then
+  cargo llvm-cov --workspace --summary-only -q || \
+    echo "WARNING: cargo llvm-cov failed (non-fatal)" >&2
+else
+  echo "cargo-llvm-cov not installed; skipping"
 fi
 
 echo "== check.sh: all gates passed =="

@@ -1,0 +1,22 @@
+# Shared shell helpers for the repo's tooling. Sourced by check.sh and
+# unit-tested by tools/test_check_lib.sh; keep everything here POSIX-ish
+# and side-effect free.
+
+# Prints the BENCH_<N>.json in `$1` (default: .) with the largest N,
+# compared numerically — a lexicographic pick would choose BENCH_9.json
+# over BENCH_10.json. Prints nothing when no artifact exists.
+newest_bench_json() {
+  local dir="${1:-.}" name
+  ls "$dir" 2>/dev/null | while read -r name; do
+    case "$name" in
+      BENCH_*.json)
+        n="${name#BENCH_}"
+        n="${n%.json}"
+        case "$n" in
+          '' | *[!0-9]*) ;; # non-numeric suffix: not a perf artifact
+          *) printf '%s %s\n' "$n" "$name" ;;
+        esac
+        ;;
+    esac
+  done | sort -k1,1n | tail -1 | cut -d' ' -f2-
+}

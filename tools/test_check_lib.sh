@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Unit tests for tools/lib.sh. Run directly or via check.sh; exits
+# non-zero on the first failing assertion.
+set -euo pipefail
+cd "$(dirname "$0")"
+# shellcheck source=lib.sh
+. ./lib.sh
+
+fails=0
+expect() {
+  local what="$1" got="$2" want="$3"
+  if [ "$got" != "$want" ]; then
+    echo "FAIL $what: got \`$got\`, want \`$want\`" >&2
+    fails=$((fails + 1))
+  fi
+}
+
+tmp="$(mktemp -d /tmp/hpa-check-lib.XXXXXX)"
+trap 'rm -rf "$tmp"' EXIT
+
+# Empty directory: no baseline, no error.
+expect "empty dir" "$(newest_bench_json "$tmp")" ""
+
+# The numeric maximum wins, not the lexicographic one: BENCH_10 > BENCH_9
+# > BENCH_2 even though `sort` would order the names BENCH_10 < BENCH_2.
+touch "$tmp/BENCH_1.json" "$tmp/BENCH_2.json" "$tmp/BENCH_9.json" "$tmp/BENCH_10.json"
+expect "numeric max" "$(newest_bench_json "$tmp")" "BENCH_10.json"
+
+# Non-perf artifacts that match the glob loosely are ignored.
+touch "$tmp/BENCH_notes.json" "$tmp/BENCH_.json" "$tmp/OTHER_99.json"
+expect "non-numeric ignored" "$(newest_bench_json "$tmp")" "BENCH_10.json"
+
+# A triple-digit artifact still beats double digits.
+touch "$tmp/BENCH_100.json"
+expect "three digits" "$(newest_bench_json "$tmp")" "BENCH_100.json"
+
+if [ "$fails" -gt 0 ]; then
+  echo "test_check_lib: $fails failure(s)" >&2
+  exit 1
+fi
+echo "test_check_lib: all assertions passed"
