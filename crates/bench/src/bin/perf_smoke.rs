@@ -11,22 +11,30 @@
 //! comparison come from the first scale, so successive `BENCH_*.json`
 //! artifacts stay comparable.
 //!
+//! Since v4 the artifact also carries a `phase_timings` section: the same
+//! headline workloads run once with per-phase stopwatches on (counters off
+//! and counters on), so a throughput regression is attributable to a
+//! pipeline phase — wakeup, select, events, commit, fetch, insert, obs —
+//! from the JSON alone. The timed runs are separate from the headline
+//! throughput runs; stopwatch reads never touch the headline numbers.
+//!
 //! Options:
 //!
 //! * `--scale tiny|default|large` — restrict to one workload size;
 //! * `--jobs N` — worker threads for the parallel matrix (default: host
 //!   parallelism);
-//! * `--out FILE` — JSON output path (default `BENCH_3.json`);
+//! * `--out FILE` — JSON output path (default `BENCH_4.json`);
 //! * `--baseline FILE` — a previous `perf_smoke` JSON to embed verbatim
 //!   under `"baseline"`, for before/after comparisons in one artifact.
 //!
 //! No external dependencies: wall time via [`std::time::Instant`], JSON
 //! emitted by hand.
 
+use hpa_core::sim::PhaseTimes;
 use hpa_core::workloads::{workload, Scale, Workload};
 use hpa_core::{
     default_jobs, run_matrix, run_matrix_parallel, run_prepared, run_prepared_observed,
-    MachineWidth, Scheme,
+    run_prepared_phase_timed, MachineWidth, Scheme,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -53,7 +61,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         scales: DEFAULT_SCALES.to_vec(),
         jobs: default_jobs(),
-        out: "BENCH_3.json".to_string(),
+        out: "BENCH_4.json".to_string(),
         baseline: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -210,6 +218,57 @@ fn counters_overhead(ws: &[Workload]) -> ObsOverhead {
     o
 }
 
+/// One per-phase-timed sweep over the headline workloads: the combined
+/// scheme with stopwatches between phases, counters off or on. The `obs`
+/// phase is only nonzero with counters on, so the off/on pair attributes
+/// the observability overhead to a phase as well.
+struct PhaseProfile {
+    times: PhaseTimes,
+    wall_s: f64,
+}
+
+fn phase_profile(ws: &[Workload], observe: bool) -> PhaseProfile {
+    let width = MachineWidth::Four;
+    let scheme = Scheme::Combined;
+    let t0 = Instant::now();
+    let mut times = PhaseTimes::default();
+    for w in ws {
+        let (_, t) = run_prepared_phase_timed(w, scheme.configure(width), scheme, width, observe)
+            .unwrap_or_else(|e| panic!("{e}"));
+        times.accumulate(&t);
+    }
+    let p = PhaseProfile { times, wall_s: t0.elapsed().as_secs_f64() };
+    let state = if observe { "on " } else { "off" };
+    let shares: Vec<String> = p
+        .times
+        .entries()
+        .iter()
+        .map(|(name, ns)| format!("{name} {:.1}%", 100.0 * p.times.share(*ns)))
+        .collect();
+    eprintln!("  counters {state}: {}", shares.join(", "));
+    p
+}
+
+/// Emits one phase profile as a JSON object with flat, grep-able keys
+/// (`phase_<name>_ns`, `phase_<name>_ns_per_cycle`, `phase_<name>_share`)
+/// so check.sh can compare phases across artifacts with no JSON parser.
+fn write_phase_profile(json: &mut String, key: &str, p: &PhaseProfile, last: bool) {
+    let t = &p.times;
+    let cyc = t.cycles.max(1) as f64;
+    let _ = writeln!(json, "    \"{key}\": {{");
+    let _ = writeln!(json, "      \"cycles\": {},", t.cycles);
+    let _ = writeln!(json, "      \"wall_s\": {:.4},", p.wall_s);
+    let _ = writeln!(json, "      \"total_ns\": {},", t.total_ns());
+    let _ = writeln!(json, "      \"ns_per_cycle\": {:.2},", t.total_ns() as f64 / cyc);
+    for (name, ns) in t.entries() {
+        let _ = writeln!(json, "      \"phase_{name}_ns\": {ns},");
+        let _ = writeln!(json, "      \"phase_{name}_ns_per_cycle\": {:.3},", ns as f64 / cyc);
+        let _ = writeln!(json, "      \"phase_{name}_share\": {:.4},", t.share(ns));
+    }
+    let _ = writeln!(json, "      \"scheme\": \"combined\"");
+    let _ = writeln!(json, "    }}{}", if last { "" } else { "," });
+}
+
 fn main() {
     let args = parse_args();
     let names: Vec<&str> = hpa_core::workloads::WORKLOAD_NAMES.to_vec();
@@ -265,9 +324,16 @@ fn main() {
         .collect();
     let obs = counters_overhead(&obs_ws);
 
+    // Per-phase attribution: where the cycle loop's wall time actually
+    // goes, counters off and on. Timed separately so the stopwatch reads
+    // never contaminate the headline throughput above.
+    eprintln!("== per-phase wall time (combined scheme, {matrix_scale_name}) ==");
+    let phases_off = phase_profile(&obs_ws, false);
+    let phases_on = phase_profile(&obs_ws, true);
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"hpa-perf-smoke-v3\",");
+    let _ = writeln!(json, "  \"schema\": \"hpa-perf-smoke-v4\",");
     let scale_names: Vec<String> = args.scales.iter().map(|(_, n)| format!("\"{n}\"")).collect();
     let _ = writeln!(json, "  \"scales\": [{}],", scale_names.join(", "));
     let _ = writeln!(json, "  \"host_parallelism\": {},", default_jobs());
@@ -321,6 +387,11 @@ fn main() {
     let _ = writeln!(json, "    \"counters_on_wall_s\": {:.4},", obs.on_wall_s);
     let _ = writeln!(json, "    \"overhead_ratio\": {:.4},", obs.ratio());
     let _ = writeln!(json, "    \"bit_identical\": true");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"phase_timings\": {{");
+    let _ = writeln!(json, "    \"scale\": \"{matrix_scale_name}\",");
+    write_phase_profile(&mut json, "counters_off", &phases_off, false);
+    write_phase_profile(&mut json, "counters_on", &phases_on, true);
     let _ = write!(json, "  }}");
     if let Some(path) = &args.baseline {
         let base = std::fs::read_to_string(path).unwrap_or_else(|e| {

@@ -62,6 +62,7 @@ pub use hpa_obs::{Counters, CpiCategory, CpiStack};
 pub use pool::{default_jobs, parallel_map, parallel_map_isolated, JobError};
 pub use runner::{
     run_matrix, run_matrix_parallel, run_matrix_parallel_observed, run_prepared,
-    run_prepared_observed, run_workload, run_workload_observed, MatrixResult, RunError, RunResult,
+    run_prepared_observed, run_prepared_phase_timed, run_workload, run_workload_observed,
+    MatrixResult, RunError, RunResult,
 };
 pub use scheme::{MachineWidth, Scheme};

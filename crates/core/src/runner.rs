@@ -4,7 +4,7 @@
 use crate::pool::parallel_map_isolated;
 use crate::scheme::{MachineWidth, Scheme};
 use hpa_obs::Counters;
-use hpa_sim::{SimConfig, SimFault, SimStats, Simulator};
+use hpa_sim::{PhaseTimes, SimConfig, SimFault, SimStats, Simulator};
 use hpa_workloads::{workload, Scale, Workload, CHECKSUM_REG};
 use std::fmt;
 
@@ -164,6 +164,49 @@ pub fn run_prepared_observed(
         stats: sim.stats().clone(),
         counters: observe.then(|| sim.counters().clone()),
     })
+}
+
+/// [`run_prepared`] with per-phase wall-time accounting enabled: returns
+/// the result plus the [`PhaseTimes`] accumulated over the run. Used by
+/// the perf harness to attribute throughput changes to a phase; the
+/// stopwatch reads slow the run, so the timed run is kept separate from
+/// headline throughput measurements.
+///
+/// # Errors
+///
+/// As [`run_prepared`].
+pub fn run_prepared_phase_timed(
+    w: &Workload,
+    config: SimConfig,
+    scheme: Scheme,
+    width: MachineWidth,
+    observe: bool,
+) -> Result<(RunResult, PhaseTimes), RunError> {
+    let mut sim = Simulator::new(&w.program, config);
+    if observe {
+        sim.enable_counters();
+    }
+    sim.enable_phase_timing();
+    sim.try_run().map_err(|fault| RunError::Sim { name: w.name.to_string(), fault })?;
+    let actual = sim.emulator().reg(CHECKSUM_REG);
+    if actual != w.expected_checksum {
+        return Err(RunError::ChecksumMismatch {
+            name: w.name.to_string(),
+            actual,
+            expected: w.expected_checksum,
+        });
+    }
+    let times = *sim.phase_times().expect("phase timing was enabled");
+    Ok((
+        RunResult {
+            workload: w.name,
+            scheme,
+            width,
+            stats: sim.stats().clone(),
+            counters: observe.then(|| sim.counters().clone()),
+        },
+        times,
+    ))
 }
 
 /// Results of a benchmarks × schemes sweep at one machine width.

@@ -99,9 +99,6 @@ pub struct DynInst {
     /// Number of times this instruction was squashed and replayed.
     pub replays: u32,
 
-    /// In-flight consumers of this instruction's destination tag
-    /// (sequence numbers), used to deliver wakeups without scanning.
-    pub consumers: Vec<u64>,
     /// Branch state: direction/target misprediction detected at fetch.
     pub mispredicted: bool,
     /// Fetch has already been redirected by this branch's resolution
@@ -180,7 +177,6 @@ impl DynInst {
             complete_cycle: 0,
             broadcast_done: false,
             replays: 0,
-            consumers: Vec::new(),
             mispredicted: false,
             resume_done: false,
             next_pc: step.next_pc,

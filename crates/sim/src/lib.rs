@@ -36,10 +36,12 @@ mod config;
 mod dyninst;
 mod frontend;
 mod fu;
+mod phases;
 mod pipeline;
 mod stats;
 mod trace;
 pub mod wheel;
+mod window;
 
 pub use commit::{CommitHook, CommitRecord};
 pub use config::{
@@ -47,6 +49,7 @@ pub use config::{
 };
 pub use dyninst::{DynInst, IState, RfCategory, SrcState};
 pub use hpa_obs::{Counters, CpiCategory, CpiStack, Histogram, InstSpan};
+pub use phases::PhaseTimes;
 pub use pipeline::{FaultInjection, SimFault, Simulator};
 pub use stats::{FormatStats, SimStats, WakeupOrderStats};
 pub use trace::{PipeTrace, TraceRecord};

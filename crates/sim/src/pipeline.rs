@@ -32,9 +32,11 @@ use crate::config::{
 use crate::dyninst::{DynInst, IState, RfCategory, SrcState};
 use crate::frontend::FrontEnd;
 use crate::fu::FuPool;
+use crate::phases::PhaseTimes;
 use crate::stats::SimStats;
 use crate::trace::{PipeTrace, TraceRecord, TraceSink};
 use crate::wheel::EventWheel;
+use crate::window::{slot_flags, slot_state, state_code, SlotBitset, WakeupMatrix, Window};
 use hpa_asm::Program;
 use hpa_bpred::{LastArrivalBank, LastArrivalPredictor, PcTable, Side};
 use hpa_cache::Hierarchy;
@@ -240,8 +242,7 @@ pub struct Simulator {
     config: SimConfig,
     frontend: FrontEnd,
     hierarchy: Hierarchy,
-    window: VecDeque<DynInst>,
-    head_seq: u64,
+    window: Window,
     next_seq: u64,
     rename: [Option<u64>; NUM_ARCH_REGS],
     broadcasts: EventWheel<BroadcastEv>,
@@ -267,12 +268,25 @@ pub struct Simulator {
     /// 21264-style pullback restart, during which re-inserted
     /// instructions re-arbitrate.
     issue_stall_until: u64,
-    /// Sequence numbers of `Waiting` instructions whose scheme-level
-    /// wakeup condition holds (or held recently): the select candidates.
-    /// Fed incrementally at insert and wakeup delivery, rebuilt by
-    /// `recompute_ready` after squashes, compacted lazily by select. May
-    /// briefly hold instructions that issued or left the window since.
-    ready_list: Vec<u64>,
+    /// One bit per window slot for `Waiting` instructions whose
+    /// scheme-level wakeup condition holds (or held recently): the select
+    /// candidates. Fed incrementally at insert and wakeup delivery,
+    /// rebuilt by `recompute_ready` after squashes, compacted lazily by
+    /// select. May briefly hold instructions that issued since; commit
+    /// clears a slot's bit when it releases the slot.
+    ready: SlotBitset,
+    /// Per-slot cache of the cycle from which the enqueued instruction's
+    /// operand-timing condition holds (`u64::MAX` while a relevant
+    /// operand has not woken), so the select scan compares one word per
+    /// candidate instead of walking the instruction's operand records.
+    /// Written wherever the ready bit is set or an enqueued candidate's
+    /// operands change; meaningful only while the slot's bit is set.
+    ready_at: Box<[u64]>,
+    /// The bitset wakeup matrix: per producer slot and operand index, one
+    /// bit per consumer slot whose that operand names the producer (the
+    /// paper's CAM rows, transposed). Registered at rename, walked at tag
+    /// broadcast, cleared when the producer's slot is released.
+    matrix: WakeupMatrix,
     /// In-flight store sequence numbers in program order, so LSQ
     /// disambiguation walks only stores instead of the whole window.
     store_queue: VecDeque<u64>,
@@ -316,6 +330,9 @@ pub struct Simulator {
     /// Slow-bus wakeup deliveries this cycle (occupancy histogram);
     /// incremented only while `counters` is enabled.
     slow_wakeups_this_cycle: u32,
+    /// Per-phase wall-time accumulators; `None` (the default) keeps every
+    /// stopwatch read off the cycle loop.
+    phase_times: Option<Box<PhaseTimes>>,
 }
 
 /// Select-phase facts needed by the end-of-cycle CPI attribution.
@@ -352,8 +369,13 @@ struct Scratch {
     mem: Vec<Event>,
     /// Completion events, run last.
     completes: Vec<Event>,
-    /// Select candidates as `(!high_priority, seq)` sort keys.
+    /// Select candidates as `(!high_priority, seq)` keys, already in
+    /// select order (high-priority class first, oldest-first within).
     cands: Vec<(bool, u64)>,
+    /// Low-priority candidates of the ring pass, appended to `cands`.
+    cands_lo: Vec<(bool, u64)>,
+    /// Select compaction: ready-bitset slots to clear after the walk.
+    drop_slots: Vec<usize>,
     /// Ping-pong partner of `Simulator::stalled_loads`.
     stalled: Vec<u64>,
     /// Squash: instructions chosen for replay.
@@ -380,6 +402,33 @@ fn wakeup_ready(i: &DynInst, wakeup: WakeupScheme) -> bool {
     }
 }
 
+/// The cycle from which select's operand-timing condition holds for this
+/// instruction — the max effective wakeup cycle over the operands the
+/// scheme checks (tag elimination before a misfire watches only the fast
+/// side) — or `u64::MAX` while a relevant operand has not woken. Cached
+/// per slot in `Simulator::ready_at` so the select scan reads one word
+/// per candidate.
+fn ready_cycle_of(i: &DynInst, wakeup: WakeupScheme) -> u64 {
+    match wakeup {
+        WakeupScheme::TagElimination { .. } if i.is_two_source() && !i.te_verified_wait => {
+            match i.srcs[i.fast_slot].as_ref() {
+                Some(s) if s.ready => s.effective_cycle,
+                _ => u64::MAX,
+            }
+        }
+        _ => {
+            let mut at = 0;
+            for s in i.srcs_iter() {
+                if !s.ready {
+                    return u64::MAX;
+                }
+                at = at.max(s.effective_cycle);
+            }
+            at
+        }
+    }
+}
+
 impl Simulator {
     /// Builds a simulator over a program.
     #[must_use]
@@ -397,14 +446,15 @@ impl Simulator {
         Simulator {
             hierarchy: Hierarchy::new(config.hierarchy),
             fu: FuPool::new(&config.fu),
-            window: VecDeque::with_capacity(config.ruu_size),
-            ready_list: Vec::with_capacity(config.ruu_size),
+            window: Window::new(config.ruu_size),
+            ready: SlotBitset::new(config.ruu_size.next_power_of_two()),
+            ready_at: vec![u64::MAX; config.ruu_size.next_power_of_two()].into_boxed_slice(),
+            matrix: WakeupMatrix::new(config.ruu_size.next_power_of_two()),
             store_queue: VecDeque::with_capacity(config.lsq_size),
             la_history: PcTable::new(config.pc_table_entries, None),
             stwait: PcTable::new(config.pc_table_entries, false),
             config,
             frontend,
-            head_seq: 0,
             next_seq: 0,
             rename: [None; NUM_ARCH_REGS],
             broadcasts: EventWheel::new(),
@@ -433,6 +483,7 @@ impl Simulator {
             counters: Counters::disabled(),
             cpi_select: CpiSelectInfo::default(),
             slow_wakeups_this_cycle: 0,
+            phase_times: None,
         }
     }
 
@@ -515,20 +566,12 @@ impl Simulator {
         &self.counters
     }
 
-    fn idx(&self, seq: u64) -> Option<usize> {
-        if seq < self.head_seq {
-            return None;
-        }
-        let i = (seq - self.head_seq) as usize;
-        (i < self.window.len()).then_some(i)
-    }
-
     fn inst(&self, seq: u64) -> Option<&DynInst> {
-        self.idx(seq).map(|i| &self.window[i])
+        self.window.get(seq)
     }
 
     fn inst_mut(&mut self, seq: u64) -> Option<&mut DynInst> {
-        self.idx(seq).map(|i| &mut self.window[i])
+        self.window.get_mut(seq)
     }
 
     fn schedule_broadcast(&mut self, cycle: u64, seq: u64, epoch: u32) {
@@ -633,22 +676,67 @@ impl Simulator {
         self.fault.as_ref()
     }
 
+    /// Starts accumulating per-phase wall time (see [`PhaseTimes`]). Off by
+    /// default: when disabled the cycle loop performs no stopwatch reads.
+    pub fn enable_phase_timing(&mut self) {
+        self.phase_times = Some(Box::default());
+    }
+
+    /// The per-phase wall-time accumulators, if
+    /// [`Simulator::enable_phase_timing`] was called.
+    #[must_use]
+    pub fn phase_times(&self) -> Option<&PhaseTimes> {
+        self.phase_times.as_deref()
+    }
+
     /// Advances the machine by one cycle.
     pub fn step_cycle(&mut self) {
+        if self.phase_times.is_some() {
+            self.step_cycle_impl::<true>();
+        } else {
+            self.step_cycle_impl::<false>();
+        }
+    }
+
+    /// The cycle loop, monomorphized over phase timing so the untimed
+    /// (normal) instantiation contains no stopwatch reads at all. The lap
+    /// macro keeps both instantiations on one phase sequence.
+    fn step_cycle_impl<const TIMED: bool>(&mut self) {
+        let mut lap_start = if TIMED { Some(std::time::Instant::now()) } else { None };
+        macro_rules! lap {
+            ($field:ident) => {
+                if TIMED {
+                    if let (Some(t0), Some(pt)) =
+                        (lap_start.as_mut(), self.phase_times.as_deref_mut())
+                    {
+                        let now = std::time::Instant::now();
+                        pt.$field += now.duration_since(*t0).as_nanos() as u64;
+                        *t0 = now;
+                    }
+                }
+            };
+        }
         self.stats.window_occupancy_sum += self.window.len() as u64;
         self.phase_wakeup();
+        lap!(wakeup_ns);
         self.phase_select();
+        lap!(select_ns);
         self.phase_events();
+        lap!(events_ns);
         self.phase_commit();
+        lap!(commit_ns);
         if !self.finished && self.fault.is_none() {
             self.phase_fetch();
+            lap!(fetch_ns);
             self.phase_insert();
+            lap!(insert_ns);
         }
         if self.counters.is_enabled() {
             // After every phase so the warmup-boundary reset inside commit
             // still sees this cycle attributed exactly once.
             self.record_cpi_cycle();
         }
+        lap!(obs_ns);
         self.cycle += 1;
         self.blocked_slots = std::mem::take(&mut self.blocked_slots_next);
         if self.injection.is_some() {
@@ -661,6 +749,12 @@ impl Simulator {
                     reason,
                     dump: self.dump_state(),
                 });
+            }
+        }
+        lap!(other_ns);
+        if TIMED {
+            if let Some(pt) = self.phase_times.as_deref_mut() {
+                pt.cycles += 1;
             }
         }
     }
@@ -688,8 +782,23 @@ impl Simulator {
                 continue;
             }
             p.broadcast_done = true;
+            // Walk the producer's matrix rows in ring (= sequence) order.
+            // A consumer with both operands on this producer appears in
+            // both rows and gets two deliveries, src0 then src1 — the
+            // injection layer counts deliveries, so the call count and
+            // order reproduce the per-operand CAM pulses exactly.
             consumers.clear();
-            consumers.extend_from_slice(&p.consumers);
+            let p_slot = self.window.slot_of(ev.seq);
+            let head_slot = self.window.head_slot();
+            let window = &self.window;
+            self.matrix.for_each_consumer(p_slot, head_slot, |c_slot, _src| {
+                // Ring arithmetic alone recovers the consumer's seq; a live
+                // producer's rows never hold stale bits (consumers are
+                // younger, so they retire after the producer clears them).
+                if let Some(c_seq) = window.seq_at(c_slot) {
+                    consumers.push(c_seq);
+                }
+            });
             for &c_seq in &consumers {
                 self.deliver_wakeup(c_seq, ev.seq);
             }
@@ -729,11 +838,13 @@ impl Simulator {
         let two_src = c.is_two_source();
         let mut slow_delayed = false;
         let mut slow_delivered = 0u32;
+        let mut changed = false;
         for slot in 0..2 {
             let Some(src) = c.srcs[slot].as_mut() else { continue };
             if src.producer != Some(producer) || src.ready {
                 continue;
             }
+            changed = true;
             src.ready = true;
             src.broadcast_cycle = cycle;
             let slow = slow_bus && two_src && slot != fast_slot;
@@ -753,8 +864,17 @@ impl Simulator {
         if enqueue {
             c.in_ready_list = true;
         }
-        if enqueue {
-            self.ready_list.push(c_seq);
+        // Refresh the cached timing cycle on enqueue, and whenever an
+        // operand of an already-enqueued candidate transitions (tag
+        // elimination enqueues on the watched side alone; a post-misfire
+        // candidate then waits for the other side's wakeup too).
+        if enqueue || (changed && c.in_ready_list) {
+            let at = ready_cycle_of(c, wakeup);
+            let slot = self.window.slot_of(c_seq);
+            if enqueue {
+                self.ready.set(slot);
+            }
+            self.ready_at[slot] = at;
         }
         if slow_delivered > 0 && self.counters.is_enabled() {
             self.slow_wakeups_this_cycle += slow_delivered;
@@ -804,7 +924,7 @@ impl Simulator {
                     continue;
                 }
                 let Some(p) = s.producer else { continue };
-                if p >= self.head_seq && self.inst(p).is_some_and(|pi| !pi.broadcast_done) {
+                if self.inst(p).is_some_and(|pi| !pi.broadcast_done) {
                     target = Some((i.seq, k));
                     break 'scan;
                 }
@@ -856,26 +976,6 @@ impl Simulator {
 
     // ---------------------------------------------------------- select --
 
-    fn selectable(&self, i: &DynInst) -> bool {
-        let cycle = self.cycle;
-        // A load whose PC previously replayed on an older-store conflict
-        // waits until the conflict is gone (21264 stWait bits). The
-        // store-queue walk is bounded by the LSQ, not the window.
-        if i.is_load()
-            && *self.stwait.get(i.pc)
-            && matches!(self.check_lsq(i.seq), LsqOutcome::Blocked)
-        {
-            return false;
-        }
-        let operand_ok = |s: &SrcState| s.ready && s.effective_cycle <= cycle;
-        match self.config.wakeup {
-            WakeupScheme::TagElimination { .. } if i.is_two_source() && !i.te_verified_wait => {
-                i.srcs[i.fast_slot].as_ref().is_some_and(operand_ok)
-            }
-            _ => i.srcs_iter().all(operand_ok),
-        }
-    }
-
     fn phase_select(&mut self) {
         let cycle = self.cycle;
         if cycle < self.issue_stall_until {
@@ -900,33 +1000,62 @@ impl Simulator {
                 port_budget = 1;
             }
         }
-        // Compact the ready list: drop instructions that issued (or left
-        // the window) since they were enqueued. Entries that merely fail
-        // this cycle's timing/FU/LSQ checks stay enqueued for later
-        // cycles, so the only per-cycle work is proportional to the
-        // instructions that are (nearly) selectable — not the window.
-        let mut ready = std::mem::take(&mut self.ready_list);
-        ready.retain(|&seq| {
-            let Some(ix) = self.idx(seq) else { return false };
-            if self.window[ix].state == IState::Waiting {
-                true
+        // One ring-order (= oldest-first) pass over the ready bitset:
+        // compact away instructions that issued since they were enqueued
+        // (bit and flag cleared after the walk), and split the survivors
+        // that pass this cycle's timing/FU/LSQ checks into the two
+        // priority classes. Entries that merely fail the per-cycle checks
+        // keep their bit for later cycles, so the per-cycle work is
+        // proportional to the instructions that are (nearly) selectable —
+        // not the window. Concatenating the classes yields select order —
+        // loads/branches first, then oldest (paper §2.1) — with no sort:
+        // ring order from the head slot *is* sequence order in each class.
+        let mut cands = std::mem::take(&mut self.scratch.cands);
+        let mut cands_lo = std::mem::take(&mut self.scratch.cands_lo);
+        let mut drop = std::mem::take(&mut self.scratch.drop_slots);
+        cands.clear();
+        cands_lo.clear();
+        drop.clear();
+        // The scan reads only the flat columns — lifecycle byte, cached
+        // timing cycle, flag byte — never the instruction records; only a
+        // store-wait load pays an LSQ walk. A whole 128-slot arena's
+        // columns fit in a handful of cache lines.
+        let window = &self.window;
+        let ready_at = &self.ready_at;
+        self.ready.for_each_from(window.head_slot(), |slot| {
+            if window.state[slot] == slot_state::WAITING {
+                if cycle < ready_at[slot] {
+                    return;
+                }
+                let flags = window.flags[slot];
+                let seq = window.seq_at(slot).expect("waiting slot is resident");
+                if flags & slot_flags::LOAD != 0
+                    && *self.stwait.get(window.pcs[slot])
+                    && matches!(self.check_lsq(seq), LsqOutcome::Blocked)
+                {
+                    // A load whose PC previously replayed on an older-store
+                    // conflict waits until the conflict is gone (21264
+                    // stWait bits); the walk is bounded by the LSQ.
+                    return;
+                }
+                if flags & slot_flags::HIGH_PRIORITY != 0 {
+                    cands.push((false, seq));
+                } else {
+                    cands_lo.push((true, seq));
+                }
             } else {
-                self.window[ix].in_ready_list = false;
-                false
+                drop.push(slot);
             }
         });
-        // Candidates: ready-listed, operands ready per scheme;
-        // loads/branches first, then oldest (paper §2.1).
-        let mut cands = std::mem::take(&mut self.scratch.cands);
-        cands.clear();
-        for &seq in &ready {
-            let i = self.inst(seq).expect("compacted entries are in the window");
-            if self.selectable(i) {
-                cands.push((!i.high_priority(), seq));
+        cands.append(&mut cands_lo);
+        for &slot in &drop {
+            self.ready.clear(slot);
+            if let Some(i) = self.window.by_slot_mut(slot) {
+                i.in_ready_list = false;
             }
         }
-        self.ready_list = ready;
-        cands.sort_unstable();
+        self.scratch.cands_lo = cands_lo;
+        self.scratch.drop_slots = drop;
 
         let mut issued = 0u32;
         for &(_, seq) in &cands {
@@ -943,6 +1072,7 @@ impl Simulator {
                 both_ready_at_insert,
                 ports,
                 wakeup_eff,
+                unwatched_unready,
             ) = {
                 let i = self.inst(seq).expect("candidate in window");
                 (
@@ -963,6 +1093,10 @@ impl Simulator {
                         .max()
                         .unwrap_or(i.insert_cycle)
                         .clamp(i.insert_cycle, cycle),
+                    // Tag-elimination misfire precondition: the unwatched
+                    // operand has not woken (scoreboard-verified at issue).
+                    !i.te_verified_wait
+                        && i.srcs[1 - i.fast_slot].as_ref().is_some_and(|s| !s.ready),
                 )
             };
 
@@ -1017,11 +1151,7 @@ impl Simulator {
             // Tag elimination: scoreboard-verify the unwatched operand.
             let te_misfire = matches!(self.config.wakeup, WakeupScheme::TagElimination { .. })
                 && two_source
-                && {
-                    let i = self.inst(seq).expect("candidate");
-                    !i.te_verified_wait
-                        && i.srcs[1 - i.fast_slot].as_ref().is_some_and(|s| !s.ready)
-                };
+                && unwatched_unready;
 
             #[allow(clippy::unnecessary_lazy_evaluations)]
             let rf_category = two_source.then(|| {
@@ -1048,6 +1178,8 @@ impl Simulator {
                 }
                 (is_load, is_store, dest, i.epoch)
             };
+            let slot = self.window.slot_of(seq);
+            self.window.state[slot] = slot_state::ISSUED;
             if self.trace.is_some() {
                 let (pc, inst) = {
                     let i = self.inst(seq).expect("candidate");
@@ -1269,8 +1401,17 @@ impl Simulator {
         // instruction, plus the instruction itself (Ernst & Austin; the
         // paper argues selective recovery cannot apply here).
         self.squash(t0, self.cycle, Some(seq), None);
+        let wakeup = self.config.wakeup;
         if let Some(i) = self.inst_mut(seq) {
             i.te_verified_wait = true;
+            // The wait flag changes which operands select times against
+            // (both instead of the watched one); the squash above enqueued
+            // the instruction under the old rule, so refresh its cache.
+            let at = (i.in_ready_list).then(|| ready_cycle_of(i, wakeup));
+            if let Some(at) = at {
+                let slot = self.window.slot_of(seq);
+                self.ready_at[slot] = at;
+            }
         }
     }
 
@@ -1360,8 +1501,13 @@ impl Simulator {
         if i.is_store() {
             i.addr_resolved = true;
         }
-        if i.mispredicted && !i.resume_done {
+        let resolve = i.mispredicted && !i.resume_done;
+        if resolve {
             i.resume_done = true;
+        }
+        let slot = self.window.slot_of(seq);
+        self.window.state[slot] = slot_state::COMPLETED;
+        if resolve {
             self.frontend.resolve_branch(cycle + 1);
         }
     }
@@ -1415,6 +1561,8 @@ impl Simulator {
             if i.is_store() {
                 i.addr_resolved = false;
             }
+            let slot = self.window.slot_of(seq);
+            self.window.state[slot] = slot_state::WAITING;
             self.stats.replayed_insts += 1;
         }
         self.scratch.dep_set = dep_set;
@@ -1427,13 +1575,14 @@ impl Simulator {
     /// after squashes — the one remaining O(window) scheduler path, paid
     /// only on replay events, never in the steady state).
     fn recompute_ready(&mut self) {
-        let head = self.head_seq;
+        let head = self.window.head_seq();
+        let slot_mask = self.window.arena_capacity() as u64 - 1;
         let mut avail = std::mem::take(&mut self.scratch.avail);
         avail.clear();
         avail.extend(self.window.iter().map(|i| i.broadcast_done));
         let cycle = self.cycle;
         let wakeup = self.config.wakeup;
-        self.ready_list.clear();
+        self.ready.clear_all();
         for i in self.window.iter_mut() {
             if i.state != IState::Waiting {
                 i.in_ready_list = false;
@@ -1456,7 +1605,9 @@ impl Simulator {
             let enq = wakeup_ready(i, wakeup);
             i.in_ready_list = enq;
             if enq {
-                self.ready_list.push(i.seq);
+                let slot = (i.seq & slot_mask) as usize;
+                self.ready.set(slot);
+                self.ready_at[slot] = ready_cycle_of(i, wakeup);
             }
         }
         self.scratch.avail = avail;
@@ -1501,7 +1652,7 @@ impl Simulator {
             let data_ready = match i.store_data_producer {
                 None => true,
                 Some(p) => {
-                    p < self.head_seq
+                    p < self.window.head_seq()
                         || self.inst(p).is_some_and(|pi| pi.state == IState::Completed)
                 }
             };
@@ -1518,67 +1669,92 @@ impl Simulator {
             if head.state != IState::Completed {
                 break;
             }
-            let head = self.window.pop_front().expect("nonempty");
-            self.head_seq += 1;
-            if head.is_store() {
+            // Copy out the narrow field set commit needs, then release the
+            // head's arena slot in place (`drop_front`): clear its ready
+            // bit and its wakeup-matrix rows so a later instruction reusing
+            // the slot starts clean. Its consumer bits in *other* rows are
+            // already gone — every producer it depends on is older and
+            // released its rows first.
+            let slot = self.window.head_slot();
+            let (seq, pc, inst, next_pc, taken, mem_addr, dest, dest_value, mem_data) = (
+                head.seq,
+                head.pc,
+                head.inst,
+                head.next_pc,
+                head.taken,
+                head.mem_addr,
+                head.dest,
+                head.dest_value,
+                head.mem_data,
+            );
+            let (is_store, is_mem, two_source, rf_category) =
+                (head.is_store(), head.is_mem(), head.is_two_source(), head.rf_category);
+            let (insert_cycle, wakeup_cycle, issue_cycle, complete_cycle, replays, seq_rf) = (
+                head.insert_cycle,
+                head.wakeup_cycle,
+                head.issue_cycle,
+                head.complete_cycle,
+                head.replays,
+                head.seq_rf,
+            );
+            self.window.drop_front();
+            self.ready.clear(slot);
+            self.matrix.clear_rows(slot);
+            if is_store {
                 let queued = self.store_queue.pop_front();
-                debug_assert_eq!(queued, Some(head.seq), "store-queue head mismatch");
-                if let Some(addr) = head.mem_addr {
+                debug_assert_eq!(queued, Some(seq), "store-queue head mismatch");
+                if let Some(addr) = mem_addr {
                     self.hierarchy.data_write(addr);
                 }
             }
-            if head.is_mem() {
+            if is_mem {
                 self.lsq_used -= 1;
             }
-            if let Some(d) = head.dest {
-                if self.rename[d.index()] == Some(head.seq) {
+            if let Some(d) = dest {
+                if self.rename[d.index()] == Some(seq) {
                     self.rename[d.index()] = None;
                 }
             }
             let cycle = self.cycle;
             if let Some(mut hook) = self.commit_hook.take() {
                 let rec = CommitRecord {
-                    seq: head.seq,
+                    seq,
                     cycle,
-                    pc: head.pc,
-                    inst: head.inst,
-                    next_pc: head.next_pc,
-                    taken: head.taken,
-                    mem_addr: head.mem_addr,
-                    dest: head.dest,
-                    dest_value: head.dest_value,
-                    mem_data: head.mem_data,
+                    pc,
+                    inst,
+                    next_pc,
+                    taken,
+                    mem_addr,
+                    dest,
+                    dest_value,
+                    mem_data,
                 };
                 let verdict = hook.on_commit(&rec);
                 self.commit_hook = Some(hook);
                 if let Err(reason) = verdict {
-                    self.fault = Some(SimFault::Hook {
-                        seq: head.seq,
-                        cycle,
-                        reason,
-                        dump: self.dump_state(),
-                    });
+                    self.fault =
+                        Some(SimFault::Hook { seq, cycle, reason, dump: self.dump_state() });
                     return;
                 }
             }
             if let Some(t) = self.trace.as_mut() {
-                t.line(format_args!("{cycle} COMMIT {} pc={:#x} {}", head.seq, head.pc, head.inst));
+                t.line(format_args!("{cycle} COMMIT {seq} pc={pc:#x} {inst}"));
             }
             self.stats.committed += 1;
             self.committed_total += 1;
             if let Some(t) = self.pipetrace.as_mut() {
                 if t.recording() {
                     t.push(TraceRecord {
-                        seq: head.seq,
-                        pc: head.pc,
-                        inst: head.inst,
-                        insert_cycle: head.insert_cycle,
-                        wakeup_cycle: head.wakeup_cycle,
-                        issue_cycle: head.issue_cycle,
-                        complete_cycle: head.complete_cycle,
+                        seq,
+                        pc,
+                        inst,
+                        insert_cycle,
+                        wakeup_cycle,
+                        issue_cycle,
+                        complete_cycle,
                         commit_cycle: self.cycle,
-                        replays: head.replays,
-                        seq_rf: head.seq_rf,
+                        replays,
+                        seq_rf,
                     });
                 }
             }
@@ -1594,15 +1770,15 @@ impl Simulator {
                 }
                 self.stats_start_cycle = self.cycle;
             }
-            if head.is_two_source() {
-                match head.rf_category {
+            if two_source {
+                match rf_category {
                     Some(RfCategory::TwoReady) => self.stats.rf_two_ready += 1,
                     Some(RfCategory::BackToBack) => self.stats.rf_back_to_back += 1,
                     Some(RfCategory::NonBackToBack) => self.stats.rf_non_back_to_back += 1,
                     None => {}
                 }
             }
-            if head.inst == Inst::Halt || self.committed_total >= self.config.max_insts {
+            if inst == Inst::Halt || self.committed_total >= self.config.max_insts {
                 self.finished = true;
                 break;
             }
@@ -1658,35 +1834,53 @@ impl Simulator {
             let f = self.frontend.pop().expect("peeked");
             let seq = self.next_seq;
             self.next_seq += 1;
-            let mut di = DynInst::from_step(seq, &f.step);
-            di.insert_cycle = self.cycle;
-            di.mispredicted = f.mispredicted;
-            di.dest_value = f.dest_value;
-            di.mem_data = f.mem_data;
+            let cycle = self.cycle;
 
-            // Rename the scheduler sources against in-flight producers.
-            for slot in 0..2 {
-                let Some(src) = di.srcs[slot].as_mut() else { continue };
+            // Rename the scheduler sources against in-flight producers,
+            // registering each dependence in the producer's wakeup-matrix
+            // row for this operand index. The renamed operands build up in
+            // a small local array; the full ~300-byte record is
+            // constructed once, directly in its arena slot, below.
+            let sources = f.step.inst.scheduler_sources();
+            let mut srcs: [Option<SrcState>; 2] = [None, None];
+            for (slot, src) in srcs.iter_mut().enumerate() {
+                if let Some(reg) = sources.get(slot) {
+                    *src = Some(SrcState {
+                        reg,
+                        producer: None,
+                        ready: true,
+                        effective_cycle: 0,
+                        broadcast_cycle: 0,
+                        ready_at_insert: true,
+                    });
+                }
+            }
+            let c_slot = self.window.slot_of(seq);
+            for (k, slot_src) in srcs.iter_mut().enumerate() {
+                let Some(src) = slot_src.as_mut() else { continue };
                 let Some(pseq) = self.rename[src.reg.index()] else { continue };
-                let Some(p) = self.idx(pseq).map(|ix| &mut self.window[ix]) else { continue };
+                let Some(p) = self.window.get(pseq) else { continue };
                 src.producer = Some(pseq);
-                p.consumers.push(seq);
-                if p.broadcast_done {
+                let broadcast_done = p.broadcast_done;
+                self.matrix.register(self.window.slot_of(pseq), k, c_slot);
+                if broadcast_done {
                     // Value already flying/written; readable at dispatch.
                     src.ready = true;
                     src.ready_at_insert = true;
-                    src.effective_cycle = self.cycle;
-                    src.broadcast_cycle = self.cycle;
+                    src.effective_cycle = cycle;
+                    src.broadcast_cycle = cycle;
                 } else {
                     src.ready = false;
                     src.ready_at_insert = false;
                 }
             }
-            if di.is_store() {
-                if let Some(dr) = di.inst.store_data_source() {
+            let is_store = f.step.inst.is_store();
+            let mut store_data_producer = None;
+            if is_store {
+                if let Some(dr) = f.step.inst.store_data_source() {
                     if let Some(pseq) = self.rename[dr.index()] {
-                        if self.idx(pseq).is_some() {
-                            di.store_data_producer = Some(pseq);
+                        if self.window.get(pseq).is_some() {
+                            store_data_producer = Some(pseq);
                         }
                     }
                 }
@@ -1695,37 +1889,57 @@ impl Simulator {
             // Operand placement: a lone pending operand always takes the
             // fast/watched side; with two pending operands the predictor
             // (or the static right-side rule) chooses (paper §3.3).
-            di.fast_slot = self.choose_fast_slot(&di);
+            let fast_slot = self.choose_fast_slot(&srcs, f.step.pc);
 
-            if let Some(d) = di.dest {
+            if let Some(d) = f.step.inst.dest() {
                 self.rename[d.index()] = Some(seq);
             }
-            if di.is_two_source() {
-                let ready = di.srcs_iter().filter(|s| s.ready_at_insert).count();
+            let two_source = srcs.iter().flatten().count() == 2;
+            if two_source {
+                let ready = srcs.iter().flatten().filter(|s| s.ready_at_insert).count();
                 self.stats.ready_at_insert[ready] += 1;
             }
             if is_mem {
                 self.lsq_used += 1;
             }
-            if di.is_store() {
+            if is_store {
                 self.store_queue.push_back(seq);
             }
-            if wakeup_ready(&di, self.config.wakeup) {
-                di.in_ready_list = true;
-                self.ready_list.push(seq);
+            let wakeup = self.config.wakeup;
+            let (enqueue, at) = {
+                let di = self.window.push_back_with(seq, || {
+                    let mut di = DynInst::from_step(seq, &f.step);
+                    di.insert_cycle = cycle;
+                    di.mispredicted = f.mispredicted;
+                    di.dest_value = f.dest_value;
+                    di.mem_data = f.mem_data;
+                    di.srcs = srcs;
+                    di.fast_slot = fast_slot;
+                    di.store_data_producer = store_data_producer;
+                    di
+                });
+                if wakeup_ready(di, wakeup) {
+                    di.in_ready_list = true;
+                    (true, ready_cycle_of(di, wakeup))
+                } else {
+                    (false, 0)
+                }
+            };
+            if enqueue {
+                self.ready.set(c_slot);
+                self.ready_at[c_slot] = at;
             }
-            self.window.push_back(di);
         }
     }
 
-    fn choose_fast_slot(&mut self, di: &DynInst) -> usize {
-        if !di.is_two_source() {
+    fn choose_fast_slot(&mut self, srcs: &[Option<SrcState>; 2], pc: u64) -> usize {
+        if srcs.iter().flatten().count() != 2 {
             return 0;
         }
         let mut pending = [0usize; 2];
         let mut n = 0;
-        for s in 0..2 {
-            if di.srcs[s].as_ref().is_some_and(|x| !x.ready_at_insert) {
+        for (s, src) in srcs.iter().enumerate() {
+            if src.as_ref().is_some_and(|x| !x.ready_at_insert) {
                 pending[n] = s;
                 n += 1;
             }
@@ -1737,8 +1951,7 @@ impl Simulator {
                 WakeupScheme::SequentialWakeup { predictor_entries: Some(_) }
                 | WakeupScheme::TagElimination { .. },
             ) => {
-                let mut side =
-                    self.predictor.as_ref().expect("predictor configured").predict(di.pc);
+                let mut side = self.predictor.as_ref().expect("predictor configured").predict(pc);
                 // Injection: a bit-flip in the last-arrival predictor table.
                 // A wrong prediction is a legal prediction — the machine pays
                 // the slow-bus penalty, never produces a wrong value.
@@ -2417,7 +2630,7 @@ impl Simulator {
             self.lsq_used
         );
         for (k, i) in self.window.iter().enumerate() {
-            ensure!(i.seq == self.head_seq + k as u64, "window seq gap at {k}");
+            ensure!(i.seq == self.window.head_seq() + k as u64, "window seq gap at {k}");
             // An operand marked ready must have an available producer:
             // committed, already-broadcast, or (transiently, between a
             // wakeup and its squash recompute) an in-window producer.
@@ -2425,8 +2638,8 @@ impl Simulator {
                 if let Some(p) = src.producer {
                     ensure!(p < i.seq, "source of seq {} produced by younger inst {p}", i.seq);
                     if src.ready && i.state == IState::Waiting {
-                        let avail =
-                            p < self.head_seq || self.inst(p).is_some_and(|pi| pi.broadcast_done);
+                        let avail = p < self.window.head_seq()
+                            || self.inst(p).is_some_and(|pi| pi.broadcast_done);
                         ensure!(
                             avail,
                             "seq {} waiting with ready operand from unavailable producer {p}",
@@ -2465,25 +2678,32 @@ impl Simulator {
             queued == window_stores,
             "store queue out of sync with window stores: {queued:?} vs {window_stores:?}"
         );
-        // The ready list holds no duplicates, its entries are flagged, and
-        // every Waiting instruction whose scheme-level wakeup condition
-        // holds is on it (the list may also hold already-issued or
-        // departed stragglers; select compacts those lazily).
-        let mut listed = self.ready_list.clone();
-        listed.sort_unstable();
-        let before = listed.len();
-        listed.dedup();
-        ensure!(listed.len() == before, "duplicate ready-list entries");
-        for &seq in &self.ready_list {
-            if let Some(i) = self.inst(seq) {
-                ensure!(i.in_ready_list, "ready-listed seq {seq} not flagged");
+        // Every set ready bit names an occupied slot whose occupant is
+        // flagged (commit clears a slot's bit when releasing it, so unlike
+        // the old ready *list* no departed stragglers may linger — a stale
+        // bit would alias the slot's next occupant). Issued-but-not-yet-
+        // compacted stragglers still occupy their slot and stay flagged.
+        let mut bit_err = None;
+        self.ready.for_each_from(0, |slot| {
+            if bit_err.is_some() {
+                return;
             }
+            match self.window.by_slot(slot) {
+                None => bit_err = Some(format!("ready bit set on empty slot {slot}")),
+                Some(i) if !i.in_ready_list => {
+                    bit_err = Some(format!("ready bit set but seq {} not flagged", i.seq));
+                }
+                Some(_) => {}
+            }
+        });
+        if let Some(e) = bit_err {
+            return Err(e);
         }
         for i in &self.window {
             if i.in_ready_list {
                 ensure!(
-                    listed.binary_search(&i.seq).is_ok(),
-                    "seq {} flagged in_ready_list but not listed",
+                    self.ready.test(self.window.slot_of(i.seq)),
+                    "seq {} flagged in_ready_list but its ready bit is clear",
                     i.seq
                 );
             }
@@ -2494,6 +2714,95 @@ impl Simulator {
                     i.seq
                 );
             }
+        }
+        // The flat columns mirror the resident records exactly: the select
+        // scan decides from the columns alone, so any drift here is a
+        // scheduling divergence waiting to happen.
+        for i in &self.window {
+            let slot = self.window.slot_of(i.seq);
+            ensure!(
+                self.window.seq_at(slot) == Some(i.seq),
+                "slot {slot} ring arithmetic disagrees with resident seq {}",
+                i.seq
+            );
+            ensure!(
+                self.window.state[slot] == state_code(i.state),
+                "state column of slot {slot} ({}) diverges from seq {} ({:?})",
+                self.window.state[slot],
+                i.seq,
+                i.state
+            );
+            let flags = u8::from(i.is_load()) * slot_flags::LOAD
+                + u8::from(i.high_priority()) * slot_flags::HIGH_PRIORITY;
+            ensure!(
+                self.window.flags[slot] == flags,
+                "flags column of slot {slot} diverges for seq {}",
+                i.seq
+            );
+            ensure!(
+                self.window.pcs[slot] == i.pc,
+                "pc column of slot {slot} diverges for seq {}",
+                i.seq
+            );
+            if i.state == IState::Waiting && self.ready.test(slot) {
+                let at = ready_cycle_of(i, self.config.wakeup);
+                ensure!(
+                    self.ready_at[slot] == at,
+                    "cached ready cycle of slot {slot} ({}) diverges from seq {} ({at})",
+                    self.ready_at[slot],
+                    i.seq
+                );
+            }
+        }
+        let resident = self.window.len();
+        let occupied = self.window.state.iter().filter(|&&s| s != slot_state::EMPTY).count();
+        ensure!(
+            occupied == resident,
+            "state column counts {occupied} occupied slots, window holds {resident}"
+        );
+        // The wakeup matrix and the renamed operands agree exactly: an
+        // operand's registered bit exists iff its producer is resident,
+        // and every registered bit names a live consumer whose that
+        // operand points back at the producer.
+        for i in &self.window {
+            for (k, s) in i.srcs.iter().enumerate() {
+                let Some(s) = s else { continue };
+                let Some(p) = s.producer else { continue };
+                if self.inst(p).is_some() {
+                    ensure!(
+                        self.matrix.is_registered(
+                            self.window.slot_of(p),
+                            k,
+                            self.window.slot_of(i.seq)
+                        ),
+                        "seq {} src{k} depends on resident {p} but is not in its matrix row",
+                        i.seq
+                    );
+                }
+            }
+        }
+        let mut matrix_err = None;
+        for p in &self.window {
+            let p_slot = self.window.slot_of(p.seq);
+            self.matrix.for_each_consumer(p_slot, 0, |c_slot, k| {
+                if matrix_err.is_some() {
+                    return;
+                }
+                let ok = self
+                    .window
+                    .by_slot(c_slot)
+                    .is_some_and(|c| c.srcs[k].as_ref().is_some_and(|s| s.producer == Some(p.seq)));
+                if !ok {
+                    matrix_err = Some(format!(
+                        "matrix row of seq {} src{k} names slot {c_slot} which does not \
+                         depend on it",
+                        p.seq
+                    ));
+                }
+            });
+        }
+        if let Some(e) = matrix_err {
+            return Err(e);
         }
         Ok(())
     }
@@ -2512,10 +2821,10 @@ impl Simulator {
             self.cycle,
             self.window.len(),
             self.config.ruu_size,
-            self.head_seq,
+            self.window.head_seq(),
             self.lsq_used,
             self.config.lsq_size,
-            self.ready_list.len(),
+            self.ready.count(),
             if self.finished { "finished" } else { "running" },
         );
         for i in self.window.iter().take(MAX_LINES) {
@@ -2599,6 +2908,126 @@ mod invariant_tests {
             // All dynamic instructions commit (no nops in this program).
             assert_eq!(sim.stats.committed, sim.emulator().executed());
         }
+    }
+}
+
+#[cfg(test)]
+mod squash_epoch_tests {
+    //! Squash-epoch invalidation of the bitset scheduler state: a replay
+    //! bumps the victim's epoch, and every stale scheduled event (spec
+    //! broadcasts, completions) must drop itself instead of re-waking the
+    //! new incarnation through the wakeup matrix.
+
+    use super::*;
+    use hpa_asm::Asm;
+    use hpa_isa::Reg;
+
+    /// Store-to-load traffic plus periodic DL1 misses: every iteration can
+    /// provoke a latency mis-speculation squash.
+    fn replay_program() -> Program {
+        let mut a = Asm::new();
+        a.li(Reg::R1, 0x1_0000);
+        a.li(Reg::R9, 20);
+        a.label("loop");
+        a.ldq(Reg::R2, Reg::R1, 0);
+        a.add(Reg::R3, Reg::R2, Reg::R3); // load shadow victim
+        a.stq(Reg::R3, Reg::R1, 8);
+        a.ldq(Reg::R4, Reg::R1, 8);
+        a.add(Reg::R5, Reg::R4, Reg::R2);
+        a.add(Reg::R1, Reg::R1, 64);
+        a.sub(Reg::R9, Reg::R9, 1);
+        a.bgt(Reg::R9, "loop");
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    /// Steps the machine cycle by cycle and holds, at every cycle, the
+    /// squash-coherence laws of the SoA scheduler state:
+    ///
+    /// 1. a waiting (replayed) producer never has `broadcast_done` — the
+    ///    squash cleared it, and no stale event may set it back;
+    /// 2. a waiting consumer's operand is `ready` only if its resident
+    ///    producer really broadcast (stale wakeups never survive the
+    ///    epoch bump + recompute);
+    /// 3. replayed instructions keep their wakeup-matrix edges: the
+    ///    dependence registration at insert outlives any number of
+    ///    squashes, so the re-issued producer can re-wake them.
+    fn run_checking(config: SimConfig) -> (u64, u32) {
+        let p = replay_program();
+        let mut sim = Simulator::new(&p, config);
+        let mut max_epoch = 0u32;
+        let mut cycles = 0u64;
+        while sim.active() {
+            sim.step_cycle();
+            sim.check_invariants();
+            let head = sim.window.head_seq();
+            let resident: Vec<u64> = sim.window.iter().map(|i| i.seq).collect();
+            for &seq in &resident {
+                let i = sim.inst(seq).expect("resident");
+                max_epoch = max_epoch.max(i.epoch);
+                if i.state == IState::Waiting {
+                    assert!(
+                        !i.broadcast_done,
+                        "cycle {}: replayed {} kept broadcast_done through a squash",
+                        sim.cycle, seq
+                    );
+                }
+                for (k, s) in i.srcs.iter().enumerate() {
+                    let Some(s) = s else { continue };
+                    let Some(pseq) = s.producer else { continue };
+                    if pseq < head {
+                        continue; // producer committed; value architectural
+                    }
+                    let p = sim.inst(pseq).expect("resident producer");
+                    if i.state == IState::Waiting {
+                        assert!(
+                            !s.ready || p.broadcast_done,
+                            "cycle {}: {} src{} ready but producer {} never broadcast",
+                            sim.cycle,
+                            seq,
+                            k,
+                            pseq
+                        );
+                        assert!(
+                            sim.matrix.is_registered(
+                                sim.window.slot_of(pseq),
+                                k,
+                                sim.window.slot_of(seq)
+                            ),
+                            "cycle {}: {} src{} lost its matrix edge to {} (epoch {})",
+                            sim.cycle,
+                            seq,
+                            k,
+                            pseq,
+                            i.epoch
+                        );
+                    }
+                }
+            }
+            cycles += 1;
+            assert!(cycles < 1_000_000, "runaway");
+        }
+        assert_eq!(sim.stats.committed, sim.emulator().executed());
+        (sim.stats.replayed_insts, max_epoch)
+    }
+
+    #[test]
+    fn squash_bumps_epochs_and_preserves_matrix_edges() {
+        let (replays, max_epoch) = run_checking(SimConfig::four_wide());
+        assert!(replays > 0, "program must provoke load-shadow replays");
+        assert!(max_epoch > 0, "replays must bump epochs");
+    }
+
+    /// Tag elimination adds misfire squashes (scoreboard-verified issue)
+    /// on top of the load-shadow ones; the same laws hold.
+    #[test]
+    fn squash_epochs_hold_under_tag_elimination() {
+        let config = SimConfig::four_wide()
+            .with_wakeup(WakeupScheme::TagElimination { predictor_entries: 128 })
+            .with_recovery(RecoveryKind::NonSelective);
+        let (replays, max_epoch) = run_checking(config);
+        assert!(replays > 0, "TE config must provoke replays");
+        assert!(max_epoch > 0, "replays must bump epochs");
     }
 }
 
@@ -3091,7 +3520,9 @@ mod lsq_tests {
         }
         if wakeup_ready(&di, sim.config.wakeup) {
             di.in_ready_list = true;
-            sim.ready_list.push(seq);
+            let slot = sim.window.slot_of(seq);
+            sim.ready.set(slot);
+            sim.ready_at[slot] = ready_cycle_of(&di, sim.config.wakeup);
         }
         sim.window.push_back(di);
         seq
@@ -3161,6 +3592,8 @@ mod lsq_tests {
         assert_eq!(sim.check_lsq(ld), LsqOutcome::Blocked);
 
         sim.inst_mut(producer).unwrap().state = IState::Completed;
+        let p_slot = sim.window.slot_of(producer);
+        sim.window.state[p_slot] = slot_state::COMPLETED;
         assert_eq!(sim.check_lsq(ld), LsqOutcome::Forward);
         sim.check_invariants();
     }

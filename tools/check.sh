@@ -75,10 +75,32 @@ if [ -n "$baseline_file" ]; then
   echo "fresh aggregate: $fresh Mcycles/s; $baseline_file: $base Mcycles/s"
   if awk -v f="$fresh" -v b="$base" 'BEGIN { exit !(b > 0 && f < 0.9 * b) }'; then
     echo "WARNING: aggregate throughput dropped >10% vs $baseline_file ($fresh < 0.9 * $base)" >&2
+    # Attribute the drop: like-for-like (counters-off) per-phase ns/cycle,
+    # worst regression first, so the log says *which* pipeline phase got
+    # slower — not just that something did. Pre-v4 baselines carry no
+    # phase timings; say so instead of comparing nothing.
+    phases="$(phase_regressions "$out" "$baseline_file")"
+    if [ -n "$phases" ]; then
+      echo "per-phase ns/cycle (fresh vs $baseline_file, worst first):" >&2
+      printf '%s\n' "$phases" |
+        awk '{ printf "  %-8s %8.1f vs %8.1f  (x%.3f)\n", $1, $2, $3, $4 }' >&2
+      worst="$(printf '%s\n' "$phases" | head -1)"
+      echo "largest regression: $(printf '%s' "$worst" | cut -d' ' -f1) phase" >&2
+    else
+      echo "baseline $baseline_file predates per-phase timings (pre-v4); cannot attribute the drop" >&2
+    fi
   fi
 else
   echo "no committed BENCH_*.json baseline; skipping"
 fi
+
+echo "== cycle-loop profile (non-fatal) =="
+# Function-level CPU profile of a tiny perf_smoke run via gprofng, so a
+# throughput warning above comes with "which function" attribution in the
+# same log. Skips cleanly when the host has no profiler (or refuses the
+# collector); never fails the gate.
+tools/profile.sh --scale tiny --top 12 || \
+  echo "WARNING: tools/profile.sh failed (non-fatal)" >&2
 
 echo "== coverage report (non-fatal) =="
 # Line-coverage summary via cargo-llvm-cov when the host has it; purely

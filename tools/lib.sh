@@ -20,3 +20,37 @@ newest_bench_json() {
     esac
   done | sort -k1,1n | tail -1 | cut -d' ' -f2-
 }
+
+# Prints `<phase> <ns_per_cycle>` lines from a perf_smoke JSON (`$1`),
+# taking the FIRST occurrence of each `phase_<name>_ns_per_cycle` key —
+# v4 artifacts carry two phase blocks (counters off, then on) and the
+# counters-off block comes first, so both sides of a comparison read the
+# like-for-like numbers. Prints nothing for pre-v4 artifacts.
+phase_ns_per_cycle() {
+  grep -o '"phase_[a-z]*_ns_per_cycle": [0-9.]*' "$1" 2>/dev/null |
+    sed 's/"phase_\([a-z]*\)_ns_per_cycle": \(.*\)/\1 \2/' |
+    awk '!seen[$1]++'
+}
+
+# Like-for-like per-phase comparison of two perf_smoke JSONs
+# (`$1` = fresh, `$2` = baseline). For every phase present in both,
+# prints `<phase> <fresh> <baseline> <ratio>` (ratio > 1 means the fresh
+# run spends more ns/cycle there), sorted worst-regression first. Prints
+# nothing when either side lacks per-phase data (pre-v4 baselines).
+phase_regressions() {
+  local fresh base
+  fresh="$(phase_ns_per_cycle "$1")"
+  base="$(phase_ns_per_cycle "$2")"
+  [ -n "$fresh" ] && [ -n "$base" ] || return 0
+  {
+    printf '%s\n' "$fresh" | sed 's/^/f /'
+    printf '%s\n' "$base" | sed 's/^/b /'
+  } | awk '
+    $1 == "f" { f[$2] = $3 }
+    $1 == "b" { b[$2] = $3 }
+    END {
+      for (p in f)
+        if (p in b && b[p] > 0)
+          printf "%s %.1f %.1f %.3f\n", p, f[p], b[p], f[p] / b[p]
+    }' | sort -k4,4rn
+}

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Profiling harness for the cycle loop: collects a CPU profile of a
+# perf_smoke run and prints the hottest functions, so "which phase got
+# slower" (check.sh's per-phase comparison) can be followed up with
+# "which function inside that phase".
+#
+# Uses gprofng (binutils) — the containers this repo grows in ship it,
+# while `perf` is typically absent and the kernel's perf_event interface
+# is often locked down. Skips cleanly (exit 0, a message on stderr) when
+# no profiler is available, so check.sh can call it non-fatally.
+#
+# Usage: tools/profile.sh [--scale tiny|default|large] [--top N] [--keep]
+#   --scale  workload scale passed to perf_smoke (default: tiny)
+#   --top    number of hottest functions to print (default: 15)
+#   --keep   keep the experiment directory and print its path
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scale=tiny
+top=15
+keep=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --scale) scale="${2:?--scale needs a value}"; shift 2 ;;
+    --top) top="${2:?--top needs a value}"; shift 2 ;;
+    --keep) keep=1; shift ;;
+    *) echo "usage: tools/profile.sh [--scale S] [--top N] [--keep]" >&2; exit 2 ;;
+  esac
+done
+
+if ! command -v gprofng >/dev/null 2>&1; then
+  echo "profile.sh: gprofng not found; skipping (install binutils-gprofng to enable)" >&2
+  exit 0
+fi
+
+# The release profile carries line tables (debug = 1 in Cargo.toml), so
+# the collected samples attribute to source lines, not just symbols.
+echo "== building perf_smoke (release) =="
+cargo build --release -q -p hpa-bench --bin perf_smoke
+
+expdir="$(mktemp -d /tmp/hpa-profile.XXXXXX)"
+exp="$expdir/perf_smoke.er"
+out="$expdir/perf_smoke.json"
+cleanup() { [ "$keep" -eq 1 ] || rm -rf "$expdir"; }
+trap cleanup EXIT
+
+echo "== collecting profile (scale=$scale) =="
+if ! gprofng collect app -o "$exp" \
+  target/release/perf_smoke --scale "$scale" --out "$out" >/dev/null 2>&1; then
+  # Some hardened hosts refuse the collector's ptrace/LD_PRELOAD hooks;
+  # that is an environment limitation, not a repo failure.
+  echo "profile.sh: gprofng collect failed on this host; skipping" >&2
+  exit 0
+fi
+
+echo "== hottest functions (exclusive CPU, top $top) =="
+gprofng display text -metrics e.totalcpu -sort e.totalcpu -functions "$exp" |
+  awk 'NR > 5 && $1 + 0 > 0 { print } NR > 5 + '"$top"' { exit }'
+
+if [ "$keep" -eq 1 ]; then
+  echo "experiment kept at: $exp"
+  echo "drill down with: gprofng display text -lines $exp"
+  echo "             or: gprofng display text -source <function> $exp"
+fi

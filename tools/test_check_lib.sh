@@ -34,6 +34,32 @@ expect "non-numeric ignored" "$(newest_bench_json "$tmp")" "BENCH_10.json"
 touch "$tmp/BENCH_100.json"
 expect "three digits" "$(newest_bench_json "$tmp")" "BENCH_100.json"
 
+# phase_ns_per_cycle reads the FIRST occurrence of each phase key — v4
+# artifacts list the counters-off block before the counters-on block.
+cat > "$tmp/fresh.json" <<'EOF'
+{ "phase_select_ns_per_cycle": 150.0, "phase_wakeup_ns_per_cycle": 80.0,
+  "phase_select_ns_per_cycle": 199.0, "phase_wakeup_ns_per_cycle": 99.0 }
+EOF
+expect "first occurrence wins" \
+  "$(phase_ns_per_cycle "$tmp/fresh.json" | tr '\n' ';')" \
+  "select 150.0;wakeup 80.0;"
+
+# phase_regressions ranks by fresh/baseline ratio, worst first, and only
+# compares phases present on both sides.
+cat > "$tmp/base.json" <<'EOF'
+{ "phase_select_ns_per_cycle": 100.0, "phase_wakeup_ns_per_cycle": 80.0,
+  "phase_extra_ns_per_cycle": 5.0 }
+EOF
+expect "worst regression first" \
+  "$(phase_regressions "$tmp/fresh.json" "$tmp/base.json" | awk '{print $1, $4}' | tr '\n' ';')" \
+  "select 1.500;wakeup 1.000;"
+
+# A pre-v4 baseline (no phase keys) yields no comparison rather than junk.
+cat > "$tmp/old.json" <<'EOF'
+{ "aggregate_mcycles_per_sec": 4.01 }
+EOF
+expect "pre-v4 baseline" "$(phase_regressions "$tmp/fresh.json" "$tmp/old.json")" ""
+
 if [ "$fails" -gt 0 ]; then
   echo "test_check_lib: $fails failure(s)" >&2
   exit 1
