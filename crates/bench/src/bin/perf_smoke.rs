@@ -18,23 +18,31 @@
 //! from the JSON alone. The timed runs are separate from the headline
 //! throughput runs; stopwatch reads never touch the headline numbers.
 //!
+//! Since v5 it also carries the functional emulator's throughput
+//! (`emu_minsts_per_sec`, the fast-forward engine of the sampled mode)
+//! and a `sampled` section: two long-running workloads measured full
+//! detailed vs SMARTS-style sampled, with wall-clock speedup, mean IPC ±
+//! 95% CI, and the relative IPC error. The sampled section always runs at
+//! `--scale long` so successive artifacts stay comparable.
+//!
 //! Options:
 //!
-//! * `--scale tiny|default|large` — restrict to one workload size;
+//! * `--scale tiny|default|large|long` — restrict to one workload size;
 //! * `--jobs N` — worker threads for the parallel matrix (default: host
 //!   parallelism);
-//! * `--out FILE` — JSON output path (default `BENCH_4.json`);
+//! * `--out FILE` — JSON output path (default `BENCH_5.json`);
 //! * `--baseline FILE` — a previous `perf_smoke` JSON to embed verbatim
 //!   under `"baseline"`, for before/after comparisons in one artifact.
 //!
 //! No external dependencies: wall time via [`std::time::Instant`], JSON
 //! emitted by hand.
 
-use hpa_core::sim::PhaseTimes;
+use hpa_core::emu::Emulator;
+use hpa_core::sim::{PhaseTimes, SampleUnits, SampledEstimate};
 use hpa_core::workloads::{workload, Scale, Workload};
 use hpa_core::{
     default_jobs, run_matrix, run_matrix_parallel, run_prepared, run_prepared_observed,
-    run_prepared_phase_timed, MachineWidth, Scheme,
+    run_prepared_phase_timed, run_workload, run_workload_sampled, MachineWidth, Scheme,
 };
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -45,6 +53,17 @@ const THROUGHPUT_WORKLOADS: [&str; 3] = ["gap", "mcf", "perl"];
 
 /// Schemes timed in the serial-vs-parallel matrix comparison.
 const MATRIX_SCHEMES: [Scheme; 2] = [Scheme::Base, Scheme::Combined];
+
+/// Long-running workloads for the sampled-vs-full comparison: one
+/// compute-bound, one memory-bound.
+const SAMPLED_WORKLOADS: [&str; 2] = ["gap", "mcf"];
+
+/// Sampling units for the comparison: 2k warmup, 10k measured detail,
+/// 488k fast-forward (period 500k — a few dozen samples per long run).
+const SAMPLED_UNITS: (u64, u64, u64) = (2_000, 10_000, 488_000);
+
+/// Fixed seed for the sampled comparison, so the artifact reproduces.
+const SAMPLED_SEED: u64 = 42;
 
 /// Scales measured when `--scale` is not given. The first entry is the
 /// headline scale (aggregate throughput and matrix comparison).
@@ -61,7 +80,7 @@ fn parse_args() -> Args {
     let mut args = Args {
         scales: DEFAULT_SCALES.to_vec(),
         jobs: default_jobs(),
-        out: "BENCH_4.json".to_string(),
+        out: "BENCH_5.json".to_string(),
         baseline: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -73,6 +92,7 @@ fn parse_args() -> Args {
                     Some("tiny") => vec![(Scale::Tiny, "tiny")],
                     Some("default") => vec![(Scale::Default, "default")],
                     Some("large") => vec![(Scale::Large, "large")],
+                    Some("long") => vec![(Scale::Long, "long")],
                     other => usage(&format!("bad --scale {other:?}")),
                 }
             }
@@ -97,7 +117,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: perf_smoke [--scale tiny|default|large] [--jobs N] [--out FILE] [--baseline FILE]"
+        "usage: perf_smoke [--scale tiny|default|large|long] [--jobs N] [--out FILE] [--baseline FILE]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }
@@ -169,6 +189,93 @@ fn scheme_throughput(ws: &[Workload], scale: Scale) -> Vec<SchemeRate> {
                 scale = scale
             );
             rate
+        })
+        .collect()
+}
+
+/// Functional-emulator throughput over full (checksum-verified) runs —
+/// the fast-forward engine the sampled mode spends most of its time in.
+fn emu_throughput(ws: &[Workload]) -> f64 {
+    let t0 = Instant::now();
+    let mut insts = 0u64;
+    for w in ws {
+        let mut emu = Emulator::new(&w.program);
+        match emu.run(w.budget) {
+            Ok(hpa_core::emu::RunOutcome::Halted { .. }) => {}
+            other => panic!("emu run of `{}` did not halt cleanly: {other:?}", w.name),
+        }
+        assert_eq!(
+            emu.reg(hpa_core::workloads::CHECKSUM_REG),
+            w.expected_checksum,
+            "`{}` checksum",
+            w.name
+        );
+        insts += emu.executed();
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let minsts_per_sec = if wall_s > 0.0 { insts as f64 / 1e6 / wall_s } else { 0.0 };
+    eprintln!(
+        "  emulator: {:.2} Minsts in {wall_s:.2}s = {minsts_per_sec:.2} Minsts/s",
+        insts as f64 / 1e6
+    );
+    minsts_per_sec
+}
+
+/// One workload measured both ways: full detailed simulation vs the
+/// sampled runner, same program, same machine (4-wide base).
+struct SampledCompare {
+    name: &'static str,
+    full_ipc: f64,
+    full_wall_s: f64,
+    sampled_wall_s: f64,
+    est: SampledEstimate,
+}
+
+impl SampledCompare {
+    fn speedup(&self) -> f64 {
+        if self.sampled_wall_s > 0.0 {
+            self.full_wall_s / self.sampled_wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn sampled_vs_full() -> Vec<SampledCompare> {
+    let (w, d, f) = SAMPLED_UNITS;
+    let units = SampleUnits::new(w, d, f).expect("valid units");
+    let width = MachineWidth::Four;
+    SAMPLED_WORKLOADS
+        .iter()
+        .map(|&name| {
+            let t0 = Instant::now();
+            let full = run_workload(name, Scale::Long, width, Scheme::Base)
+                .unwrap_or_else(|e| panic!("{e}"));
+            let full_wall_s = t0.elapsed().as_secs_f64();
+            let t0 = Instant::now();
+            let sampled =
+                run_workload_sampled(name, Scale::Long, width, Scheme::Base, units, SAMPLED_SEED)
+                    .unwrap_or_else(|e| panic!("{e}"));
+            let sampled_wall_s = t0.elapsed().as_secs_f64();
+            let c = SampledCompare {
+                name,
+                full_ipc: full.stats.ipc(),
+                full_wall_s,
+                sampled_wall_s,
+                est: sampled.sampled.expect("sampled run records an estimate"),
+            };
+            eprintln!(
+                "  {name:8} full {:.3} IPC in {:6.2}s; sampled {:.3} ± {:.3} in {:5.2}s \
+                 ({:.1}x, {:.2}% error)",
+                c.full_ipc,
+                c.full_wall_s,
+                c.est.mean_ipc,
+                c.est.ci_half_width,
+                c.sampled_wall_s,
+                c.speedup(),
+                c.est.rel_error(c.full_ipc) * 100.0,
+            );
+            c
         })
         .collect()
 }
@@ -331,9 +438,20 @@ fn main() {
     let phases_off = phase_profile(&obs_ws, false);
     let phases_on = phase_profile(&obs_ws, true);
 
+    // Functional-emulator throughput: the fast-forward engine of the
+    // sampled mode, measured over the same headline workloads.
+    eprintln!("== functional emulator throughput ({matrix_scale_name}) ==");
+    let emu_minsts = emu_throughput(&obs_ws);
+
+    // Sampled vs full detailed, always at the long scale so the speedup
+    // number means the same thing in every artifact.
+    eprintln!("== sampled vs full detailed (long scale, 4-wide base) ==");
+    let sampled = sampled_vs_full();
+    let min_speedup = sampled.iter().map(SampledCompare::speedup).fold(f64::INFINITY, f64::min);
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"schema\": \"hpa-perf-smoke-v4\",");
+    let _ = writeln!(json, "  \"schema\": \"hpa-perf-smoke-v5\",");
     let scale_names: Vec<String> = args.scales.iter().map(|(_, n)| format!("\"{n}\"")).collect();
     let _ = writeln!(json, "  \"scales\": [{}],", scale_names.join(", "));
     let _ = writeln!(json, "  \"host_parallelism\": {},", default_jobs());
@@ -344,6 +462,8 @@ fn main() {
         "  \"aggregate_mcycles_per_sec\": {:.3},",
         runs[0].aggregate_mcycles_per_sec()
     );
+    let _ = writeln!(json, "  \"emu_minsts_per_sec\": {emu_minsts:.3},");
+    let _ = writeln!(json, "  \"sampled_min_speedup\": {min_speedup:.3},");
     let _ = writeln!(json, "  \"runs\": [");
     for (j, run) in runs.iter().enumerate() {
         let _ = writeln!(json, "    {{");
@@ -392,6 +512,36 @@ fn main() {
     let _ = writeln!(json, "    \"scale\": \"{matrix_scale_name}\",");
     write_phase_profile(&mut json, "counters_off", &phases_off, false);
     write_phase_profile(&mut json, "counters_on", &phases_on, true);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"sampled\": {{");
+    let _ = writeln!(json, "    \"scale\": \"long\",");
+    let (uw, ud, uf) = SAMPLED_UNITS;
+    let _ = writeln!(json, "    \"units\": \"{uw}:{ud}:{uf}\",");
+    let _ = writeln!(json, "    \"seed\": {SAMPLED_SEED},");
+    let _ = writeln!(json, "    \"min_speedup\": {min_speedup:.3},");
+    let _ = writeln!(json, "    \"workloads\": [");
+    for (k, c) in sampled.iter().enumerate() {
+        let comma = if k + 1 == sampled.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "      {{\"name\": \"{}\", \"full_ipc\": {:.4}, \"full_wall_s\": {:.3}, \
+             \"sampled_mean_ipc\": {:.4}, \"ci_half_width\": {:.4}, \
+             \"sampled_wall_s\": {:.3}, \"speedup\": {:.3}, \"rel_error\": {:.5}, \
+             \"within_ci\": {}, \"samples\": {}, \"detail_fraction\": {:.5}}}{comma}",
+            c.name,
+            c.full_ipc,
+            c.full_wall_s,
+            c.est.mean_ipc,
+            c.est.ci_half_width,
+            c.sampled_wall_s,
+            c.speedup(),
+            c.est.rel_error(c.full_ipc),
+            c.est.within_ci(c.full_ipc),
+            c.est.samples.len(),
+            c.est.detail_fraction()
+        );
+    }
+    let _ = writeln!(json, "    ]");
     let _ = write!(json, "  }}");
     if let Some(path) = &args.baseline {
         let base = std::fs::read_to_string(path).unwrap_or_else(|e| {

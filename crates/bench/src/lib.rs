@@ -4,7 +4,7 @@
 //! (see `DESIGN.md` §4 for the index). All binaries accept:
 //!
 //! ```text
-//! --scale tiny|default|large   simulation length per benchmark
+//! --scale tiny|default|large|long   simulation length per benchmark
 //! --width 4|8|both             machine width(s) to simulate
 //! --bench <name>...            subset of benchmarks (default: all 12)
 //! --jobs N                     worker threads for matrix sweeps
@@ -59,6 +59,7 @@ impl HarnessArgs {
                         Some("tiny") => Scale::Tiny,
                         Some("default") => Scale::Default,
                         Some("large") => Scale::Large,
+                        Some("long") => Scale::Long,
                         other => usage(&format!("bad --scale {other:?}")),
                     }
                 }
@@ -99,7 +100,7 @@ fn usage(err: &str) -> ! {
         eprintln!("error: {err}");
     }
     eprintln!(
-        "usage: <bin> [--scale tiny|default|large] [--width 4|8|both] [--bench NAME]... [--jobs N]"
+        "usage: <bin> [--scale tiny|default|large|long] [--width 4|8|both] [--bench NAME]... [--jobs N]"
     );
     std::process::exit(if err.is_empty() { 0 } else { 2 });
 }

@@ -1,0 +1,257 @@
+//! The unified execution-backend abstraction.
+//!
+//! The workspace grew two machines that execute the same programs at
+//! different fidelities: the functional [`Emulator`] (instruction-accurate,
+//! tens of Minsts/s) and the cycle-level [`Simulator`] (timing-accurate,
+//! a few Mcycles/s). Tiered simulation moves between them mid-program —
+//! fast-forward functionally, checkpoint, continue in detail — so both
+//! stand behind one [`Backend`] trait: advance, inspect architectural
+//! state, checkpoint, restore. The sampled runner (`hpa_sim::SampledRunner`)
+//! and the campaign/serve layers program against this surface instead of
+//! either concrete machine.
+
+use hpa_emu::{EmuError, Emulator, Snapshot};
+use hpa_isa::{Inst, NUM_ARCH_REGS};
+use hpa_sim::{SimFault, Simulator};
+
+/// A backend failed to advance.
+#[derive(Clone, Debug)]
+pub enum BackendError {
+    /// The functional machine raised a structured program error.
+    Emu(EmuError),
+    /// The timing machine faulted (deadlock watchdog, invariant, hook).
+    Sim(Box<SimFault>),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Emu(e) => write!(f, "emulator: {e}"),
+            BackendError::Sim(e) => write!(f, "simulator: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// A backend-independent view of architectural state, cheap to capture
+/// and compare. Register values use the unified [`hpa_isa::ArchReg`]
+/// numbering (integer file then FP file as raw bits).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArchView {
+    /// Program counter of the *functional* machine behind the backend.
+    pub pc: u64,
+    /// Whether the program has executed `halt`.
+    pub halted: bool,
+    /// Instructions functionally executed so far.
+    pub executed: u64,
+    /// All 64 architectural registers.
+    pub regs: [u64; NUM_ARCH_REGS],
+}
+
+impl ArchView {
+    fn capture(emu: &Emulator) -> ArchView {
+        use hpa_isa::{ArchReg, FReg, Reg};
+        let mut regs = [0u64; NUM_ARCH_REGS];
+        for (i, slot) in regs.iter_mut().enumerate() {
+            let name = if i < 32 {
+                ArchReg::from(Reg::new(i as u8))
+            } else {
+                ArchReg::from(FReg::new((i - 32) as u8))
+            };
+            *slot = emu.arch_value(name);
+        }
+        ArchView { pc: emu.pc(), halted: emu.halted(), executed: emu.executed(), regs }
+    }
+}
+
+/// One machine that can execute a loaded program: advance it, expose its
+/// architectural state, and checkpoint/restore that state exactly.
+///
+/// The two implementations differ in what one [`Backend::step`] means —
+/// an instruction for the emulator, a cycle for the simulator — but agree
+/// on everything architectural, which is what makes snapshots portable
+/// across fidelities: a [`Snapshot`] taken from either side seeds the
+/// other, and the lockstep oracle in `hpa-verify` proves the commit
+/// streams match.
+pub trait Backend {
+    /// Short human-readable backend name (diagnostics, reports).
+    fn name(&self) -> &'static str;
+
+    /// The instruction the machine would execute next on the committed
+    /// path, if the PC currently points into the text segment.
+    fn fetch(&self) -> Option<Inst>;
+
+    /// Advances the machine by one unit of its own granularity (one
+    /// instruction for the functional emulator, one cycle for the timing
+    /// simulator). Returns `false` once the machine has nothing further
+    /// to do.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError`] wrapping the machine's native fault type.
+    fn step(&mut self) -> Result<bool, BackendError>;
+
+    /// The current architectural state.
+    fn arch_state(&self) -> ArchView;
+
+    /// Checkpoints the complete architectural state.
+    fn snapshot(&self) -> Snapshot;
+
+    /// Resets this machine so execution continues from `snap` (keeping
+    /// its loaded program and, for the simulator, its configuration).
+    fn restore(&mut self, snap: &Snapshot);
+}
+
+impl Backend for Emulator {
+    fn name(&self) -> &'static str {
+        "emu"
+    }
+
+    fn fetch(&self) -> Option<Inst> {
+        self.program().fetch(self.pc()).copied()
+    }
+
+    fn step(&mut self) -> Result<bool, BackendError> {
+        match Emulator::step(self) {
+            Ok(record) => Ok(record.is_some()),
+            Err(e) => Err(BackendError::Emu(e)),
+        }
+    }
+
+    fn arch_state(&self) -> ArchView {
+        ArchView::capture(self)
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        Emulator::snapshot(self)
+    }
+
+    fn restore(&mut self, snap: &Snapshot) {
+        Emulator::restore(self, snap);
+    }
+}
+
+impl Backend for Simulator {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn fetch(&self) -> Option<Inst> {
+        self.emulator().program().fetch(self.emulator().pc()).copied()
+    }
+
+    fn step(&mut self) -> Result<bool, BackendError> {
+        if !self.active() {
+            return Ok(false);
+        }
+        self.step_cycle();
+        if let Some(fault) = self.fault() {
+            return Err(BackendError::Sim(Box::new(fault.clone())));
+        }
+        Ok(self.active())
+    }
+
+    /// The simulator's architectural state is its fetch-front emulator,
+    /// which runs *ahead* of commit (execution-driven simulation): the
+    /// view is exact at quiesced points — before the first cycle and
+    /// after the pipe drains — and speculative-but-correct-path between.
+    fn arch_state(&self) -> ArchView {
+        ArchView::capture(self.emulator())
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        self.emulator().snapshot()
+    }
+
+    fn restore(&mut self, snap: &Snapshot) {
+        let program = self.emulator().program().clone();
+        let config = self.config().clone();
+        *self = Simulator::from_snapshot(&program, config, snap, hpa_sim::BranchWarmth::cold());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpa_asm::Asm;
+    use hpa_isa::Reg;
+    use hpa_sim::SimConfig;
+
+    fn program() -> hpa_asm::Program {
+        let mut a = Asm::new();
+        a.li(Reg::R1, 40);
+        a.li(Reg::R2, 0);
+        a.label("loop");
+        a.add(Reg::R2, Reg::R2, Reg::R1);
+        a.sub(Reg::R1, Reg::R1, 1);
+        a.bgt(Reg::R1, "loop");
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    /// Drives any backend to completion through the trait surface.
+    fn drive(backend: &mut dyn Backend) -> ArchView {
+        while backend.step().expect("no faults") {}
+        backend.arch_state()
+    }
+
+    #[test]
+    fn both_backends_reach_the_same_architectural_state() {
+        let program = program();
+        let mut emu = Emulator::new(&program);
+        let mut sim = Simulator::new(&program, SimConfig::four_wide());
+        let a = drive(&mut emu);
+        let b = drive(&mut sim);
+        assert_eq!(a.regs, b.regs, "timing never changes architecture");
+        assert_eq!(a.pc, b.pc);
+        assert!(a.halted && b.halted);
+        assert_eq!(emu.name(), "emu");
+        assert_eq!(sim.name(), "sim");
+    }
+
+    #[test]
+    fn fetch_reads_the_committed_path() {
+        let program = program();
+        let emu = Emulator::new(&program);
+        assert!(matches!(Backend::fetch(&emu), Some(Inst::Op { .. })), "li at pc 0");
+        let sim = Simulator::new(&program, SimConfig::four_wide());
+        assert_eq!(Backend::fetch(&emu), Backend::fetch(&sim));
+    }
+
+    #[test]
+    fn snapshot_crosses_fidelities() {
+        let program = program();
+        // Fast-forward functionally, checkpoint through the trait…
+        let mut emu = Emulator::new(&program);
+        for _ in 0..20 {
+            Backend::step(&mut emu).unwrap();
+        }
+        let snap = Backend::snapshot(&emu);
+        // …and continue in detail from the checkpoint.
+        let mut sim = Simulator::new(&program, SimConfig::four_wide());
+        sim.restore(&snap);
+        assert_eq!(sim.arch_state(), emu.arch_state());
+        let finished = drive(&mut sim);
+        // Reference: pure functional execution end to end.
+        let mut reference = Emulator::new(&program);
+        while Backend::step(&mut reference).unwrap() {}
+        assert_eq!(finished.regs, reference.arch_state().regs);
+        assert_eq!(finished.executed, reference.executed());
+    }
+
+    #[test]
+    fn emulator_restore_rewinds() {
+        let program = program();
+        let mut emu = Emulator::new(&program);
+        for _ in 0..10 {
+            Backend::step(&mut emu).unwrap();
+        }
+        let snap = Backend::snapshot(&emu);
+        let mid = emu.arch_state();
+        while Backend::step(&mut emu).unwrap() {}
+        assert_ne!(emu.arch_state(), mid);
+        Backend::restore(&mut emu, &snap);
+        assert_eq!(emu.arch_state(), mid);
+    }
+}

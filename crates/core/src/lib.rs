@@ -53,16 +53,18 @@ pub use hpa_obs as obs;
 pub use hpa_sim as sim;
 pub use hpa_workloads as workloads;
 
+mod backend;
 pub mod pool;
 pub mod report;
 mod runner;
 mod scheme;
 
+pub use backend::{ArchView, Backend, BackendError};
 pub use hpa_obs::{Counters, CpiCategory, CpiStack};
 pub use pool::{default_jobs, parallel_map, parallel_map_isolated, JobError};
 pub use runner::{
     run_matrix, run_matrix_parallel, run_matrix_parallel_observed, run_prepared,
     run_prepared_observed, run_prepared_phase_timed, run_workload, run_workload_observed,
-    MatrixResult, RunError, RunResult,
+    run_workload_sampled, MatrixResult, RunError, RunResult,
 };
 pub use scheme::{MachineWidth, Scheme};

@@ -4,7 +4,10 @@
 use crate::pool::parallel_map_isolated;
 use crate::scheme::{MachineWidth, Scheme};
 use hpa_obs::Counters;
-use hpa_sim::{PhaseTimes, SimConfig, SimFault, SimStats, Simulator};
+use hpa_sim::{
+    PhaseTimes, SampleUnits, SampledEstimate, SampledRunner, SimConfig, SimFault, SimStats,
+    Simulator,
+};
 use hpa_workloads::{workload, Scale, Workload, CHECKSUM_REG};
 use std::fmt;
 
@@ -81,6 +84,12 @@ pub struct RunResult {
     /// differential suite holds observed and unobserved runs
     /// bit-identical.
     pub counters: Option<Counters>,
+    /// Sampled-mode estimate (mean IPC ± confidence interval and the
+    /// per-window samples); present only for [`run_workload_sampled`]
+    /// runs. When set, `stats` holds the *summed* detailed-window
+    /// statistics — cycles and commits across all measured stretches —
+    /// not a whole-program simulation.
+    pub sampled: Option<SampledEstimate>,
 }
 
 /// Simulates one workload under a named scheme, verifying the checksum.
@@ -115,6 +124,58 @@ pub fn run_workload_observed(
     let w = workload(name, scale)
         .ok_or_else(|| RunError::UnknownWorkload { name: name.to_string() })?;
     run_prepared_observed(&w, scheme.configure(width), scheme, width, observe)
+}
+
+/// Simulates one workload in SMARTS-style sampled mode: functional
+/// fast-forward with branch-table warming between short detailed windows
+/// (see `hpa_sim::SampledRunner`). Orders of magnitude faster than
+/// [`run_workload`] on long workloads; the IPC arrives as an estimate
+/// with a confidence interval in [`RunResult::sampled`], and
+/// [`RunResult::stats`] carries the summed measured-window statistics.
+///
+/// The workload checksum is verified on the runner's main emulator, which
+/// functionally executes the complete program regardless of sampling —
+/// sampled timing is approximate, sampled architecture is not.
+///
+/// # Errors
+///
+/// As [`run_workload`], plus [`RunError::Sim`] for a fault in any
+/// detailed window.
+pub fn run_workload_sampled(
+    name: &str,
+    scale: Scale,
+    width: MachineWidth,
+    scheme: Scheme,
+    units: SampleUnits,
+    seed: u64,
+) -> Result<RunResult, RunError> {
+    let w = workload(name, scale)
+        .ok_or_else(|| RunError::UnknownWorkload { name: name.to_string() })?;
+    let runner = SampledRunner::new(scheme.configure(width), units).with_seed(seed);
+    let outcome =
+        runner.run(&w.program).map_err(|fault| RunError::Sim { name: name.to_string(), fault })?;
+    let actual = outcome.emulator.reg(CHECKSUM_REG);
+    if actual != w.expected_checksum {
+        return Err(RunError::ChecksumMismatch {
+            name: w.name.to_string(),
+            actual,
+            expected: w.expected_checksum,
+        });
+    }
+    let estimate = outcome.estimate;
+    let stats = SimStats {
+        committed: estimate.samples.iter().map(|s| s.committed).sum(),
+        cycles: estimate.samples.iter().map(|s| s.cycles).sum(),
+        ..SimStats::default()
+    };
+    Ok(RunResult {
+        workload: w.name,
+        scheme,
+        width,
+        stats,
+        counters: None,
+        sampled: Some(estimate),
+    })
 }
 
 /// Simulates an already-built workload under an explicit configuration.
@@ -163,6 +224,7 @@ pub fn run_prepared_observed(
         width,
         stats: sim.stats().clone(),
         counters: observe.then(|| sim.counters().clone()),
+        sampled: None,
     })
 }
 
@@ -204,6 +266,7 @@ pub fn run_prepared_phase_timed(
             width,
             stats: sim.stats().clone(),
             counters: observe.then(|| sim.counters().clone()),
+            sampled: None,
         },
         times,
     ))
@@ -395,6 +458,30 @@ mod tests {
         let e = run_workload("nonesuch", Scale::Tiny, MachineWidth::Four, Scheme::Base);
         assert!(matches!(e, Err(RunError::UnknownWorkload { .. })));
         assert!(e.unwrap_err().to_string().contains("nonesuch"));
+    }
+
+    #[test]
+    fn sampled_run_estimates_ipc_and_verifies_checksum() {
+        let units = SampleUnits::parse("500:1000:4000").expect("valid units");
+        let sampled =
+            run_workload_sampled("gcc", Scale::Tiny, MachineWidth::Four, Scheme::Base, units, 42)
+                .expect("sampled run succeeds (checksum verified inside)");
+        let estimate = sampled.sampled.as_ref().expect("sampled estimate present");
+        assert!(estimate.mean_ipc > 0.0);
+        assert!(!estimate.samples.is_empty());
+        assert_eq!(
+            sampled.stats.committed,
+            estimate.samples.iter().map(|s| s.committed).sum::<u64>()
+        );
+        // Close to the full detailed run even at tiny scale.
+        let full = run_workload("gcc", Scale::Tiny, MachineWidth::Four, Scheme::Base).unwrap();
+        let err = estimate.rel_error(full.stats.ipc());
+        assert!(err < 0.15, "sampled IPC off by {:.1}% from full", err * 100.0);
+        // Deterministic: same (workload, units, seed) -> identical result.
+        let again =
+            run_workload_sampled("gcc", Scale::Tiny, MachineWidth::Four, Scheme::Base, units, 42)
+                .unwrap();
+        assert_eq!(sampled, again);
     }
 
     #[test]

@@ -33,6 +33,8 @@
 
 mod machine;
 mod memory;
+mod snapshot;
 
 pub use machine::{EmuError, Emulator, RunOutcome, StepRecord, MEM_ADDR_LIMIT};
-pub use memory::Memory;
+pub use memory::{Memory, PAGE_BYTES};
+pub use snapshot::Snapshot;

@@ -93,14 +93,14 @@ pub enum RunOutcome {
 /// The functional machine: architectural registers, memory and a program.
 #[derive(Clone, Debug)]
 pub struct Emulator {
-    program: Program,
-    regs: [u64; 32],
-    fregs: [f64; 32],
-    pc: u64,
-    halted: bool,
-    executed: u64,
-    memory: Memory,
-    strict_alignment: bool,
+    pub(crate) program: Program,
+    pub(crate) regs: [u64; 32],
+    pub(crate) fregs: [f64; 32],
+    pub(crate) pc: u64,
+    pub(crate) halted: bool,
+    pub(crate) executed: u64,
+    pub(crate) memory: Memory,
+    pub(crate) strict_alignment: bool,
 }
 
 impl Emulator {
@@ -227,8 +227,18 @@ impl Emulator {
     }
 
     /// Validates a data access before it touches memory.
+    ///
+    /// The bounds test is one compare: with `width >= 1` the subtraction
+    /// cannot underflow, and `addr > MEM_ADDR_LIMIT - width` rejects
+    /// exactly the accesses whose last byte would reach the limit —
+    /// including wrapped (huge) addresses, which the previous two-branch
+    /// form needed a separate `addr >= MEM_ADDR_LIMIT` test for. This
+    /// runs on every load and store of both the fetch-phase emulator and
+    /// sampled-mode fast-forward, so the extra branch was measurable.
+    #[inline]
     fn check_mem(&self, pc: u64, addr: u64, width: u64) -> Result<(), EmuError> {
-        if addr >= MEM_ADDR_LIMIT || MEM_ADDR_LIMIT - addr < width {
+        debug_assert!(width >= 1);
+        if addr > MEM_ADDR_LIMIT - width {
             return Err(EmuError::MemOutOfRange { pc, addr, width });
         }
         if self.strict_alignment && !addr.is_multiple_of(width) {

@@ -4,7 +4,10 @@ const PAGE_SHIFT: u64 = 12;
 const PAGE_SIZE: u64 = 1 << PAGE_SHIFT;
 const PAGE_MASK: u64 = PAGE_SIZE - 1;
 
-type Page = Box<[u8; PAGE_SIZE as usize]>;
+/// Size in bytes of one memory page (the snapshot granularity).
+pub const PAGE_BYTES: usize = PAGE_SIZE as usize;
+
+type Page = Box<[u8; PAGE_BYTES]>;
 
 /// A sparse, byte-addressed 64-bit memory backed by 4 KiB pages.
 ///
@@ -58,6 +61,23 @@ impl Memory {
     #[must_use]
     pub fn resident_pages(&self) -> usize {
         self.used
+    }
+
+    /// Every resident page as a `(page_number, bytes)` pair, sorted by
+    /// page number. The order is deterministic regardless of hash-table
+    /// layout or insertion history, so snapshots of behaviorally equal
+    /// memories compare equal byte for byte.
+    #[must_use]
+    pub fn pages_sorted(&self) -> Vec<(u64, &[u8; PAGE_BYTES])> {
+        let mut out: Vec<(u64, &[u8; PAGE_BYTES])> = self
+            .keys
+            .iter()
+            .zip(self.pages.iter())
+            .filter(|(&k, _)| k != 0)
+            .map(|(&k, p)| (k - 1, &**p.as_ref().expect("occupied slot holds a page")))
+            .collect();
+        out.sort_unstable_by_key(|&(page_no, _)| page_no);
+        out
     }
 
     #[inline]
@@ -288,6 +308,22 @@ mod tests {
         assert_eq!(m.read_u8(addr), 0xEF);
         assert_eq!(m.read_u8(addr + 7), 0x01);
         assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn pages_sorted_is_deterministic_and_complete() {
+        let mut m = Memory::new();
+        // Insert in descending page order; iteration must come back sorted.
+        for page in [9u64, 5, 1] {
+            m.write_u8(page << PAGE_SHIFT | 3, page as u8);
+        }
+        let pages = m.pages_sorted();
+        assert_eq!(pages.iter().map(|&(n, _)| n).collect::<Vec<_>>(), vec![1, 5, 9]);
+        for (page_no, bytes) in pages {
+            assert_eq!(bytes[3], page_no as u8);
+            assert!(bytes[..3].iter().all(|&b| b == 0));
+        }
+        assert_eq!(Memory::new().pages_sorted(), vec![]);
     }
 
     #[test]

@@ -30,6 +30,69 @@ pub struct FetchedInst {
     pub mem_data: Option<u64>,
 }
 
+/// Pre-trained branch-prediction state for seeding a [`FrontEnd`].
+///
+/// Sampled simulation fast-forwards in the functional emulator between
+/// detailed windows; branch predictor tables hold history spanning far
+/// more instructions than a window's warmup can rebuild, so they are
+/// *functionally warmed* during the fast-forward instead: [`Self::observe`]
+/// applies exactly the training updates [`FrontEnd`] performs at fetch,
+/// without the prediction-side effects (predict/lookup are read-only).
+#[derive(Clone, Debug)]
+pub struct BranchWarmth {
+    direction: CombinedPredictor,
+    btb: Btb,
+    ras: Ras,
+}
+
+impl Default for BranchWarmth {
+    fn default() -> BranchWarmth {
+        BranchWarmth::cold()
+    }
+}
+
+impl BranchWarmth {
+    /// Untrained tables — the state a freshly built [`FrontEnd`] starts
+    /// from.
+    #[must_use]
+    pub fn cold() -> BranchWarmth {
+        BranchWarmth {
+            direction: CombinedPredictor::table1(),
+            btb: Btb::table1(),
+            ras: Ras::table1(),
+        }
+    }
+
+    /// Trains the tables on one functionally executed instruction,
+    /// mirroring the update half of `FrontEnd::predict` (same table,
+    /// same outcome, same RAS discipline).
+    pub fn observe(&mut self, step: &StepRecord) {
+        let fallthrough = step.pc + INST_BYTES;
+        match step.inst {
+            Inst::Branch { .. } | Inst::FBranch { .. } => {
+                self.direction.update(step.pc, step.taken);
+            }
+            Inst::Br { ra, .. } if !ra.is_zero() => {
+                self.ras.push(fallthrough);
+            }
+            Inst::Jump { kind, rt, .. } => {
+                match kind {
+                    JumpKind::Ret => {
+                        self.ras.pop();
+                    }
+                    JumpKind::Jmp | JumpKind::Jsr => {
+                        self.btb.update(step.pc, step.next_pc);
+                    }
+                }
+                if kind == JumpKind::Jsr || (kind == JumpKind::Jmp && !rt.is_zero()) {
+                    self.ras.push(fallthrough);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
 /// The fetch engine and front-end pipe.
 #[derive(Clone, Debug)]
 pub struct FrontEnd {
@@ -50,14 +113,22 @@ pub struct FrontEnd {
 }
 
 impl FrontEnd {
-    /// Builds the front end around a loaded emulator.
+    /// Builds the front end around a loaded emulator with cold predictors.
     #[must_use]
     pub fn new(emu: Emulator, width: u32, depth: u32) -> FrontEnd {
+        FrontEnd::with_warmth(emu, width, depth, BranchWarmth::cold())
+    }
+
+    /// Builds the front end with pre-trained predictor tables — the
+    /// sampled-mode path, where fast-forward has already replayed the
+    /// branch history the tables would have seen.
+    #[must_use]
+    pub fn with_warmth(emu: Emulator, width: u32, depth: u32, warmth: BranchWarmth) -> FrontEnd {
         FrontEnd {
             emu,
-            direction: CombinedPredictor::table1(),
-            btb: Btb::table1(),
-            ras: Ras::table1(),
+            direction: warmth.direction,
+            btb: warmth.btb,
+            ras: warmth.ras,
             queue: VecDeque::new(),
             queue_cap: (width * depth) as usize,
             width,
@@ -351,6 +422,36 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 2, "add + halt only");
+    }
+
+    #[test]
+    fn warmed_tables_predict_what_cold_tables_miss() {
+        let mut a = Asm::new();
+        a.li(Reg::R1, 0);
+        a.beq(Reg::R1, "t"); // always taken; a cold predictor says not-taken
+        a.nop();
+        a.label("t");
+        a.add(Reg::R2, Reg::R2, 1);
+        a.halt();
+        let program = a.assemble().unwrap();
+        // Functionally warm the tables over a few passes, the way sampled
+        // fast-forward does.
+        let mut warm = BranchWarmth::cold();
+        for _ in 0..4 {
+            let mut emu = Emulator::new(&program);
+            while let Some(step) = emu.step().unwrap() {
+                warm.observe(&step);
+            }
+        }
+        let mut fe = FrontEnd::with_warmth(Emulator::new(&program), 4, 7, warm);
+        let mut h = Hierarchy::new(HierarchyConfig::table1());
+        let mut stats = SimStats::default();
+        for c in 0..200 {
+            fe.run_cycle(c, &mut h, &mut stats).unwrap();
+            while fe.pop().is_some() {}
+        }
+        assert!(stats.branches >= 1);
+        assert_eq!(stats.branch_mispredicts, 0, "warmth carries the taken history");
     }
 
     #[test]

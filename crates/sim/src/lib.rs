@@ -38,6 +38,7 @@ mod frontend;
 mod fu;
 mod phases;
 mod pipeline;
+mod sampled;
 mod stats;
 mod trace;
 pub mod wheel;
@@ -48,9 +49,11 @@ pub use config::{
     BypassScheme, FuCounts, RecoveryKind, RegFileScheme, RenameScheme, SimConfig, WakeupScheme,
 };
 pub use dyninst::{DynInst, IState, RfCategory, SrcState};
+pub use frontend::BranchWarmth;
 pub use hpa_obs::{Counters, CpiCategory, CpiStack, Histogram, InstSpan};
 pub use phases::PhaseTimes;
 pub use pipeline::{FaultInjection, SimFault, Simulator};
+pub use sampled::{SampleIpc, SampleUnits, SampledEstimate, SampledOutcome, SampledRunner};
 pub use stats::{FormatStats, SimStats, WakeupOrderStats};
 pub use trace::{PipeTrace, TraceRecord};
 pub use wheel::EventWheel;

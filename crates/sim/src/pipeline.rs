@@ -30,7 +30,7 @@ use crate::config::{
     BypassScheme, RecoveryKind, RegFileScheme, RenameScheme, SimConfig, WakeupScheme,
 };
 use crate::dyninst::{DynInst, IState, RfCategory, SrcState};
-use crate::frontend::FrontEnd;
+use crate::frontend::{BranchWarmth, FrontEnd};
 use crate::fu::FuPool;
 use crate::phases::PhaseTimes;
 use crate::stats::SimStats;
@@ -435,6 +435,29 @@ impl Simulator {
     pub fn new(program: &Program, config: SimConfig) -> Simulator {
         let emu = Emulator::new(program);
         let frontend = FrontEnd::new(emu, config.width, config.frontend_depth);
+        Simulator::with_frontend(frontend, config)
+    }
+
+    /// Builds a simulator whose architectural state starts from `snap`
+    /// (captured by a fast-forwarding emulator) and whose branch
+    /// predictors start from `warmth` (functionally trained during that
+    /// fast-forward). Everything microarchitectural — window, caches,
+    /// PcTables, rename — starts cold, exactly as in [`Simulator::new`];
+    /// sampled mode covers that with a measurement-excluded warmup
+    /// stretch (`SimConfig::with_warmup`) at the head of each window.
+    #[must_use]
+    pub fn from_snapshot(
+        program: &Program,
+        config: SimConfig,
+        snap: &hpa_emu::Snapshot,
+        warmth: BranchWarmth,
+    ) -> Simulator {
+        let emu = Emulator::from_snapshot(program, snap);
+        let frontend = FrontEnd::with_warmth(emu, config.width, config.frontend_depth, warmth);
+        Simulator::with_frontend(frontend, config)
+    }
+
+    fn with_frontend(frontend: FrontEnd, config: SimConfig) -> Simulator {
         let width_plus_one = config.width as usize + 1;
         let predictor = match config.wakeup {
             WakeupScheme::SequentialWakeup { predictor_entries: Some(n) }
@@ -537,6 +560,12 @@ impl Simulator {
         self.cycle
     }
 
+    /// The configuration this simulator was built with.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
     /// Starts recording a pipeline diagram of the first `capacity`
     /// committed instructions (see [`PipeTrace`]).
     pub fn enable_trace(&mut self, capacity: usize) {
@@ -595,8 +624,12 @@ impl Simulator {
     }
 
     /// Whether the machine still has work: not finished or faulted, and
-    /// either the front end or the window holds instructions.
-    fn active(&self) -> bool {
+    /// either the front end or the window holds instructions. Callers
+    /// driving the machine cycle by cycle ([`Simulator::step_cycle`])
+    /// loop on this; note the watchdogs (deadlock, cycle budget) live in
+    /// [`Simulator::try_run`], not here.
+    #[must_use]
+    pub fn active(&self) -> bool {
         !(self.finished
             || self.fault.is_some()
             || (self.frontend.drained() && self.window.is_empty()))

@@ -1,12 +1,13 @@
 //! The differential fuzzer: random programs × schemes, in lockstep.
 
 use crate::corpus::write_reproducer;
-use crate::generate::GenProgram;
-use crate::oracle::run_lockstep;
+use crate::generate::{ArchState, GenProgram};
+use crate::oracle::{run_lockstep, run_lockstep_window};
 use crate::shrink::shrink;
 use crate::Divergence;
 use hpa_core::asm::Program;
-use hpa_core::sim::{RecoveryKind, SimConfig};
+use hpa_core::emu::{Emulator, RunOutcome};
+use hpa_core::sim::{RecoveryKind, SampleUnits, SampledRunner, SimConfig};
 use hpa_core::workloads::SplitMix64;
 use hpa_core::{default_jobs, parallel_map, MachineWidth, Scheme};
 use std::path::PathBuf;
@@ -64,11 +65,16 @@ pub struct FuzzConfig {
     pub jobs: usize,
     /// Where to write shrunk reproducers (`None` to skip writing).
     pub corpus_dir: Option<PathBuf>,
+    /// Fuzz the tiered path instead of whole-program lockstep: snapshot
+    /// mid-program, oracle-validate a from-snapshot detailed window per
+    /// scheme, and replay the whole program through the sampled runner
+    /// (see [`run_differential_sampled`]).
+    pub sampled: bool,
 }
 
 impl Default for FuzzConfig {
     fn default() -> FuzzConfig {
-        FuzzConfig { iters: 1000, seed: 42, jobs: default_jobs(), corpus_dir: None }
+        FuzzConfig { iters: 1000, seed: 42, jobs: default_jobs(), corpus_dir: None, sampled: false }
     }
 }
 
@@ -135,6 +141,106 @@ pub fn run_differential(program: &Program, variant: Variant) -> Result<(), (Sche
     Ok(())
 }
 
+/// The sampled-mode differential check: validates the tiered-simulation
+/// machinery end to end on one generated program.
+///
+/// Per scheme, it (1) fast-forwards a functional emulator to the midpoint
+/// of the dynamic stream, snapshots, and runs a from-snapshot detailed
+/// window under the lockstep oracle ([`run_lockstep_window`] — the commit
+/// stream must match independent functional replay reaching the same
+/// region), cross-comparing the final states across schemes; and (2)
+/// replays the whole program through [`SampledRunner`] with tiny units,
+/// requiring its main emulator to land on exactly the reference
+/// architectural state (sampling must never execute an instruction twice
+/// or zero times).
+///
+/// # Errors
+///
+/// The first failing scheme with its [`Divergence`].
+pub fn run_differential_sampled(
+    program: &Program,
+    variant: Variant,
+) -> Result<(), (Scheme, Divergence)> {
+    const BUDGET: u64 = 10_000_000;
+    let fail = |reason: String| {
+        (Scheme::Base, Divergence { seq: 0, cycle: 0, reason, dump: String::new() })
+    };
+
+    let mut reference = Emulator::new(program);
+    match reference.run(BUDGET) {
+        Ok(RunOutcome::Halted { .. }) => {}
+        Ok(RunOutcome::BudgetExhausted { .. }) => {
+            return Err(fail(format!("reference emulation did not halt within {BUDGET} steps")));
+        }
+        Err(e) => return Err(fail(format!("reference emulation faulted: {e}"))),
+    }
+    let total = reference.executed();
+    let ref_state = ArchState::capture(&reference);
+
+    // Snapshot at the midpoint of the dynamic stream.
+    let mut emu = Emulator::new(program);
+    emu.run(total / 2).map_err(|e| fail(format!("fast-forward faulted: {e}")))?;
+    let snap = emu.snapshot();
+
+    let units = SampleUnits::new(4, 12, 16).expect("static units are valid");
+    let mut base_state = None;
+    for scheme in FUZZ_SCHEMES {
+        // Oracle-validated detailed window from the snapshot to the end.
+        let outcome = run_lockstep_window(program, variant.configure(scheme), &snap)
+            .map_err(|d| (scheme, d))?;
+        match &base_state {
+            None => base_state = Some(outcome.state),
+            Some(base) => {
+                if let Some(reason) = outcome.state.first_difference(
+                    base,
+                    &format!("`{}`", scheme.key()),
+                    &format!("`{}`", Scheme::Base.key()),
+                ) {
+                    return Err((
+                        scheme,
+                        Divergence {
+                            seq: 0,
+                            cycle: outcome.cycles,
+                            reason: format!(
+                                "cross-scheme architectural mismatch (snapshot window): {reason}"
+                            ),
+                            dump: String::new(),
+                        },
+                    ));
+                }
+            }
+        }
+        // End-to-end sampled replay: architecture must be exact.
+        let runner = SampledRunner::new(variant.configure(scheme), units).with_seed(total);
+        let out = runner.run(program).map_err(|fault| {
+            (
+                scheme,
+                Divergence {
+                    seq: 0,
+                    cycle: 0,
+                    reason: format!("sampled runner fault: {fault}"),
+                    dump: String::new(),
+                },
+            )
+        })?;
+        let sampled_state = ArchState::capture(&out.emulator);
+        if let Some(reason) =
+            sampled_state.first_difference(&ref_state, "sampled-mode emulator", "reference")
+        {
+            return Err((
+                scheme,
+                Divergence {
+                    seq: 0,
+                    cycle: 0,
+                    reason: format!("sampled replay altered architecture: {reason}"),
+                    dump: String::new(),
+                },
+            ));
+        }
+    }
+    Ok(())
+}
+
 fn iteration_rng(seed: u64, index: u64) -> SplitMix64 {
     SplitMix64::new(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
@@ -148,12 +254,14 @@ fn iteration_rng(seed: u64, index: u64) -> SplitMix64 {
 /// debugging session needs, and shrinking re-simulates heavily.
 #[must_use]
 pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let differential: Differential =
+        if cfg.sampled { run_differential_sampled } else { run_differential };
     let indices: Vec<u64> = (0..cfg.iters).collect();
     let raw = parallel_map(&indices, cfg.jobs, |_, &index| {
         let mut rng = iteration_rng(cfg.seed, index);
         let gen = GenProgram::random(&mut rng);
         let variant = Variant::random(&mut rng);
-        run_differential(&gen.lower(), variant)
+        differential(&gen.lower(), variant)
             .err()
             .map(|(scheme, divergence)| (index, gen, variant, scheme, divergence))
     });
@@ -165,7 +273,8 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
         if failures.len() >= MAX_SHRUNK {
             break;
         }
-        let (program, variant, divergence) = minimize(&gen, variant, (scheme, divergence));
+        let (program, variant, divergence) =
+            minimize(differential, &gen, variant, (scheme, divergence));
         let reproducer = cfg.corpus_dir.as_ref().and_then(|dir| {
             write_reproducer(
                 dir,
@@ -181,15 +290,20 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
     FuzzReport { iters: cfg.iters, runs, failures }
 }
 
+/// The differential check one fuzz campaign applies per iteration
+/// (whole-program lockstep, or the tiered/sampled variant).
+type Differential = fn(&Program, Variant) -> Result<(), (Scheme, Divergence)>;
+
 /// Shrinks a failing case: body deletion (via [`shrink`]), then config
 /// simplification (drop the variant tweaks, fall back to 4-wide) — each
 /// accepted only while the differential check still fails.
 fn minimize(
+    differential: Differential,
     gen: &GenProgram,
     variant: Variant,
     seed_failure: (Scheme, Divergence),
 ) -> (GenProgram, Variant, Divergence) {
-    let still_fails = |g: &GenProgram, v: Variant| run_differential(&g.lower(), v).err();
+    let still_fails = |g: &GenProgram, v: Variant| differential(&g.lower(), v).err();
     let mut best = shrink(gen, |g| still_fails(g, variant).is_some());
 
     let mut v = variant;
@@ -222,9 +336,22 @@ mod tests {
     /// gate; this keeps the unit suite quick.)
     #[test]
     fn seeded_campaign_is_clean() {
-        let report =
-            fuzz(&FuzzConfig { iters: 60, seed: 42, jobs: default_jobs(), corpus_dir: None });
+        let report = fuzz(&FuzzConfig { iters: 60, seed: 42, ..FuzzConfig::default() });
         assert_eq!(report.runs, 240);
+        assert!(
+            report.failures.is_empty(),
+            "divergences found: {:?}",
+            report.failures.iter().map(|f| f.divergence.reason.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    /// The tiered variant of the same guarantee: snapshot windows and the
+    /// sampled runner agree with the reference on every scheme.
+    #[test]
+    fn seeded_sampled_campaign_is_clean() {
+        let report =
+            fuzz(&FuzzConfig { iters: 20, seed: 42, sampled: true, ..FuzzConfig::default() });
+        assert_eq!(report.runs, 80);
         assert!(
             report.failures.is_empty(),
             "divergences found: {:?}",

@@ -38,12 +38,13 @@ mod shrink;
 
 pub use corpus::{load_case, replay_dir, write_reproducer, CorpusCase, ReplayReport};
 pub use fuzz::{
-    fuzz, run_differential, FuzzConfig, FuzzFailure, FuzzReport, Variant, FUZZ_SCHEMES,
+    fuzz, run_differential, run_differential_sampled, FuzzConfig, FuzzFailure, FuzzReport, Variant,
+    FUZZ_SCHEMES,
 };
 pub use generate::{ArchState, GenInst, GenProgram, ARENA0, ARENA1};
 #[doc(hidden)]
 pub use oracle::run_lockstep_injected;
-pub use oracle::{run_lockstep, LockstepOracle, LockstepOutcome};
+pub use oracle::{run_lockstep, run_lockstep_window, LockstepOracle, LockstepOutcome};
 pub use shrink::shrink;
 
 /// A verification failure: the first point where the timing simulator's

@@ -3,9 +3,9 @@
 use crate::generate::ArchState;
 use crate::Divergence;
 use hpa_core::asm::Program;
-use hpa_core::emu::Emulator;
+use hpa_core::emu::{Emulator, Snapshot};
 use hpa_core::isa::{Inst, MemWidth};
-use hpa_core::sim::{CommitHook, CommitRecord, SimConfig, SimFault, Simulator};
+use hpa_core::sim::{BranchWarmth, CommitHook, CommitRecord, SimConfig, SimFault, Simulator};
 
 /// Budget for the reference emulator pass (and an upper bound on shadow
 /// steps); generated programs are tiny, corpus files must stay small.
@@ -27,6 +27,15 @@ impl LockstepOracle {
     #[must_use]
     pub fn new(program: &Program) -> LockstepOracle {
         LockstepOracle { shadow: Emulator::new(program) }
+    }
+
+    /// Builds the oracle around an already-positioned shadow — the
+    /// mid-program variant used to validate detailed windows started from
+    /// a snapshot. The shadow must stand exactly at the first instruction
+    /// the window will commit.
+    #[must_use]
+    pub fn with_shadow(shadow: Emulator) -> LockstepOracle {
+        LockstepOracle { shadow }
     }
 
     /// Reads the shadow's memory image of a completed store, mirroring the
@@ -161,21 +170,7 @@ fn run_lockstep_inner(
     if let Some(inj) = injection {
         sim.inject_fault(inj);
     }
-    sim.try_run().map_err(|fault| match fault {
-        SimFault::Hook { seq, cycle, reason, dump } => Divergence { seq, cycle, reason, dump },
-        SimFault::Invariant { cycle, reason, dump } => Divergence {
-            seq: 0,
-            cycle,
-            reason: format!("pipeline invariant violated: {reason}"),
-            dump,
-        },
-        other @ (SimFault::Emu { .. } | SimFault::Deadlock { .. }) => Divergence {
-            seq: 0,
-            cycle: sim_fault_cycle(&other),
-            reason: other.to_string(),
-            dump: String::new(),
-        },
-    })?;
+    sim.try_run().map_err(fault_to_divergence)?;
 
     // Final-state cross-check: an independent emulation of the whole
     // program must agree with the simulator's architectural state. This
@@ -225,4 +220,132 @@ fn sim_fault_cycle(fault: &SimFault) -> u64 {
         | SimFault::Invariant { cycle, .. }
         | SimFault::Hook { cycle, .. } => *cycle,
     }
+}
+
+fn fault_to_divergence(fault: SimFault) -> Divergence {
+    match fault {
+        SimFault::Hook { seq, cycle, reason, dump } => Divergence { seq, cycle, reason, dump },
+        SimFault::Invariant { cycle, reason, dump } => Divergence {
+            seq: 0,
+            cycle,
+            reason: format!("pipeline invariant violated: {reason}"),
+            dump,
+        },
+        other @ (SimFault::Emu { .. } | SimFault::Deadlock { .. }) => Divergence {
+            seq: 0,
+            cycle: sim_fault_cycle(&other),
+            reason: other.to_string(),
+            dump: String::new(),
+        },
+    }
+}
+
+/// Validates snapshot restore *exactly*: a detailed window started from
+/// `snap` must produce the same commit stream as full detailed simulation
+/// reaching the same region.
+///
+/// The simulator is execution-driven along the correct path, so its
+/// commit stream equals the functional instruction stream; the oracle's
+/// shadow is therefore advanced to the snapshot region *functionally and
+/// independently* — `snap.executed()` fresh steps from program start,
+/// never through the snapshot itself. Any architectural state the
+/// snapshot failed to carry (a register, a dirty page, the halt flag)
+/// surfaces as a per-commit divergence inside the window, and a final
+/// cross-check compares the window's end state against an equally
+/// advanced independent reference.
+///
+/// `config` bounds the window as usual (`with_warmup`/`with_max_insts`
+/// count from the window start); an unbounded config validates the whole
+/// remainder of the program.
+///
+/// # Errors
+///
+/// The first [`Divergence`], as [`run_lockstep`].
+pub fn run_lockstep_window(
+    program: &Program,
+    config: SimConfig,
+    snap: &Snapshot,
+) -> Result<LockstepOutcome, Divergence> {
+    // Independent functional replay up to the snapshot point.
+    let mut shadow = Emulator::new(program);
+    for _ in 0..snap.executed() {
+        match shadow.step() {
+            Ok(Some(_)) => {}
+            Ok(None) => {
+                return Err(Divergence {
+                    seq: 0,
+                    cycle: 0,
+                    reason: format!(
+                        "shadow halted after {} steps, before the snapshot point ({} executed) \
+                         — the snapshot's executed count does not match the program",
+                        shadow.executed(),
+                        snap.executed()
+                    ),
+                    dump: String::new(),
+                });
+            }
+            Err(e) => {
+                return Err(Divergence {
+                    seq: 0,
+                    cycle: 0,
+                    reason: format!("shadow emulation faulted before the snapshot point: {e}"),
+                    dump: String::new(),
+                });
+            }
+        }
+    }
+    if shadow.pc() != snap.pc() {
+        return Err(Divergence {
+            seq: 0,
+            cycle: 0,
+            reason: format!(
+                "snapshot pc {:#x} disagrees with functional replay pc {:#x} at the same \
+                 instruction count",
+                snap.pc(),
+                shadow.pc()
+            ),
+            dump: String::new(),
+        });
+    }
+
+    let mut sim = Simulator::from_snapshot(program, config, snap, BranchWarmth::cold());
+    sim.set_commit_hook(Box::new(LockstepOracle::with_shadow(shadow)));
+    sim.set_strict_invariants(true);
+    sim.try_run().map_err(fault_to_divergence)?;
+
+    // Final-state cross-check: a fresh emulation advanced by the same
+    // total instruction count must agree with the window's fetch-front
+    // emulator (restored state + window execution ≡ straight-line
+    // functional execution).
+    let total = sim.emulator().executed();
+    let mut reference = Emulator::new(program);
+    while reference.executed() < total {
+        match reference.step() {
+            Ok(Some(_)) => {}
+            Ok(None) => break,
+            Err(e) => {
+                return Err(Divergence {
+                    seq: 0,
+                    cycle: sim.cycle(),
+                    reason: format!("reference emulation faulted: {e}"),
+                    dump: String::new(),
+                });
+            }
+        }
+    }
+    let sim_state = ArchState::capture(sim.emulator());
+    let ref_state = ArchState::capture(&reference);
+    if let Some(reason) = sim_state.first_difference(&ref_state, "window", "reference") {
+        return Err(Divergence {
+            seq: 0,
+            cycle: sim.cycle(),
+            reason: format!("window final state mismatch: {reason}"),
+            dump: sim.dump_state(),
+        });
+    }
+    Ok(LockstepOutcome {
+        cycles: sim.stats().cycles,
+        committed: sim.stats().committed,
+        state: sim_state,
+    })
 }

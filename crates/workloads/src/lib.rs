@@ -71,18 +71,23 @@ pub enum Scale {
     Default,
     /// Several million dynamic instructions — for convergence checks.
     Large,
+    /// Tens of millions of dynamic instructions — long enough that full
+    /// detailed simulation hurts, built for the sampled (SMARTS-style)
+    /// mode to show its speedup.
+    Long,
 }
 
 impl Scale {
     /// A kernel-specific iteration multiplier: 1 for [`Scale::Tiny`],
-    /// `default_factor` for [`Scale::Default`] and 8x that for
-    /// [`Scale::Large`].
+    /// `default_factor` for [`Scale::Default`], 8x that for
+    /// [`Scale::Large`] and 32x for [`Scale::Long`].
     #[must_use]
     pub fn factor(self, default_factor: u64) -> u64 {
         match self {
             Scale::Tiny => 1,
             Scale::Default => default_factor,
             Scale::Large => default_factor * 8,
+            Scale::Long => default_factor * 32,
         }
     }
 }
@@ -215,5 +220,6 @@ mod tests {
         assert_eq!(Scale::Tiny.factor(10), 1);
         assert_eq!(Scale::Default.factor(10), 10);
         assert_eq!(Scale::Large.factor(10), 80);
+        assert_eq!(Scale::Long.factor(10), 320);
     }
 }

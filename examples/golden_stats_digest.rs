@@ -9,8 +9,9 @@
 //! cargo run --release --example golden_stats_digest
 //! ```
 
+use half_price::sim::SampleUnits;
 use half_price::workloads::Scale;
-use half_price::{run_workload, run_workload_observed, MachineWidth, Scheme};
+use half_price::{run_workload, run_workload_observed, run_workload_sampled, MachineWidth, Scheme};
 
 /// FNV-1a over the debug formatting of a value.
 fn digest(s: &impl std::fmt::Debug) -> u64 {
@@ -47,5 +48,10 @@ fn main() {
             println!("    (\"{name}\", Scheme::{scheme:?}, {:#018x}),", digest(&c));
         }
     }
-    println!("];");
+    println!("];\n");
+    let units = SampleUnits::parse("500:2000:7500").expect("valid units");
+    let r = run_workload_sampled("gcc", Scale::Tiny, MachineWidth::Four, Scheme::Base, units, 42)
+        .unwrap_or_else(|e| panic!("{e}"));
+    let est = r.sampled.expect("sampled run records an estimate");
+    println!("const SAMPLED_GOLDEN: u64 = {:#018x};", digest(&est));
 }

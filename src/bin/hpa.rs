@@ -7,13 +7,15 @@
 //! hpa asm prog.s                         # assemble + disassemble
 //! hpa run prog.s [--insts N]             # functional execution, dump registers
 //! hpa sim prog.s [--scheme S] [--width W] [--trace N] [--cpi-stack] [--counters]
+//! hpa sim prog.s --sampled W:D:F [--seed S]   # SMARTS-style sampled timing
 //! hpa bench mcf [--scheme S] [--scale T] # one built-in benchmark
+//! hpa bench mcf --sampled W:D:F          # sampled mode: mean IPC ± 95% CI
 //! hpa bench all --scheme all [--jobs N]  # full sweep, parallel cells
 //! hpa counters <prog.s|bench> [--scheme S] [--json]    # cycle-accounting report
 //! hpa trace-viz prog.s [--out FILE]      # Chrome trace-event JSON export
 //! hpa verify prog.s [--scheme S]         # lockstep-check one program
 //! hpa verify tests/corpus                # replay a reproducer corpus
-//! hpa fuzz [--iters N] [--seed S]        # differential fuzzing campaign
+//! hpa fuzz [--iters N] [--seed S] [--sampled]  # differential fuzzing campaign
 //! hpa faults [--campaign SPEC] [--seed S] [--jobs N]  # fault-injection campaign
 //! ```
 //!
@@ -25,7 +27,7 @@ use half_price::asm::parse_program;
 use half_price::emu::Emulator;
 use half_price::faultsim;
 use half_price::isa::Reg;
-use half_price::sim::{SimStats, Simulator};
+use half_price::sim::{SampleUnits, SampledEstimate, SampledRunner, SimStats, Simulator};
 use half_price::verify;
 use half_price::workloads::{workload, Scale, WORKLOAD_NAMES};
 use half_price::{MachineWidth, Scheme};
@@ -48,14 +50,14 @@ fn main() -> ExitCode {
             "usage: hpa <list|asm|run|sim|bench|counters|trace-viz|verify|fuzz|faults> ...\n\
              \n  hpa list\n  hpa asm <file.s>\n  hpa run <file.s> [--insts N]\n  \
              hpa sim <file.s> [--scheme S] [--width 4|8] [--trace N] [--cpi-stack] \
-             [--counters]\n  \
-             hpa bench <name|all> [--scheme S|all] [--scale tiny|default|large] \
-             [--width 4|8] [--jobs N]\n  \
+             [--counters] [--sampled W:D:F [--seed S]]\n  \
+             hpa bench <name|all> [--scheme S|all] [--scale tiny|default|large|long] \
+             [--width 4|8] [--jobs N] [--sampled W:D:F [--seed S]]\n  \
              hpa counters <file.s|bench> [--scheme S] [--width 4|8] \
-             [--scale tiny|default|large] [--json]\n  \
+             [--scale tiny|default|large|long] [--json]\n  \
              hpa trace-viz <file.s> [--scheme S] [--width 4|8] [--insts N] [--out FILE]\n  \
              hpa verify <file.s|dir> [--scheme S|all] [--width 4|8]\n  \
-             hpa fuzz [--iters N] [--seed S] [--jobs N] [--corpus DIR]\n  \
+             hpa fuzz [--iters N] [--seed S] [--jobs N] [--corpus DIR] [--sampled]\n  \
              hpa faults [--campaign SPEC] [--seed S] [--jobs N] [--out FILE] [--corpus DIR]"
                 .to_string(),
         )),
@@ -225,12 +227,52 @@ fn print_stats(s: &SimStats) {
     }
 }
 
+/// Parses `--sampled W:D:F` (plus the optional `--seed`); `None` when the
+/// flag is absent.
+fn sampled_flag(args: &[String]) -> Result<Option<(SampleUnits, u64)>, CliError> {
+    match flag(args, "--sampled") {
+        None => Ok(None),
+        Some(v) => {
+            let units = SampleUnits::parse(&v).map_err(usage)?;
+            let seed: u64 = num_flag(args, "--seed", 0)?;
+            Ok(Some((units, seed)))
+        }
+    }
+}
+
+/// Prints a sampled-mode estimate; the `mean IPC` line is the greppable
+/// contract the accuracy gate in `tools/check.sh` relies on.
+fn print_sampled(est: &SampledEstimate) {
+    println!("samples           {:>12}", est.samples.len());
+    println!("mean IPC          {:>12.3} ± {:.3} (95% CI)", est.mean_ipc, est.ci_half_width);
+    println!(
+        "detailed insts    {:>12} ({:.2}% of {} executed)",
+        est.detailed_insts,
+        est.detail_fraction() * 100.0,
+        est.total_insts
+    );
+}
+
 fn cmd_sim(args: &[String]) -> CliResult {
     let program = load_program(args)?;
     let scheme = parse_scheme(&flag(args, "--scheme").unwrap_or_else(|| "base".into()))?;
     let width = machine_width(args)?;
     let want_cpi = bool_flag(args, "--cpi-stack");
     let want_counters = bool_flag(args, "--counters");
+    if let Some((units, seed)) = sampled_flag(args)? {
+        if want_cpi || want_counters || num_flag::<usize>(args, "--trace", 0)? > 0 {
+            return Err(usage("--sampled is incompatible with --trace/--cpi-stack/--counters"));
+        }
+        let runner = SampledRunner::new(scheme.configure(width), units).with_seed(seed);
+        let out = runner.run(&program).map_err(|e| CliError::Fault(e.to_string()))?;
+        println!(
+            "{} on the {} machine (sampled {units}, seed {seed}):",
+            scheme.label(),
+            width.label()
+        );
+        print_sampled(&out.estimate);
+        return Ok(());
+    }
     let mut sim = Simulator::new(&program, scheme.configure(width));
     let trace: usize = num_flag(args, "--trace", 0)?;
     if trace > 0 {
@@ -306,6 +348,7 @@ fn cmd_counters(args: &[String]) -> CliResult {
             Some("tiny") => Scale::Tiny,
             None | Some("default") => Scale::Default,
             Some("large") => Scale::Large,
+            Some("long") => Scale::Long,
             Some(o) => return Err(usage(format!("bad --scale {o}"))),
         };
         let r = half_price::run_workload_observed(target, scale, width, scheme, true)
@@ -363,6 +406,7 @@ fn cmd_bench(args: &[String]) -> CliResult {
         Some("tiny") => Scale::Tiny,
         None | Some("default") => Scale::Default,
         Some("large") => Scale::Large,
+        Some("long") => Scale::Long,
         Some(o) => return Err(usage(format!("bad --scale {o}"))),
     };
     let width = machine_width(args)?;
@@ -370,6 +414,24 @@ fn cmd_bench(args: &[String]) -> CliResult {
     let scheme_key = flag(args, "--scheme").unwrap_or_else(|| "base".into());
     let names: Vec<&str> =
         if name == "all" { WORKLOAD_NAMES.to_vec() } else { vec![name.as_str()] };
+    if let Some((units, seed)) = sampled_flag(args)? {
+        if scheme_key == "all" {
+            return Err(usage("--sampled runs one scheme at a time; pick --scheme S"));
+        }
+        let scheme = parse_scheme(&scheme_key)?;
+        for bench in &names {
+            let r = half_price::run_workload_sampled(bench, scale, width, scheme, units, seed)
+                .map_err(other)?;
+            let est = r.sampled.expect("sampled run records an estimate");
+            println!(
+                "`{bench}` under {} on the {} machine (sampled {units}, seed {seed}):",
+                scheme.label(),
+                width.label()
+            );
+            print_sampled(&est);
+        }
+        return Ok(());
+    }
     if scheme_key == "all" {
         return bench_matrix(&names, scale, width, jobs);
     }
@@ -445,13 +507,17 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
     cfg.iters = num_flag(args, "--iters", cfg.iters)?;
     cfg.seed = num_flag(args, "--seed", cfg.seed)?;
     cfg.jobs = jobs_flag(args)?;
+    // `--sampled` takes no value here: it switches the differential check
+    // to the tiered variant (snapshot windows + sampled runner replay).
+    cfg.sampled = args.iter().any(|a| a == "--sampled");
     let corpus = flag(args, "--corpus").unwrap_or_else(|| "tests/corpus".into());
     cfg.corpus_dir = Some(corpus.clone().into());
 
     let t0 = std::time::Instant::now();
     let report = verify::fuzz(&cfg);
     println!(
-        "fuzz: {} program(s), {} lockstep run(s), seed {}, {} job(s), {:.1}s",
+        "fuzz{}: {} program(s), {} lockstep run(s), seed {}, {} job(s), {:.1}s",
+        if cfg.sampled { " (sampled)" } else { "" },
         report.iters,
         report.runs,
         cfg.seed,

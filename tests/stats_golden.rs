@@ -9,8 +9,9 @@
 //! Regenerate (only after an *intentional* timing change) with
 //! `cargo run --release --example golden_stats_digest`.
 
+use half_price::sim::SampleUnits;
 use half_price::workloads::Scale;
-use half_price::{run_workload, run_workload_observed, MachineWidth, Scheme};
+use half_price::{run_workload, run_workload_observed, run_workload_sampled, MachineWidth, Scheme};
 
 /// FNV-1a over the debug formatting of a value (kept in sync with
 /// `examples/golden_stats_digest.rs`).
@@ -70,6 +71,14 @@ const COUNTER_GOLDEN: [(&str, Scheme, u64); 12] = [
     ("perl", Scheme::Combined, 0x612147d326218a57),
 ];
 
+/// Digest of one fixed sampled run (`gcc` tiny, 4-wide base, units
+/// 500:2000:7500, seed 42) over the full `SampledEstimate` debug
+/// formatting — window placement, every per-sample (committed, cycles)
+/// pair, the mean and the confidence interval. Pins the sampling walk
+/// itself: a change to snapshot placement, warmup accounting or the
+/// estimator moves this digest even when full-detail digests hold.
+const SAMPLED_GOLDEN: u64 = 0xe055df6842f1f446;
+
 /// Every scheme's full statistics stay bit-identical to the pre-rewrite
 /// scheduler, for a compute-bound, a memory-bound and a branchy workload.
 #[test]
@@ -114,4 +123,24 @@ fn observed_runs_keep_stats_digests_and_pin_counter_digests() {
         }
     }
     assert!(failures.is_empty(), "observability diverged from golden:\n{}", failures.join("\n"));
+}
+
+/// The sampled-mode walk is deterministic and pinned: same program, units
+/// and seed always place the same windows and measure the same cycles.
+#[test]
+fn sampled_run_matches_golden_digest() {
+    let units = SampleUnits::parse("500:2000:7500").expect("valid units");
+    let r = run_workload_sampled("gcc", Scale::Tiny, MachineWidth::Four, Scheme::Base, units, 42)
+        .unwrap_or_else(|e| panic!("{e}"));
+    let est = r.sampled.expect("sampled run records an estimate");
+    let got = digest(&est);
+    assert_eq!(
+        got,
+        SAMPLED_GOLDEN,
+        "sampled estimate diverged from golden: {got:#018x} != {SAMPLED_GOLDEN:#018x} \
+         ({} samples, mean IPC {:.4} ± {:.4})",
+        est.samples.len(),
+        est.mean_ipc,
+        est.ci_half_width
+    );
 }

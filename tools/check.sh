@@ -31,6 +31,13 @@ echo "== fuzz smoke (fixed seed) =="
 # exits non-zero and leaves a shrunk reproducer in tests/corpus/.
 cargo run --release -q --bin hpa -- fuzz --iters 200 --seed 42
 
+echo "== sampled fuzz smoke (fixed seed) =="
+# The tiered variant of the same gate: every program is snapshotted at its
+# midpoint, a detailed window restored from the snapshot is lockstep-
+# checked against an independently advanced shadow, and a full sampled run
+# must reproduce the reference architectural state under every scheme.
+cargo run --release -q --bin hpa -- fuzz --iters 200 --seed 42 --sampled
+
 echo "== fault-injection mini campaign (fixed seed) =="
 # Resilience gate: 140 injected runs (5 seeded programs x 4 schemes x 7
 # fault classes) against the lockstep oracle. Exits non-zero on any SDC
@@ -56,6 +63,24 @@ if [ -z "$total" ] || [ "$total" -eq 0 ]; then
   exit 1
 fi
 echo "hpa counters --json: $total issue slots attributed"
+
+echo "== sampled-accuracy check (non-fatal) =="
+# SMARTS-style sampling vs full detailed simulation on two workloads at
+# the default scale, fixed seed. Non-fatal: sampling only warms branch
+# tables during fast-forward (caches start cold in each window), so
+# cache-sensitive workloads legitimately drift; a >10% error on these two
+# stable ones usually means the estimator or snapshot path regressed.
+sampled_units="2000:10000:88000"
+for b in gcc perl; do
+  full="$(cargo run --release -q --bin hpa -- bench "$b" --scale default | awk '/^IPC/ {print $2}')"
+  sampled="$(cargo run --release -q --bin hpa -- bench "$b" --scale default \
+    --sampled "$sampled_units" --seed 42 | awk '/^mean IPC/ {print $3}')"
+  echo "$b (default): full IPC $full, sampled mean IPC $sampled"
+  if awk -v f="$full" -v s="$sampled" \
+    'BEGIN { d = s - f; if (d < 0) d = -d; exit !(f > 0 && d > 0.10 * f) }'; then
+    echo "WARNING: sampled IPC off by >10% vs full detailed on $b ($sampled vs $full)" >&2
+  fi
+done
 
 echo "== perf smoke (tiny) =="
 out="$(mktemp /tmp/hpa-perf-smoke.XXXXXX.json)"

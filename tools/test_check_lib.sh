@@ -30,6 +30,12 @@ expect "numeric max" "$(newest_bench_json "$tmp")" "BENCH_10.json"
 touch "$tmp/BENCH_notes.json" "$tmp/BENCH_.json" "$tmp/OTHER_99.json"
 expect "non-numeric ignored" "$(newest_bench_json "$tmp")" "BENCH_10.json"
 
+# The repo's own artifact sequence: BENCH_5 must beat BENCH_4, so the
+# throughput-regression gate compares against the newest baseline.
+seq="$(mktemp -d "$tmp/seq.XXXXXX")"
+touch "$seq/BENCH_4.json" "$seq/BENCH_5.json"
+expect "BENCH_5 beats BENCH_4" "$(newest_bench_json "$seq")" "BENCH_5.json"
+
 # A triple-digit artifact still beats double digits.
 touch "$tmp/BENCH_100.json"
 expect "three digits" "$(newest_bench_json "$tmp")" "BENCH_100.json"
