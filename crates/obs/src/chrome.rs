@@ -4,8 +4,10 @@
 //! JSON format (`chrome://tracing` / Perfetto "X" complete events, one
 //! per retired instruction, timestamps in cycles), and [`parse`] reads
 //! that exact format back — the round-trip the export test relies on.
-//! Both are hand-rolled: the workspace carries no JSON dependency.
+//! Both are hand-rolled on [`crate::json`]: the workspace carries no
+//! JSON dependency.
 
+use crate::json::{self, escape_into, Json};
 use std::fmt::Write as _;
 
 /// The lifetime of one retired instruction, as stage timestamps in
@@ -40,19 +42,6 @@ pub struct InstSpan {
 /// Number of display lanes (Chrome `tid`s) the spans are spread over.
 const LANES: u64 = 16;
 
-fn escape_into(out: &mut String, s: &str) {
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-}
-
 /// Renders spans as a Chrome trace-event JSON document. Timestamps are in
 /// cycles (the viewer displays them as microseconds; only relative scale
 /// matters).
@@ -86,191 +75,14 @@ pub fn render(spans: &[InstSpan]) -> String {
 
 // ------------------------------------------------------------- parsing --
 
-/// A minimal JSON value, sufficient for the trace documents [`render`]
-/// emits (numbers are parsed as `u64`; the exporter writes no fractions
-/// or negatives).
-#[derive(Clone, PartialEq, Debug)]
-enum Json {
-    Bool(bool),
-    Num(u64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
+fn field<'a>(obj: &'a Json, key: &str) -> Result<&'a Json, String> {
+    obj.get(key).ok_or_else(|| format!("trace JSON: missing field `{key}`"))
 }
 
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(s: &'a str) -> Parser<'a> {
-        Parser { bytes: s.as_bytes(), pos: 0 }
-    }
-
-    fn err(&self, what: &str) -> String {
-        format!("trace JSON: {what} at byte {}", self.pos)
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected `{}`", b as char)))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
-            b'{' => self.object(),
-            b'[' => self.array(),
-            b'"' => Ok(Json::Str(self.string()?)),
-            b't' => self.literal("true", Json::Bool(true)),
-            b'f' => self.literal("false", Json::Bool(false)),
-            b'0'..=b'9' => self.number(),
-            c => Err(self.err(&format!("unexpected `{}`", c as char))),
-        }
-    }
-
-    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
-            self.pos += text.len();
-            Ok(value)
-        } else {
-            Err(self.err(&format!("expected `{text}`")))
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_digit() {
-            self.pos += 1;
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits");
-        text.parse::<u64>().map(Json::Num).map_err(|_| self.err("bad number"))
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let b = *self.bytes.get(self.pos).ok_or_else(|| self.err("unterminated string"))?;
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let esc = *self.bytes.get(self.pos).ok_or_else(|| self.err("bad escape"))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        }
-                        _ => return Err(self.err("unsupported escape")),
-                    }
-                }
-                _ if b < 0x80 => out.push(b as char),
-                _ => {
-                    // Decode one multi-byte UTF-8 character from a bounded
-                    // window (validating the whole tail here would make
-                    // parsing quadratic).
-                    let start = self.pos - 1;
-                    let rest = &self.bytes[start..self.bytes.len().min(start + 4)];
-                    let valid = match std::str::from_utf8(rest) {
-                        Ok(s) => s,
-                        Err(e) if e.valid_up_to() > 0 => {
-                            std::str::from_utf8(&rest[..e.valid_up_to()]).expect("validated prefix")
-                        }
-                        Err(_) => return Err(self.err("bad utf-8")),
-                    };
-                    let ch = valid.chars().next().expect("nonempty");
-                    out.push(ch);
-                    self.pos += ch.len_utf8() - 1;
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected `,` or `]`")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.expect(b':')?;
-            fields.push((key, self.value()?));
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(self.err("expected `,` or `}`")),
-            }
-        }
-    }
-}
-
-fn field<'a>(obj: &'a [(String, Json)], key: &str) -> Result<&'a Json, String> {
-    obj.iter()
-        .find(|(k, _)| k == key)
-        .map(|(_, v)| v)
-        .ok_or_else(|| format!("trace JSON: missing field `{key}`"))
-}
-
-fn num(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
-    match field(obj, key)? {
-        Json::Num(n) => Ok(*n),
-        _ => Err(format!("trace JSON: field `{key}` is not a number")),
-    }
+fn num(obj: &Json, key: &str) -> Result<u64, String> {
+    field(obj, key)?
+        .as_u64()
+        .ok_or_else(|| format!("trace JSON: field `{key}` is not an unsigned integer"))
 }
 
 /// Parses a document produced by [`render`] back into spans (commit
@@ -279,33 +91,27 @@ fn num(obj: &[(String, Json)], key: &str) -> Result<u64, String> {
 /// # Errors
 ///
 /// A description of the first malformed construct.
-pub fn parse(json: &str) -> Result<Vec<InstSpan>, String> {
-    let mut p = Parser::new(json);
-    let doc = p.value()?;
-    let Json::Obj(doc) = doc else {
-        return Err(String::from("trace JSON: document is not an object"));
-    };
-    let Json::Arr(events) = field(&doc, "traceEvents")? else {
+pub fn parse(text: &str) -> Result<Vec<InstSpan>, String> {
+    let doc = json::parse(text).map_err(|e| format!("trace {e}"))?;
+    let Some(events) = field(&doc, "traceEvents")?.as_arr() else {
         return Err(String::from("trace JSON: `traceEvents` is not an array"));
     };
     let mut spans = Vec::with_capacity(events.len());
     for ev in events {
-        let Json::Obj(ev) = ev else {
-            return Err(String::from("trace JSON: event is not an object"));
-        };
-        let Json::Str(name) = field(ev, "name")? else {
-            return Err(String::from("trace JSON: event `name` is not a string"));
-        };
-        let Json::Obj(args) = field(ev, "args")? else {
+        let name = field(ev, "name")?
+            .as_str()
+            .ok_or_else(|| String::from("trace JSON: event `name` is not a string"))?;
+        let args = field(ev, "args")?;
+        if args.as_obj().is_none() {
             return Err(String::from("trace JSON: event `args` is not an object"));
-        };
-        let Json::Bool(seq_rf) = field(args, "seq_rf")? else {
-            return Err(String::from("trace JSON: `seq_rf` is not a bool"));
-        };
+        }
+        let seq_rf = field(args, "seq_rf")?
+            .as_bool()
+            .ok_or_else(|| String::from("trace JSON: `seq_rf` is not a bool"))?;
         spans.push(InstSpan {
             seq: num(args, "seq")?,
             pc: num(args, "pc")?,
-            name: name.clone(),
+            name: name.to_string(),
             fetch: num(args, "fetch")?,
             dispatch: num(args, "dispatch")?,
             wakeup: num(args, "wakeup")?,
@@ -314,7 +120,7 @@ pub fn parse(json: &str) -> Result<Vec<InstSpan>, String> {
             commit: num(args, "commit")?,
             replays: u32::try_from(num(args, "replays")?)
                 .map_err(|_| String::from("trace JSON: `replays` out of range"))?,
-            seq_rf: *seq_rf,
+            seq_rf,
         });
     }
     Ok(spans)

@@ -1,0 +1,48 @@
+//! The repo's digest machinery: FNV-1a over bytes or debug formatting.
+//!
+//! One digest function serves every equivalence check in the workspace:
+//! the golden-stats tests pin [`debug_digest`] of full `SimStats` /
+//! `Counters` values, and the serve-layer result cache keys entries by
+//! [`fnv1a`] of a canonical request encoding. Keeping both on the same
+//! primitive means "two results are bit-identical" and "two requests are
+//! the same work" are literally the same 64-bit comparison.
+
+/// FNV-1a over a byte slice.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a over the debug formatting of a value — the golden-digest
+/// convention: every field of the value participates, so any counter
+/// moving is as visible as a timing change.
+#[must_use]
+pub fn debug_digest(value: &impl std::fmt::Debug) -> u64 {
+    fnv1a(format!("{value:?}").as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn debug_digest_sees_every_field() {
+        #[derive(Debug)]
+        struct S(#[allow(dead_code)] u64, #[allow(dead_code)] u64);
+        assert_ne!(debug_digest(&S(1, 2)), debug_digest(&S(1, 3)));
+        assert_eq!(debug_digest(&S(1, 2)), debug_digest(&S(1, 2)));
+    }
+}

@@ -204,6 +204,106 @@ impl fmt::Display for Counters {
     }
 }
 
+/// The simulation-service observability registry: cache effectiveness,
+/// queue pressure and job latency for one `hpa serve` daemon.
+///
+/// Deliberately a separate struct from [`Counters`]: that registry's
+/// debug formatting is pinned by golden digests per simulated run, while
+/// this one aggregates over the daemon's lifetime and is free to grow.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ServeCounters {
+    /// Result-cache hits: job cells served from the content-addressed
+    /// store without simulating.
+    pub cache_hits: u64,
+    /// Result-cache misses: job cells that had to simulate.
+    pub cache_misses: u64,
+    /// Jobs that reached `done`.
+    pub jobs_done: u64,
+    /// Jobs that reached `failed`.
+    pub jobs_failed: u64,
+    /// Jobs that reached `expired`.
+    pub jobs_expired: u64,
+    /// Queue depth observed at each submission (pressure distribution).
+    pub queue_depth: Histogram,
+    /// Submit-to-terminal-state latency per job, as `log2(1 + ms)` — the
+    /// 16 buckets then span 1 ms to ~9 hours.
+    pub job_latency_log2_ms: Histogram,
+}
+
+impl ServeCounters {
+    /// Records a finished job's submit-to-terminal latency.
+    pub fn record_latency_ms(&mut self, ms: u64) {
+        self.job_latency_log2_ms.record(u64::from(64 - (ms + 1).leading_zeros() - 1));
+    }
+
+    /// Cache hit rate in `[0, 1]` (`0.0` before any lookup).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Renders the registry as a JSON object (hand-rolled, like
+    /// [`Counters::to_json`]).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"serve_cache_hits\":");
+        let _ = write!(out, "{}", self.cache_hits);
+        out.push_str(",\"serve_cache_misses\":");
+        let _ = write!(out, "{}", self.cache_misses);
+        out.push_str(",\"hit_rate\":");
+        let _ = write!(out, "{:.4}", self.hit_rate());
+        out.push_str(",\"jobs_done\":");
+        let _ = write!(out, "{}", self.jobs_done);
+        out.push_str(",\"jobs_failed\":");
+        let _ = write!(out, "{}", self.jobs_failed);
+        out.push_str(",\"jobs_expired\":");
+        let _ = write!(out, "{}", self.jobs_expired);
+        out.push_str(",\"queue_depth\":");
+        self.queue_depth.json_into(&mut out);
+        out.push_str(",\"queue_depth_mean\":");
+        let _ = write!(out, "{:.4}", self.queue_depth.mean());
+        out.push_str(",\"job_latency_log2_ms\":");
+        self.job_latency_log2_ms.json_into(&mut out);
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for ServeCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cache: {} hit(s) / {} miss(es) ({:.1}% hit rate)",
+            self.cache_hits,
+            self.cache_misses,
+            100.0 * self.hit_rate()
+        )?;
+        writeln!(
+            f,
+            "jobs:  {} done, {} failed, {} expired",
+            self.jobs_done, self.jobs_failed, self.jobs_expired
+        )?;
+        writeln!(
+            f,
+            "queue depth at submit:  mean {:.2} over {} submission(s)",
+            self.queue_depth.mean(),
+            self.queue_depth.samples()
+        )?;
+        write!(
+            f,
+            "job latency:            mean log2(ms) {:.2} over {} job(s)",
+            self.job_latency_log2_ms.mean(),
+            self.job_latency_log2_ms.samples()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,5 +354,34 @@ mod tests {
         let s = c.to_string();
         assert!(s.contains("issued"), "{s}");
         assert!(!s.contains("squash restart"), "{s}");
+    }
+
+    #[test]
+    fn serve_counters_latency_buckets_are_logarithmic() {
+        let mut s = ServeCounters::default();
+        s.record_latency_ms(0); // log2(1) = 0
+        s.record_latency_ms(1); // log2(2) = 1
+        s.record_latency_ms(1023); // log2(1024) = 10
+        s.record_latency_ms(u64::MAX / 2); // clamps into the overflow bucket
+        assert_eq!(s.job_latency_log2_ms.bucket(0), 1);
+        assert_eq!(s.job_latency_log2_ms.bucket(1), 1);
+        assert_eq!(s.job_latency_log2_ms.bucket(10), 1);
+        assert_eq!(s.job_latency_log2_ms.bucket(HISTOGRAM_BUCKETS - 1), 1);
+    }
+
+    #[test]
+    fn serve_counters_hit_rate_and_json() {
+        let mut s = ServeCounters::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        s.jobs_done = 4;
+        s.queue_depth.record(2);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+        let j = s.to_json();
+        assert!(j.contains("\"serve_cache_hits\":3"), "{j}");
+        assert!(j.contains("\"serve_cache_misses\":1"), "{j}");
+        assert!(j.contains("\"jobs_done\":4"), "{j}");
+        assert!(j.contains("\"queue_depth_mean\":2.0000"), "{j}");
     }
 }

@@ -1,0 +1,233 @@
+//! # hpa-sdk — typed client for the `hpa serve` daemon
+//!
+//! A dependency-free client over [`std::net::TcpStream`], typed against
+//! the *same* request/response structs the daemon serves
+//! ([`hpa_serve::proto`]) and speaking the same HTTP subset
+//! ([`hpa_serve::http`]) — a protocol change is one edit, not two
+//! drifting ones.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use hpa_sdk::Client;
+//! use hpa_serve::proto::JobRequest;
+//!
+//! let client = Client::new("127.0.0.1:8080");
+//! let submit = client.submit(&JobRequest::workload(
+//!     "gcc",
+//!     hpa_workloads::Scale::Tiny,
+//!     hpa_core::Scheme::Base,
+//! ))?;
+//! let result = client.wait(submit.job_id, std::time::Duration::from_secs(60))?;
+//! for cell in &result.cells {
+//!     println!("{}: ipc {:?} (cached: {})", cell.scheme.key(), cell.ipc(), cell.cached);
+//! }
+//! # Ok::<(), hpa_sdk::ClientError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hpa_obs::json::Json;
+use hpa_serve::http::{self, Request, Response};
+use hpa_serve::proto::{JobRequest, ResultResponse, StatusResponse, SubmitResponse};
+use std::fmt;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting, reading or writing the socket failed.
+    Io(std::io::Error),
+    /// The server answered, but not with the expected shape.
+    Protocol(String),
+    /// The server answered with an HTTP error (the body's `error` field,
+    /// or the raw body if it has none).
+    Server {
+        /// HTTP status code.
+        status: u16,
+        /// The decoded error message.
+        message: String,
+    },
+    /// [`Client::wait`] ran out of time before the job reached a
+    /// terminal state.
+    Timeout {
+        /// The job still running.
+        job_id: u64,
+        /// How long the wait lasted.
+        waited: Duration,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server { status, message } => write!(f, "server ({status}): {message}"),
+            ClientError::Timeout { job_id, waited } => {
+                write!(f, "job {job_id} not finished after {waited:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A client bound to one daemon address. Each call opens a fresh
+/// connection (the protocol is `Connection: close`), so a `Client` is
+/// just an address plus timeouts — cheap to clone, nothing to pool.
+#[derive(Clone, Debug)]
+pub struct Client {
+    addr: String,
+    io_timeout: Duration,
+    poll_interval: Duration,
+}
+
+impl Client {
+    /// A client for `addr` (e.g. `127.0.0.1:8080`).
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client {
+            addr: addr.into(),
+            io_timeout: Duration::from_secs(30),
+            poll_interval: Duration::from_millis(20),
+        }
+    }
+
+    /// Overrides the per-connection read/write timeout.
+    #[must_use]
+    pub fn with_io_timeout(mut self, timeout: Duration) -> Client {
+        self.io_timeout = timeout;
+        self
+    }
+
+    /// One round trip: connect, send, read the reply.
+    fn call(&self, method: &str, path: &str, body: String) -> Result<Response, ClientError> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_read_timeout(Some(self.io_timeout))?;
+        stream.set_write_timeout(Some(self.io_timeout))?;
+        let request = Request { method: method.to_string(), path: path.to_string(), body };
+        http::write_request(&mut stream, &request)?;
+        let mut reader = BufReader::new(stream);
+        Ok(http::read_response(&mut reader)?)
+    }
+
+    /// Like [`Client::call`], but decodes the body as JSON and turns
+    /// non-200 statuses into [`ClientError::Server`].
+    fn call_json(&self, method: &str, path: &str, body: String) -> Result<Json, ClientError> {
+        let response = self.call(method, path, body)?;
+        let parsed = hpa_obs::json::parse(&response.body)
+            .map_err(|e| ClientError::Protocol(format!("{method} {path}: {e}")))?;
+        if response.status != 200 {
+            let message = parsed
+                .get("error")
+                .and_then(Json::as_str)
+                .map_or_else(|| response.body.clone(), str::to_string);
+            return Err(ClientError::Server { status: response.status, message });
+        }
+        Ok(parsed)
+    }
+
+    /// Submits a job.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for rejected requests (bad workload name,
+    /// draining server), plus transport failures.
+    pub fn submit(&self, request: &JobRequest) -> Result<SubmitResponse, ClientError> {
+        let v = self.call_json("POST", "/submit", request.to_json())?;
+        SubmitResponse::from_json(&v).map_err(ClientError::Protocol)
+    }
+
+    /// Polls one job's status.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with status 404 for an unknown id.
+    pub fn status(&self, job_id: u64) -> Result<StatusResponse, ClientError> {
+        let v = self.call_json("GET", &format!("/status/{job_id}"), String::new())?;
+        StatusResponse::from_json(&v).map_err(ClientError::Protocol)
+    }
+
+    /// Fetches one job's results (cells are present only once `done`).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with status 404 for an unknown id.
+    pub fn result(&self, job_id: u64) -> Result<ResultResponse, ClientError> {
+        let v = self.call_json("GET", &format!("/result/{job_id}"), String::new())?;
+        ResultResponse::from_json(&v).map_err(ClientError::Protocol)
+    }
+
+    /// Polls until the job reaches a terminal state and returns its
+    /// results; [`ClientError::Timeout`] if `timeout` elapses first.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::result`], plus the timeout.
+    pub fn wait(&self, job_id: u64, timeout: Duration) -> Result<ResultResponse, ClientError> {
+        let start = Instant::now();
+        loop {
+            let status = self.status(job_id)?;
+            if status.status.is_terminal() {
+                return self.result(job_id);
+            }
+            if start.elapsed() >= timeout {
+                return Err(ClientError::Timeout { job_id, waited: start.elapsed() });
+            }
+            std::thread::sleep(self.poll_interval);
+        }
+    }
+
+    /// Fetches the daemon's health/metrics document (`/health`): the
+    /// drain flag, queue depth, cache size and the serve counters.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn health(&self) -> Result<Json, ClientError> {
+        self.call_json("GET", "/health", String::new())
+    }
+
+    /// Requests a graceful shutdown: the daemon drains its queue,
+    /// flushes the cache index and exits.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures.
+    pub fn shutdown(&self) -> Result<(), ClientError> {
+        self.call_json("POST", "/shutdown", String::new()).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_failure_is_io_not_panic() {
+        // Port 1 on localhost is essentially never listening.
+        let client = Client::new("127.0.0.1:1").with_io_timeout(Duration::from_millis(200));
+        match client.health() {
+            Err(ClientError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_render_usefully() {
+        let e = ClientError::Server { status: 404, message: "no job 9".into() };
+        assert_eq!(e.to_string(), "server (404): no job 9");
+        let e = ClientError::Timeout { job_id: 3, waited: Duration::from_secs(2) };
+        assert!(e.to_string().contains("job 3"));
+    }
+}

@@ -1,0 +1,56 @@
+//! # hpa-serve — simulation-as-a-service daemon
+//!
+//! Every simulation in this workspace is fully deterministic from its
+//! inputs — that is what the determinism/differential suites prove — so
+//! simulation results are *content-addressable*: identical `(program,
+//! config, scheme, seed, mode)` means identical results, bit for bit.
+//! This crate turns that property into a service:
+//!
+//! * [`server`] — `hpa serve`: a hand-rolled HTTP/JSON daemon over
+//!   [`std::net::TcpListener`] (the workspace carries no dependencies)
+//!   with a job queue, a worker pool executing cells under
+//!   `catch_unwind` isolation and a cycle-budget watchdog, deadlines,
+//!   and graceful drain-on-shutdown;
+//! * [`cache`] — the content-addressed result cache: an FNV-1a digest
+//!   of a canonical byte encoding of the simulation inputs keys an
+//!   on-disk store (one atomically renamed file per entry) fronted by
+//!   an in-memory index, so resubmitting a job answers from the cache
+//!   without simulating — bit-identical by construction, because the
+//!   cached value *is* the original rendered payload;
+//! * [`proto`] — the typed wire protocol, shared with the `hpa-sdk`
+//!   client crate so both sides cannot drift;
+//! * [`queue`] — the Mutex + Condvar job FIFO with drain semantics;
+//! * [`http`] — the minimal HTTP/1.1 subset both sides speak.
+//!
+//! Wire protocol, job state machine and the cache-key encoding spec are
+//! documented in `DESIGN.md` §12.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use hpa_serve::server::{Server, ServerConfig};
+//!
+//! let server = Server::bind(ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     ..ServerConfig::default()
+//! })?;
+//! println!("listening on {}", server.local_addr()?);
+//! server.run()?; // blocks until POST /shutdown
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod proto;
+pub mod queue;
+pub mod server;
+
+pub use cache::{cell_key, ResultCache};
+pub use proto::{
+    CellResult, JobProgram, JobRequest, JobStatus, ResultResponse, StatusResponse, SubmitResponse,
+};
+pub use queue::JobQueue;
+pub use server::{Server, ServerConfig};

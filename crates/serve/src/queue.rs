@@ -1,0 +1,160 @@
+//! The job queue: a Mutex + Condvar FIFO of job ids with a drain mode
+//! for graceful shutdown.
+//!
+//! The queue intentionally holds only ids — job state lives in the
+//! server's job table — so pushing, popping and draining never contend
+//! with result rendering or simulation. Workers block in [`JobQueue::pop`];
+//! [`JobQueue::drain`] wakes them all, after which `pop` keeps handing
+//! out the remaining backlog (drain *finishes* queued work, it does not
+//! abandon it) and returns `None` only once the queue is empty.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct QueueState {
+    pending: VecDeque<u64>,
+    draining: bool,
+}
+
+/// A blocking FIFO of job ids with graceful-drain semantics.
+pub struct JobQueue {
+    state: Mutex<QueueState>,
+    wakeup: Condvar,
+}
+
+impl Default for JobQueue {
+    fn default() -> JobQueue {
+        JobQueue::new()
+    }
+}
+
+impl JobQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> JobQueue {
+        JobQueue {
+            state: Mutex::new(QueueState { pending: VecDeque::new(), draining: false }),
+            wakeup: Condvar::new(),
+        }
+    }
+
+    /// Enqueues a job id and wakes one worker. Returns the queue depth
+    /// *after* the push (for the queue-depth histogram). Pushing to a
+    /// draining queue still enqueues — submissions are rejected at the
+    /// route layer during drain, but a racing push must not be lost.
+    pub fn push(&self, id: u64) -> usize {
+        let mut s = self.state.lock().expect("queue state");
+        s.pending.push_back(id);
+        let depth = s.pending.len();
+        drop(s);
+        self.wakeup.notify_one();
+        depth
+    }
+
+    /// Blocks until a job id is available and returns it, or returns
+    /// `None` once the queue is draining *and* empty.
+    #[must_use]
+    pub fn pop(&self) -> Option<u64> {
+        let mut s = self.state.lock().expect("queue state");
+        loop {
+            if let Some(id) = s.pending.pop_front() {
+                return Some(id);
+            }
+            if s.draining {
+                return None;
+            }
+            s = self.wakeup.wait(s).expect("queue state");
+        }
+    }
+
+    /// Switches to drain mode and wakes every worker: the backlog still
+    /// runs, then each worker's `pop` returns `None` and it exits.
+    pub fn drain(&self) {
+        self.state.lock().expect("queue state").draining = true;
+        self.wakeup.notify_all();
+    }
+
+    /// Whether [`JobQueue::drain`] has been called.
+    #[must_use]
+    pub fn is_draining(&self) -> bool {
+        self.state.lock().expect("queue state").draining
+    }
+
+    /// Current number of queued (not yet popped) jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue state").pending.len()
+    }
+
+    /// Whether no jobs are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_order_within_one_consumer() {
+        let q = JobQueue::new();
+        assert_eq!(q.push(1), 1);
+        assert_eq!(q.push(2), 2);
+        assert_eq!(q.push(3), 3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        q.drain();
+        assert_eq!(q.pop(), Some(3), "drain finishes the backlog");
+        assert_eq!(q.pop(), None, "then signals exit");
+    }
+
+    #[test]
+    fn drain_wakes_blocked_workers() {
+        let q = JobQueue::new();
+        let popped = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    while q.pop().is_some() {
+                        popped.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            for id in 0..10 {
+                q.push(id);
+            }
+            // Workers may still be mid-pop; drain must both flush the
+            // backlog through them and then release all three.
+            q.drain();
+        });
+        assert_eq!(popped.load(Ordering::Relaxed), 10);
+        assert!(q.is_empty() && q.is_draining());
+    }
+
+    #[test]
+    fn every_pushed_id_is_popped_exactly_once_under_contention() {
+        let q = JobQueue::new();
+        let seen = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    while let Some(id) = q.pop() {
+                        seen.lock().unwrap().push(id);
+                    }
+                });
+            }
+            scope.spawn(|| {
+                for id in 0..100 {
+                    q.push(id);
+                }
+                q.drain();
+            });
+        });
+        let mut ids = seen.into_inner().unwrap();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,675 @@
+//! The daemon: a job table, worker pool and HTTP front end over the
+//! result cache.
+//!
+//! Architecture (one paragraph): the accept loop runs on the caller's
+//! thread and handles each connection inline — every handler is cheap
+//! (`/submit` only validates, probes the cache and enqueues; polls only
+//! read the job table) so there is no per-connection thread. Simulation
+//! happens on `workers` threads that block on the [`JobQueue`]; each
+//! cell of a job runs under `catch_unwind` isolation (via
+//! [`hpa_core::pool::parallel_map_isolated`]) so a planted panic fails
+//! one job, never the daemon, and a cycle-budget watchdog turns hangs
+//! into structured deadlock faults. `POST /shutdown` drains: submissions
+//! start bouncing with 503, the backlog still runs to completion (or to
+//! its deadlines), workers exit, the cache index is flushed, and
+//! [`Server::run`] returns.
+
+use crate::cache::{cell_key, ResultCache};
+use crate::http::{self, Request, Response};
+use crate::proto::{
+    format_hex, CellResult, JobProgram, JobRequest, JobStatus, ResultResponse, StatusResponse,
+    SubmitResponse,
+};
+use crate::queue::JobQueue;
+use hpa_asm::Program;
+use hpa_core::pool::parallel_map_isolated;
+use hpa_core::Scheme;
+use hpa_obs::digest::debug_digest;
+use hpa_obs::json::escape_into;
+use hpa_obs::ServeCounters;
+use hpa_sim::{SampledEstimate, SampledRunner, SimConfig, SimStats, Simulator};
+use hpa_workloads::{workload, CHECKSUM_REG};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Server construction parameters.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:8080` (port 0 picks an ephemeral
+    /// port; read it back with [`Server::local_addr`]).
+    pub addr: String,
+    /// Simulation worker threads.
+    pub workers: usize,
+    /// On-disk cache directory; `None` keeps the cache memory-only.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:8080".to_string(),
+            workers: hpa_core::default_jobs().min(4),
+            cache_dir: None,
+        }
+    }
+}
+
+/// One job's full lifecycle record.
+struct Job {
+    request: JobRequest,
+    status: JobStatus,
+    cached: bool,
+    error: Option<String>,
+    cells: Vec<CellResult>,
+    submitted: Instant,
+    deadline: Option<Instant>,
+}
+
+impl Job {
+    /// Lazily expires a job still queued past its deadline; returns
+    /// whether this call performed the transition.
+    fn expire_if_due(&mut self, now: Instant) -> bool {
+        if self.status == JobStatus::Queued && self.deadline.is_some_and(|d| now >= d) {
+            self.status = JobStatus::Expired;
+            self.error = Some("deadline passed before the job started".to_string());
+            return true;
+        }
+        false
+    }
+}
+
+struct ServerState {
+    jobs: Mutex<HashMap<u64, Job>>,
+    next_id: AtomicU64,
+    queue: JobQueue,
+    cache: ResultCache,
+    counters: Mutex<ServeCounters>,
+    shutdown: AtomicBool,
+}
+
+/// The simulation daemon. [`Server::bind`] claims the socket (so the
+/// caller can learn an ephemeral port before serving); [`Server::run`]
+/// blocks until a graceful shutdown completes.
+pub struct Server {
+    listener: TcpListener,
+    state: ServerState,
+    workers: usize,
+}
+
+impl Server {
+    /// Binds the listener and opens the cache.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind or cache-directory creation failures.
+    pub fn bind(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let cache = ResultCache::open(config.cache_dir)?;
+        Ok(Server {
+            listener,
+            state: ServerState {
+                jobs: Mutex::new(HashMap::new()),
+                next_id: AtomicU64::new(1),
+                queue: JobQueue::new(),
+                cache,
+                counters: Mutex::new(ServeCounters::default()),
+                shutdown: AtomicBool::new(false),
+            },
+            workers: config.workers.max(1),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket's `local_addr` failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until `POST /shutdown`: accept loop on this thread,
+    /// simulation on the worker pool. On shutdown the queued backlog
+    /// still runs (jobs whose deadlines pass while queued expire
+    /// instead), then the cache index is flushed and the call returns.
+    ///
+    /// # Errors
+    ///
+    /// Only fatal listener errors; per-connection failures are contained.
+    pub fn run(self) -> io::Result<()> {
+        let state = &self.state;
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers {
+                scope.spawn(move || worker_loop(state));
+            }
+            for stream in self.listener.incoming() {
+                match stream {
+                    Ok(stream) => handle_connection(state, stream),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => {
+                        // Tear down the workers before surfacing the error.
+                        state.queue.drain();
+                        return Err(e);
+                    }
+                }
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            state.queue.drain();
+            Ok(())
+        })?;
+        self.state.cache.flush();
+        Ok(())
+    }
+}
+
+/// One worker: pop ids until drain completes, expiring overdue jobs and
+/// executing the rest.
+fn worker_loop(state: &ServerState) {
+    while let Some(id) = state.queue.pop() {
+        execute_job(state, id);
+    }
+}
+
+/// Reads one request off a fresh connection, routes it, writes the
+/// response. All errors are contained: a malformed or timed-out request
+/// can never take the daemon down.
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    // A stalled peer must not wedge the accept loop.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let response = match http::read_request(&mut reader) {
+        Ok(req) => route(state, &req),
+        Err(e) => Response::error(400, &format!("malformed request: {e}")),
+    };
+    let mut stream = stream;
+    let _ = http::write_response(&mut stream, &response);
+}
+
+/// Dispatches one request to its handler.
+fn route(state: &ServerState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/submit") => handle_submit(state, &req.body),
+        ("POST", "/shutdown") => {
+            // Drain first so workers start finishing the backlog, then
+            // flip the accept-loop flag: this handler's own connection is
+            // the one whose completion breaks the loop.
+            state.queue.drain();
+            state.shutdown.store(true, Ordering::SeqCst);
+            Response::ok("{\"ok\":true}".to_string())
+        }
+        ("GET", "/health") => handle_health(state),
+        ("GET", path) => {
+            if let Some(id) = parse_id(path, "/status/") {
+                handle_status(state, id)
+            } else if let Some(id) = parse_id(path, "/result/") {
+                handle_result(state, id)
+            } else {
+                Response::error(404, &format!("no such path `{path}`"))
+            }
+        }
+        (method, path) => Response::error(405, &format!("{method} {path} not supported")),
+    }
+}
+
+fn parse_id(path: &str, prefix: &str) -> Option<u64> {
+    path.strip_prefix(prefix)?.parse().ok()
+}
+
+/// `POST /submit`: validate, probe the cache, and either answer
+/// immediately (every cell cached) or enqueue.
+fn handle_submit(state: &ServerState, body: &str) -> Response {
+    if state.queue.is_draining() {
+        return Response::error(503, "server is draining");
+    }
+    let parsed = match hpa_obs::json::parse(body) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &e),
+    };
+    let request = match JobRequest::from_json(&parsed) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, &e),
+    };
+    // Validate the program *now* so a typo'd workload name or unparsable
+    // source is a 400, not a failed job discovered by polling.
+    let resolved = match resolve_program(&request) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, &e),
+    };
+
+    let now = Instant::now();
+    let deadline = request.deadline_ms.map(|ms| now + Duration::from_millis(ms));
+    let id = state.next_id.fetch_add(1, Ordering::SeqCst);
+
+    // Submit-time fast path: if every cell is already cached the job is
+    // `done` before it is ever queued — the response itself says
+    // `cached: true` and no simulation (or worker round-trip) happens.
+    let mut cells = Vec::with_capacity(request.schemes.len());
+    for &scheme in &request.schemes {
+        let config = cell_config(&request, scheme);
+        let key = cell_key(&resolved.program, &config, scheme, request.seed, request.sampled);
+        match state.cache.get(key) {
+            Some(payload) => cells.push(CellResult::new(scheme, true, payload)),
+            None => {
+                cells.clear();
+                break;
+            }
+        }
+    }
+    let all_cached = !cells.is_empty();
+
+    let status = if all_cached { JobStatus::Done } else { JobStatus::Queued };
+    let job =
+        Job { request, status, cached: all_cached, error: None, cells, submitted: now, deadline };
+    let n_cells = job.request.schemes.len() as u64;
+    state.jobs.lock().expect("job table").insert(id, job);
+
+    let mut counters = state.counters.lock().expect("serve counters");
+    if all_cached {
+        counters.cache_hits += n_cells;
+        counters.jobs_done += 1;
+        counters.record_latency_ms(0);
+        drop(counters);
+        SubmitResponse { job_id: id, status: JobStatus::Done, cached: true }
+    } else {
+        let depth = state.queue.push(id);
+        counters.queue_depth.record(depth as u64);
+        drop(counters);
+        SubmitResponse { job_id: id, status: JobStatus::Queued, cached: false }
+    }
+    .into_response()
+}
+
+impl SubmitResponse {
+    fn into_response(self) -> Response {
+        Response::ok(self.to_json())
+    }
+}
+
+fn handle_status(state: &ServerState, id: u64) -> Response {
+    let mut jobs = state.jobs.lock().expect("job table");
+    let Some(job) = jobs.get_mut(&id) else {
+        return Response::error(404, &format!("no job {id}"));
+    };
+    let expired = job.expire_if_due(Instant::now());
+    let resp = StatusResponse {
+        job_id: id,
+        status: job.status,
+        cached: job.cached,
+        error: job.error.clone(),
+    };
+    drop(jobs);
+    if expired {
+        state.counters.lock().expect("serve counters").jobs_expired += 1;
+    }
+    Response::ok(resp.to_json())
+}
+
+fn handle_result(state: &ServerState, id: u64) -> Response {
+    let mut jobs = state.jobs.lock().expect("job table");
+    let Some(job) = jobs.get_mut(&id) else {
+        return Response::error(404, &format!("no job {id}"));
+    };
+    let expired = job.expire_if_due(Instant::now());
+    let resp = ResultResponse {
+        job_id: id,
+        status: job.status,
+        cached: job.cached,
+        error: job.error.clone(),
+        cells: if job.status == JobStatus::Done { job.cells.clone() } else { Vec::new() },
+    };
+    drop(jobs);
+    if expired {
+        state.counters.lock().expect("serve counters").jobs_expired += 1;
+    }
+    Response::ok(resp.to_json())
+}
+
+fn handle_health(state: &ServerState) -> Response {
+    let counters = state.counters.lock().expect("serve counters").to_json();
+    let body = format!(
+        "{{\"ok\":true,\"draining\":{},\"queue_depth\":{},\"cache_entries\":{},\"counters\":{}}}",
+        state.queue.is_draining(),
+        state.queue.len(),
+        state.cache.len(),
+        counters
+    );
+    Response::ok(body)
+}
+
+/// A job's program resolved to executable form.
+#[derive(Debug)]
+struct ResolvedProgram {
+    program: Program,
+    /// The reference checksum, for built-in workloads (source programs
+    /// have no oracle — they run unverified).
+    checksum: Option<u64>,
+}
+
+fn resolve_program(request: &JobRequest) -> Result<ResolvedProgram, String> {
+    match &request.program {
+        JobProgram::Workload { name, scale } => {
+            let w = workload(name, *scale)
+                .ok_or_else(|| format!("unknown workload `{name}`; see `hpa list`"))?;
+            Ok(ResolvedProgram { program: w.program, checksum: Some(w.expected_checksum) })
+        }
+        JobProgram::Source(text) => {
+            let program = hpa_asm::parse_program(text).map_err(|e| format!("assembly: {e}"))?;
+            Ok(ResolvedProgram { program, checksum: None })
+        }
+    }
+}
+
+/// The final configuration for one cell: scheme applied to the width's
+/// base config, plus the request's overrides.
+fn cell_config(request: &JobRequest, scheme: Scheme) -> SimConfig {
+    let mut config = scheme.configure(request.width);
+    if let Some(n) = request.pc_table_entries {
+        config = config.with_pc_table_entries(n);
+    }
+    config
+}
+
+/// Runs one popped job to a terminal state.
+fn execute_job(state: &ServerState, id: u64) {
+    // Claim the job: skip if it expired while queued, otherwise mark it
+    // running and snapshot the request (workers never hold the table
+    // lock while simulating).
+    let request = {
+        let mut jobs = state.jobs.lock().expect("job table");
+        let Some(job) = jobs.get_mut(&id) else { return };
+        if job.expire_if_due(Instant::now()) {
+            drop(jobs);
+            state.counters.lock().expect("serve counters").jobs_expired += 1;
+            return;
+        }
+        if job.status != JobStatus::Queued {
+            return;
+        }
+        job.status = JobStatus::Running;
+        job.request.clone()
+    };
+
+    let resolved = match resolve_program(&request) {
+        Ok(r) => r,
+        // Unreachable in practice: submit validated the program. Kept as
+        // a failure path rather than a panic for defense in depth.
+        Err(e) => return finish_job(state, id, Err(e)),
+    };
+
+    // Each cell runs panic-isolated (`jobs = 1` keeps the map inline on
+    // this worker thread — isolation without nested fan-out; job-level
+    // parallelism comes from the worker pool).
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let outcomes = parallel_map_isolated(&request.schemes, 1, |_, &scheme| {
+        let config = cell_config(&request, scheme);
+        let key = cell_key(&resolved.program, &config, scheme, request.seed, request.sampled);
+        match state.cache.get(key) {
+            Some(payload) => Ok((CellResult::new(scheme, true, payload), true)),
+            None => run_cell(&request, &resolved, scheme, &config, key)
+                .map(|payload| {
+                    state.cache.put(key, &payload);
+                    (CellResult::new(scheme, false, payload), false)
+                })
+                .map_err(|e| format!("scheme `{}`: {e}", scheme.key())),
+        }
+    });
+
+    let mut cells = Vec::with_capacity(outcomes.len());
+    let mut failure = None;
+    for (outcome, &scheme) in outcomes.into_iter().zip(&request.schemes) {
+        match outcome {
+            Ok(Ok((cell, was_hit))) => {
+                if was_hit {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                }
+                cells.push(cell);
+            }
+            Ok(Err(e)) => {
+                failure.get_or_insert(e);
+            }
+            Err(panic) => {
+                failure.get_or_insert(format!(
+                    "scheme `{}`: cell panicked: {}",
+                    scheme.key(),
+                    panic.message
+                ));
+            }
+        }
+    }
+
+    {
+        let mut counters = state.counters.lock().expect("serve counters");
+        counters.cache_hits += hits;
+        counters.cache_misses += misses;
+    }
+    match failure {
+        None => finish_job(state, id, Ok(cells)),
+        Some(e) => finish_job(state, id, Err(e)),
+    }
+}
+
+/// Records a job's terminal state and its latency.
+fn finish_job(state: &ServerState, id: u64, outcome: Result<Vec<CellResult>, String>) {
+    let (latency_ms, done) = {
+        let mut jobs = state.jobs.lock().expect("job table");
+        let Some(job) = jobs.get_mut(&id) else { return };
+        let done = match outcome {
+            Ok(cells) => {
+                job.cached = cells.iter().all(|c| c.cached);
+                job.cells = cells;
+                job.status = JobStatus::Done;
+                true
+            }
+            Err(e) => {
+                job.status = JobStatus::Failed;
+                job.error = Some(e);
+                false
+            }
+        };
+        (job.submitted.elapsed().as_millis() as u64, done)
+    };
+    let mut counters = state.counters.lock().expect("serve counters");
+    if done {
+        counters.jobs_done += 1;
+    } else {
+        counters.jobs_failed += 1;
+    }
+    counters.record_latency_ms(latency_ms);
+}
+
+/// Simulates one cache-missing cell and renders its payload.
+fn run_cell(
+    request: &JobRequest,
+    resolved: &ResolvedProgram,
+    scheme: Scheme,
+    config: &SimConfig,
+    key: u64,
+) -> Result<String, String> {
+    match request.sampled {
+        None => {
+            let mut sim = Simulator::new(&resolved.program, config.clone());
+            sim.set_cycle_budget(request.cycle_budget);
+            sim.try_run().map_err(|fault| fault.to_string())?;
+            verify_checksum(resolved, sim.emulator().reg(CHECKSUM_REG))?;
+            Ok(render_payload(request, scheme, key, sim.stats(), None))
+        }
+        Some(units) => {
+            // The cycle-budget watchdog does not reach inside the sampled
+            // runner's windows; its own deadlock detector bounds them.
+            let runner = SampledRunner::new(config.clone(), units).with_seed(request.seed);
+            let outcome = runner.run(&resolved.program).map_err(|fault| fault.to_string())?;
+            verify_checksum(resolved, outcome.emulator.reg(CHECKSUM_REG))?;
+            let estimate = outcome.estimate;
+            // Mirror `run_workload_sampled`: stats carry the summed
+            // measured-window counters, so the digest is comparable with
+            // a direct `hpa bench --sampled` run.
+            let stats = SimStats {
+                committed: estimate.samples.iter().map(|s| s.committed).sum(),
+                cycles: estimate.samples.iter().map(|s| s.cycles).sum(),
+                ..SimStats::default()
+            };
+            Ok(render_payload(request, scheme, key, &stats, Some(&estimate)))
+        }
+    }
+}
+
+fn verify_checksum(resolved: &ResolvedProgram, actual: u64) -> Result<(), String> {
+    match resolved.checksum {
+        Some(expected) if actual != expected => {
+            Err(format!("checksum mismatch: got {actual:#x}, expected {expected:#x}"))
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Renders one cell's canonical payload — the unit of cache storage.
+/// Deterministic by construction: every field is derived from the
+/// deterministic simulation, floats use Rust's shortest round-trip
+/// formatting, and field order is fixed.
+fn render_payload(
+    request: &JobRequest,
+    scheme: Scheme,
+    key: u64,
+    stats: &SimStats,
+    sampled: Option<&SampledEstimate>,
+) -> String {
+    let mut out = String::with_capacity(768);
+    out.push('{');
+    match &request.program {
+        JobProgram::Workload { name, scale } => {
+            out.push_str("\"workload\":\"");
+            escape_into(&mut out, name);
+            let _ = write!(out, "\",\"scale\":\"{}\"", scale.key());
+        }
+        JobProgram::Source(_) => out.push_str("\"program\":\"source\""),
+    }
+    let _ = write!(
+        out,
+        ",\"scheme\":\"{}\",\"width\":{},\"seed\":{}",
+        scheme.key(),
+        request.width.base_config().width,
+        request.seed
+    );
+    match request.sampled {
+        None => out.push_str(",\"mode\":\"full\""),
+        Some(units) => {
+            let _ = write!(out, ",\"mode\":\"sampled:{units}\"");
+        }
+    }
+    let _ = write!(
+        out,
+        ",\"cache_key\":\"{}\",\"stats_digest\":\"{}\"",
+        format_hex(key),
+        format_hex(debug_digest(stats))
+    );
+    let ipc = sampled.map_or_else(|| stats.ipc(), |e| e.mean_ipc);
+    let _ =
+        write!(out, ",\"ipc\":{ipc},\"cycles\":{},\"committed\":{}", stats.cycles, stats.committed);
+    if let Some(e) = sampled {
+        let _ = write!(
+            out,
+            ",\"sampled\":{{\"mean_ipc\":{},\"ci_half_width\":{},\"samples\":{},\
+             \"detailed_insts\":{},\"total_insts\":{}}}",
+            e.mean_ipc,
+            e.ci_half_width,
+            e.samples.len(),
+            e.detailed_insts,
+            e.total_insts
+        );
+    }
+    let _ = write!(out, ",\"stats\":{}", stats.to_json());
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpa_workloads::Scale;
+
+    fn tiny_request() -> JobRequest {
+        JobRequest::workload("gcc", Scale::Tiny, Scheme::Base)
+    }
+
+    #[test]
+    fn payload_is_valid_json_with_exact_digest() {
+        let request = tiny_request();
+        let resolved = resolve_program(&request).unwrap();
+        let config = cell_config(&request, Scheme::Base);
+        let key = cell_key(&resolved.program, &config, Scheme::Base, 0, None);
+        let payload = run_cell(&request, &resolved, Scheme::Base, &config, key).unwrap();
+        let v = hpa_obs::json::parse(&payload).expect("valid JSON");
+        assert_eq!(v.get("workload").and_then(|x| x.as_str()), Some("gcc"));
+        assert_eq!(v.get("mode").and_then(|x| x.as_str()), Some("full"));
+        let cell = CellResult::new(Scheme::Base, false, payload);
+        assert_eq!(cell.cache_key(), Some(key));
+        // The payload digest equals a from-scratch run's stats digest.
+        let mut sim = Simulator::new(&resolved.program, config);
+        sim.try_run().unwrap();
+        assert_eq!(cell.stats_digest(), Some(debug_digest(sim.stats())));
+        assert!(cell.ipc().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn run_cell_is_deterministic() {
+        let request = tiny_request();
+        let resolved = resolve_program(&request).unwrap();
+        let config = cell_config(&request, Scheme::Combined);
+        let key = cell_key(&resolved.program, &config, Scheme::Combined, 0, None);
+        let a = run_cell(&request, &resolved, Scheme::Combined, &config, key).unwrap();
+        let b = run_cell(&request, &resolved, Scheme::Combined, &config, key).unwrap();
+        assert_eq!(a, b, "payload is byte-identical across runs");
+    }
+
+    #[test]
+    fn tiny_cycle_budget_is_a_structured_failure() {
+        let mut request = tiny_request();
+        request.cycle_budget = 10;
+        let resolved = resolve_program(&request).unwrap();
+        let config = cell_config(&request, Scheme::Base);
+        let e = run_cell(&request, &resolved, Scheme::Base, &config, 0)
+            .expect_err("10 cycles cannot finish gcc");
+        assert!(e.contains("deadlock") || e.contains("budget") || e.contains("cycle"), "{e}");
+    }
+
+    #[test]
+    fn unknown_workload_and_bad_source_fail_resolution() {
+        let mut request = tiny_request();
+        request.program = JobProgram::Workload { name: "nonesuch".into(), scale: Scale::Tiny };
+        assert!(resolve_program(&request).unwrap_err().contains("nonesuch"));
+        request.program = JobProgram::Source("this is not assembly !!".into());
+        assert!(resolve_program(&request).unwrap_err().contains("assembly"));
+    }
+
+    #[test]
+    fn source_programs_run_without_a_checksum_oracle() {
+        let mut request = tiny_request();
+        request.program = JobProgram::Source(
+            "li r1, #5\nloop:\n  add r2, #1, r2\n  sub r1, #1, r1\n  bgt r1, loop\n  halt\n"
+                .to_string(),
+        );
+        let resolved = resolve_program(&request).expect("valid source");
+        assert_eq!(resolved.checksum, None);
+        let config = cell_config(&request, Scheme::Base);
+        let key = cell_key(&resolved.program, &config, Scheme::Base, 0, None);
+        let payload = run_cell(&request, &resolved, Scheme::Base, &config, key).unwrap();
+        let v = hpa_obs::json::parse(&payload).unwrap();
+        assert_eq!(v.get("program").and_then(|x| x.as_str()), Some("source"));
+        assert!(v.get("cycles").and_then(|x| x.as_u64()).unwrap() > 0);
+    }
+}

@@ -200,6 +200,54 @@ impl SimStats {
             self.wakeup_slack[0] as f64 / total as f64
         }
     }
+
+    /// Renders the headline counters as a compact JSON object (used by
+    /// the serve-layer result payload and `hpa sim --json`). All-numeric,
+    /// deterministic field order; integers are emitted as integers so a
+    /// `u64` survives a parse round-trip exactly.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(512);
+        let _ = write!(
+            out,
+            "{{\"cycles\":{},\"committed\":{},\"fetched\":{},\"ipc\":{}",
+            self.cycles,
+            self.committed,
+            self.fetched,
+            self.ipc()
+        );
+        let _ = write!(
+            out,
+            ",\"branches\":{},\"branch_mispredicts\":{}",
+            self.branches, self.branch_mispredicts
+        );
+        let _ = write!(
+            out,
+            ",\"load_miss_replays\":{},\"replayed_insts\":{}",
+            self.load_miss_replays, self.replayed_insts
+        );
+        let _ = write!(
+            out,
+            ",\"seq_wakeup_slow_last\":{},\"simultaneous_wakeups\":{},\"te_misfires\":{}",
+            self.seq_wakeup_slow_last, self.simultaneous_wakeups, self.te_misfires
+        );
+        let _ = write!(
+            out,
+            ",\"seq_rf_accesses\":{},\"crossbar_deferrals\":{}",
+            self.seq_rf_accesses, self.crossbar_deferrals
+        );
+        let _ = write!(out, ",\"window_occupancy_sum\":{}", self.window_occupancy_sum);
+        out.push_str(",\"issue_histogram\":[");
+        for (k, n) in self.issue_histogram.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{n}");
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +295,27 @@ mod tests {
         assert_eq!(s.issue_histogram.as_ptr(), ptr, "no reallocation");
         assert_eq!(s.issue_histogram, vec![0; 5], "zeroed, same length");
         assert_eq!(s, SimStats { issue_histogram: vec![0; 5], ..SimStats::default() });
+    }
+
+    #[test]
+    fn to_json_is_valid_and_exact() {
+        let s = SimStats {
+            cycles: 3,
+            committed: 6,
+            fetched: 7,
+            branches: 2,
+            branch_mispredicts: 1,
+            window_occupancy_sum: u64::MAX,
+            issue_histogram: vec![1, 0, 2],
+            ..SimStats::default()
+        };
+        let v = hpa_obs::json::parse(&s.to_json()).expect("valid JSON");
+        assert_eq!(v.get("cycles").and_then(|x| x.as_u64()), Some(3));
+        assert_eq!(v.get("ipc").and_then(|x| x.as_f64()), Some(2.0));
+        // u64 values above 2^53 survive exactly (numbers keep source text).
+        assert_eq!(v.get("window_occupancy_sum").and_then(|x| x.as_u64()), Some(u64::MAX));
+        let hist = v.get("issue_histogram").and_then(|x| x.as_arr()).expect("array");
+        assert_eq!(hist.iter().map(|x| x.as_u64().unwrap()).collect::<Vec<_>>(), vec![1, 0, 2]);
     }
 
     #[test]

@@ -78,6 +78,9 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// Every scale, smallest first.
+    pub const ALL: [Scale; 4] = [Scale::Tiny, Scale::Default, Scale::Large, Scale::Long];
+
     /// A kernel-specific iteration multiplier: 1 for [`Scale::Tiny`],
     /// `default_factor` for [`Scale::Default`], 8x that for
     /// [`Scale::Large`] and 32x for [`Scale::Long`].
@@ -89,6 +92,23 @@ impl Scale {
             Scale::Large => default_factor * 8,
             Scale::Long => default_factor * 32,
         }
+    }
+
+    /// The stable CLI/wire key (`--scale <key>`).
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Default => "default",
+            Scale::Large => "large",
+            Scale::Long => "long",
+        }
+    }
+
+    /// Parses a key produced by [`Scale::key`].
+    #[must_use]
+    pub fn from_key(key: &str) -> Option<Scale> {
+        Scale::ALL.into_iter().find(|s| s.key() == key)
     }
 }
 
@@ -221,5 +241,13 @@ mod tests {
         assert_eq!(Scale::Default.factor(10), 10);
         assert_eq!(Scale::Large.factor(10), 80);
         assert_eq!(Scale::Long.factor(10), 320);
+    }
+
+    #[test]
+    fn scale_keys_round_trip() {
+        for s in Scale::ALL {
+            assert_eq!(Scale::from_key(s.key()), Some(s));
+        }
+        assert_eq!(Scale::from_key("huge"), None);
     }
 }

@@ -9,20 +9,10 @@
 //! cargo run --release --example golden_stats_digest
 //! ```
 
+use half_price::obs::digest::debug_digest as digest;
 use half_price::sim::SampleUnits;
 use half_price::workloads::Scale;
 use half_price::{run_workload, run_workload_observed, run_workload_sampled, MachineWidth, Scheme};
-
-/// FNV-1a over the debug formatting of a value.
-fn digest(s: &impl std::fmt::Debug) -> u64 {
-    let text = format!("{s:?}");
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in text.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 /// Schemes whose observability registry is pinned (kept in sync with
 /// `COUNTER_GOLDEN` in `tests/stats_golden.rs`).

@@ -1,23 +1,8 @@
 //! `hpa` — command-line front end for the Half-Price Architecture
-//! reproduction: assemble, emulate and simulate programs, and run the
-//! built-in benchmarks.
-//!
-//! ```text
-//! hpa list                               # workloads and schemes
-//! hpa asm prog.s                         # assemble + disassemble
-//! hpa run prog.s [--insts N]             # functional execution, dump registers
-//! hpa sim prog.s [--scheme S] [--width W] [--trace N] [--cpi-stack] [--counters]
-//! hpa sim prog.s --sampled W:D:F [--seed S]   # SMARTS-style sampled timing
-//! hpa bench mcf [--scheme S] [--scale T] # one built-in benchmark
-//! hpa bench mcf --sampled W:D:F          # sampled mode: mean IPC ± 95% CI
-//! hpa bench all --scheme all [--jobs N]  # full sweep, parallel cells
-//! hpa counters <prog.s|bench> [--scheme S] [--json]    # cycle-accounting report
-//! hpa trace-viz prog.s [--out FILE]      # Chrome trace-event JSON export
-//! hpa verify prog.s [--scheme S]         # lockstep-check one program
-//! hpa verify tests/corpus                # replay a reproducer corpus
-//! hpa fuzz [--iters N] [--seed S] [--sampled]  # differential fuzzing campaign
-//! hpa faults [--campaign SPEC] [--seed S] [--jobs N]  # fault-injection campaign
-//! ```
+//! reproduction: assemble, emulate and simulate programs, run the
+//! built-in benchmarks, and serve simulations over HTTP (see the
+//! [`COMMANDS`] table for the full registry, which is also what `hpa`
+//! with no/unknown arguments prints).
 //!
 //! Exit codes: `0` success, `1` operational error (I/O, bad input file),
 //! `2` usage error, `3` a fault/divergence was detected, `4` silent data
@@ -27,40 +12,129 @@ use half_price::asm::parse_program;
 use half_price::emu::Emulator;
 use half_price::faultsim;
 use half_price::isa::Reg;
+use half_price::obs::digest::debug_digest;
+use half_price::sdk::{Client, ClientError};
+use half_price::serve::proto::{JobProgram, JobRequest, JobStatus};
+use half_price::serve::server::{Server, ServerConfig};
 use half_price::sim::{SampleUnits, SampledEstimate, SampledRunner, SimStats, Simulator};
 use half_price::verify;
 use half_price::workloads::{workload, Scale, WORKLOAD_NAMES};
 use half_price::{MachineWidth, Scheme};
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// One CLI subcommand: the single place a command's name, one-line help
+/// and usage synopsis are registered. `main` dispatches from this table
+/// and the global usage text is generated from it, so adding a command
+/// is one entry here plus its handler.
+struct Subcommand {
+    /// The verb (`hpa <name> ...`).
+    name: &'static str,
+    /// One-line description for the command listing.
+    help: &'static str,
+    /// Usage synopsis (flags included).
+    usage: &'static str,
+    /// The handler, taking the arguments after the verb.
+    run: fn(&[String]) -> CliResult,
+}
+
+/// The subcommand registry.
+const COMMANDS: &[Subcommand] = &[
+    Subcommand { name: "list", help: "workloads and schemes", usage: "hpa list", run: cmd_list },
+    Subcommand {
+        name: "asm",
+        help: "assemble + disassemble a program",
+        usage: "hpa asm <file.s>",
+        run: cmd_asm,
+    },
+    Subcommand {
+        name: "run",
+        help: "functional execution, dump registers",
+        usage: "hpa run <file.s> [--insts N]",
+        run: cmd_run,
+    },
+    Subcommand {
+        name: "sim",
+        help: "cycle-level simulation of one program",
+        usage: "hpa sim <file.s> [--scheme S] [--width 4|8] [--trace N] [--cpi-stack] \
+                [--counters] [--json] [--sampled W:D:F [--seed S]]",
+        run: cmd_sim,
+    },
+    Subcommand {
+        name: "bench",
+        help: "built-in benchmarks (sweep with `all`)",
+        usage: "hpa bench <name|all> [--scheme S|all] [--scale tiny|default|large|long] \
+                [--width 4|8] [--jobs N] [--sampled W:D:F [--seed S]]",
+        run: cmd_bench,
+    },
+    Subcommand {
+        name: "counters",
+        help: "cycle-accounting report",
+        usage: "hpa counters <file.s|bench> [--scheme S] [--width 4|8] [--scale K] [--json]",
+        run: cmd_counters,
+    },
+    Subcommand {
+        name: "trace-viz",
+        help: "Chrome trace-event JSON export",
+        usage: "hpa trace-viz <file.s> [--scheme S] [--width 4|8] [--insts N] [--out FILE]",
+        run: cmd_trace_viz,
+    },
+    Subcommand {
+        name: "verify",
+        help: "lockstep-check a program or replay a corpus",
+        usage: "hpa verify <file.s|dir> [--scheme S|all] [--width 4|8]",
+        run: cmd_verify,
+    },
+    Subcommand {
+        name: "fuzz",
+        help: "differential fuzzing campaign",
+        usage: "hpa fuzz [--iters N] [--seed S] [--jobs N] [--corpus DIR] [--sampled]",
+        run: cmd_fuzz,
+    },
+    Subcommand {
+        name: "faults",
+        help: "fault-injection campaign",
+        usage: "hpa faults [--campaign SPEC] [--seed S] [--jobs N] [--out FILE] [--corpus DIR]",
+        run: cmd_faults,
+    },
+    Subcommand {
+        name: "serve",
+        help: "simulation-as-a-service daemon (or --stop one)",
+        usage: "hpa serve [--addr HOST:PORT] [--jobs N] [--cache-dir DIR] [--stop]",
+        run: cmd_serve,
+    },
+    Subcommand {
+        name: "submit",
+        help: "submit a job to a running daemon",
+        usage: "hpa submit <bench|file.s> [--addr HOST:PORT] [--scheme S|all] [--scale K] \
+                [--width 4|8] [--seed N] [--sampled W:D:F] [--deadline-ms N] [--wait-secs N] \
+                [--cycle-budget N] [--json]",
+        run: cmd_submit,
+    },
+];
+
+fn usage_error(unknown: Option<&str>) -> CliError {
+    use std::fmt::Write as _;
+    let mut msg = String::new();
+    if let Some(name) = unknown {
+        let _ = writeln!(msg, "unknown command `{name}`");
+    }
+    let verbs: Vec<&str> = COMMANDS.iter().map(|c| c.name).collect();
+    let _ = write!(msg, "usage: hpa <{}> ...", verbs.join("|"));
+    for c in COMMANDS {
+        let _ = write!(msg, "\n\n  {:10} {}\n             {}", c.name, c.help, c.usage);
+    }
+    CliError::Usage(msg)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
-        Some("list") => list(),
-        Some("asm") => cmd_asm(&args[1..]),
-        Some("run") => cmd_run(&args[1..]),
-        Some("sim") => cmd_sim(&args[1..]),
-        Some("bench") => cmd_bench(&args[1..]),
-        Some("counters") => cmd_counters(&args[1..]),
-        Some("trace-viz") => cmd_trace_viz(&args[1..]),
-        Some("verify") => cmd_verify(&args[1..]),
-        Some("fuzz") => cmd_fuzz(&args[1..]),
-        Some("faults") => cmd_faults(&args[1..]),
-        _ => Err(CliError::Usage(
-            "usage: hpa <list|asm|run|sim|bench|counters|trace-viz|verify|fuzz|faults> ...\n\
-             \n  hpa list\n  hpa asm <file.s>\n  hpa run <file.s> [--insts N]\n  \
-             hpa sim <file.s> [--scheme S] [--width 4|8] [--trace N] [--cpi-stack] \
-             [--counters] [--sampled W:D:F [--seed S]]\n  \
-             hpa bench <name|all> [--scheme S|all] [--scale tiny|default|large|long] \
-             [--width 4|8] [--jobs N] [--sampled W:D:F [--seed S]]\n  \
-             hpa counters <file.s|bench> [--scheme S] [--width 4|8] \
-             [--scale tiny|default|large|long] [--json]\n  \
-             hpa trace-viz <file.s> [--scheme S] [--width 4|8] [--insts N] [--out FILE]\n  \
-             hpa verify <file.s|dir> [--scheme S|all] [--width 4|8]\n  \
-             hpa fuzz [--iters N] [--seed S] [--jobs N] [--corpus DIR] [--sampled]\n  \
-             hpa faults [--campaign SPEC] [--seed S] [--jobs N] [--out FILE] [--corpus DIR]"
-                .to_string(),
-        )),
+        Some(name) => match COMMANDS.iter().find(|c| c.name == name) {
+            Some(cmd) => (cmd.run)(&args[1..]),
+            None => Err(usage_error(Some(name))),
+        },
+        None => Err(usage_error(None)),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -117,7 +191,7 @@ fn other(msg: impl std::fmt::Display) -> CliError {
     CliError::Other(msg.to_string())
 }
 
-fn list() -> CliResult {
+fn cmd_list(_args: &[String]) -> CliResult {
     println!("workloads (SPEC CINT2000 stand-ins):");
     for name in WORKLOAD_NAMES {
         let w = workload(name, Scale::Tiny).expect("known");
@@ -140,7 +214,7 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 
 /// Flags that take no value, so the positional-argument scan must not
 /// treat their successor as a flag value.
-const BOOL_FLAGS: [&str; 3] = ["--cpi-stack", "--counters", "--json"];
+const BOOL_FLAGS: [&str; 4] = ["--cpi-stack", "--counters", "--json", "--stop"];
 
 fn bool_flag(args: &[String], name: &str) -> bool {
     debug_assert!(BOOL_FLAGS.contains(&name));
@@ -162,6 +236,14 @@ fn jobs_flag(args: &[String]) -> Result<usize, CliError> {
         return Err(usage("bad --jobs `0` (want an integer >= 1)"));
     }
     Ok(jobs)
+}
+
+/// Parses `--scale`, defaulting to [`Scale::Default`].
+fn scale_flag(args: &[String]) -> Result<Scale, CliError> {
+    match flag(args, "--scale") {
+        None => Ok(Scale::Default),
+        Some(v) => Scale::from_key(&v).ok_or_else(|| usage(format!("bad --scale {v}"))),
+    }
 }
 
 fn load_program(args: &[String]) -> Result<half_price::asm::Program, CliError> {
@@ -225,6 +307,9 @@ fn print_stats(s: &SimStats) {
         println!("  simultaneous wakeups {:>9}", s.simultaneous_wakeups);
         println!("  TE misfires          {:>9}", s.te_misfires);
     }
+    // The same digest the serve payloads carry, so a direct run and a
+    // daemon result can be compared by grepping one line each.
+    println!("stats digest      {}", half_price::serve::proto::format_hex(debug_digest(s)));
 }
 
 /// Parses `--sampled W:D:F` (plus the optional `--seed`); `None` when the
@@ -260,8 +345,11 @@ fn cmd_sim(args: &[String]) -> CliResult {
     let want_cpi = bool_flag(args, "--cpi-stack");
     let want_counters = bool_flag(args, "--counters");
     if let Some((units, seed)) = sampled_flag(args)? {
-        if want_cpi || want_counters || num_flag::<usize>(args, "--trace", 0)? > 0 {
-            return Err(usage("--sampled is incompatible with --trace/--cpi-stack/--counters"));
+        if want_cpi || want_counters || bool_flag(args, "--json") {
+            return Err(usage("--sampled is incompatible with --json/--cpi-stack/--counters"));
+        }
+        if num_flag::<usize>(args, "--trace", 0)? > 0 {
+            return Err(usage("--sampled is incompatible with --trace"));
         }
         let runner = SampledRunner::new(scheme.configure(width), units).with_seed(seed);
         let out = runner.run(&program).map_err(|e| CliError::Fault(e.to_string()))?;
@@ -282,6 +370,10 @@ fn cmd_sim(args: &[String]) -> CliResult {
         sim.enable_counters();
     }
     sim.run();
+    if bool_flag(args, "--json") {
+        println!("{}", sim.stats().to_json());
+        return Ok(());
+    }
     println!("{} on the {} machine:", scheme.label(), width.label());
     print_stats(sim.stats());
     if want_cpi {
@@ -344,13 +436,7 @@ fn cmd_counters(args: &[String]) -> CliResult {
         sim.run();
         (sim.counters().clone(), sim.stats().clone())
     } else {
-        let scale = match flag(args, "--scale").as_deref() {
-            Some("tiny") => Scale::Tiny,
-            None | Some("default") => Scale::Default,
-            Some("large") => Scale::Large,
-            Some("long") => Scale::Long,
-            Some(o) => return Err(usage(format!("bad --scale {o}"))),
-        };
+        let scale = scale_flag(args)?;
         let r = half_price::run_workload_observed(target, scale, width, scheme, true)
             .map_err(|e| usage(format!("`{target}` is neither a file nor a benchmark: {e}")))?;
         (r.counters.expect("observed run records counters"), r.stats)
@@ -402,13 +488,7 @@ fn cmd_bench(args: &[String]) -> CliResult {
         .iter()
         .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
         .ok_or_else(|| usage("missing benchmark name; see `hpa list`"))?;
-    let scale = match flag(args, "--scale").as_deref() {
-        Some("tiny") => Scale::Tiny,
-        None | Some("default") => Scale::Default,
-        Some("large") => Scale::Large,
-        Some("long") => Scale::Long,
-        Some(o) => return Err(usage(format!("bad --scale {o}"))),
-    };
+    let scale = scale_flag(args)?;
     let width = machine_width(args)?;
     let jobs = jobs_flag(args)?;
     let scheme_key = flag(args, "--scheme").unwrap_or_else(|| "base".into());
@@ -642,4 +722,129 @@ fn bench_matrix_schemes(
         }
     }
     Ok(())
+}
+
+/// Runs the simulation-as-a-service daemon (or, with `--stop`, asks a
+/// running one to shut down gracefully). Blocks until drained.
+fn cmd_serve(args: &[String]) -> CliResult {
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".into());
+    if bool_flag(args, "--stop") {
+        Client::new(addr.clone()).shutdown().map_err(other)?;
+        println!("shutdown requested; {addr} is draining");
+        return Ok(());
+    }
+    let workers = num_flag(args, "--jobs", half_price::default_jobs().min(4))?;
+    if workers == 0 {
+        return Err(usage("bad --jobs `0` (want an integer >= 1)"));
+    }
+    let cache_dir = flag(args, "--cache-dir").map(std::path::PathBuf::from);
+    let cache_desc =
+        cache_dir.as_ref().map_or_else(|| "memory only".to_string(), |d| d.display().to_string());
+    let server = Server::bind(ServerConfig { addr, workers, cache_dir }).map_err(other)?;
+    let local = server.local_addr().map_err(other)?;
+    // The `listening on` line is the contract `tools/check.sh` parses to
+    // discover the bound port; keep it first and stable.
+    println!("hpa serve listening on {local} ({workers} worker(s), cache: {cache_desc})");
+    server.run().map_err(other)
+}
+
+/// Maps a client-side failure onto the CLI exit-code scheme: rejected
+/// requests are usage errors, everything else is operational.
+fn client_err(e: ClientError) -> CliError {
+    match e {
+        ClientError::Server { status: 400, message } => usage(message),
+        e => other(e),
+    }
+}
+
+/// Submits one job to a running daemon and waits for its results.
+fn cmd_submit(args: &[String]) -> CliResult {
+    let target = args
+        .iter()
+        .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
+        .ok_or_else(|| usage("missing benchmark name or program file; see `hpa list`"))?;
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".into());
+    let scheme_key = flag(args, "--scheme").unwrap_or_else(|| "base".into());
+    let schemes =
+        if scheme_key == "all" { Scheme::ALL.to_vec() } else { vec![parse_scheme(&scheme_key)?] };
+    let scale = scale_flag(args)?;
+    let program = if std::path::Path::new(target).is_file() {
+        let source =
+            std::fs::read_to_string(target).map_err(|e| other(format_args!("{target}: {e}")))?;
+        // Assemble locally first so syntax errors surface with the usual
+        // message instead of a daemon-side 400.
+        parse_program(&source).map_err(|e| other(format_args!("{target}: {e}")))?;
+        JobProgram::Source(source)
+    } else {
+        JobProgram::Workload { name: target.clone(), scale }
+    };
+    let sampled = match flag(args, "--sampled") {
+        None => None,
+        Some(v) => Some(SampleUnits::parse(&v).map_err(usage)?),
+    };
+    let request = JobRequest {
+        program,
+        width: machine_width(args)?,
+        schemes,
+        seed: num_flag(args, "--seed", 0)?,
+        sampled,
+        deadline_ms: match flag(args, "--deadline-ms") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| usage(format!("bad --deadline-ms `{v}` (want an integer)")))?,
+            ),
+        },
+        cycle_budget: num_flag(
+            args,
+            "--cycle-budget",
+            half_price::serve::proto::DEFAULT_CYCLE_BUDGET,
+        )?,
+        pc_table_entries: None,
+    };
+
+    let client = Client::new(addr);
+    let submit = client.submit(&request).map_err(client_err)?;
+    let result = if submit.status.is_terminal() {
+        client.result(submit.job_id).map_err(client_err)?
+    } else {
+        let timeout = Duration::from_secs(num_flag(args, "--wait-secs", 600)?);
+        client.wait(submit.job_id, timeout).map_err(client_err)?
+    };
+
+    if bool_flag(args, "--json") {
+        println!("{}", result.to_json());
+    } else {
+        println!("job {} {} (cached: {})", result.job_id, result.status.key(), result.cached);
+        for cell in &result.cells {
+            let scheme = cell.scheme;
+            println!("`{target}` under {} (cached: {}):", scheme.label(), cell.cached);
+            if let Some(p) = cell.payload() {
+                if let Some(ipc) = cell.ipc() {
+                    println!("  ipc               {ipc:>12.3}");
+                }
+                for field in ["cycles", "committed"] {
+                    if let Some(v) = p.get(field).and_then(half_price::obs::json::Json::as_u64) {
+                        println!("  {field:<17} {v:>12}");
+                    }
+                }
+                if let Some(d) = p.get("stats_digest").and_then(half_price::obs::json::Json::as_str)
+                {
+                    println!("  stats digest    {d:>14}");
+                }
+            }
+        }
+    }
+    match result.status {
+        JobStatus::Done => Ok(()),
+        JobStatus::Failed => {
+            Err(CliError::Fault(result.error.unwrap_or_else(|| "job failed".to_string())))
+        }
+        JobStatus::Expired => Err(other(format_args!(
+            "job {} expired: {}",
+            result.job_id,
+            result.error.as_deref().unwrap_or("deadline passed while queued")
+        ))),
+        s => Err(other(format_args!("job {} still {}", result.job_id, s.key()))),
+    }
 }

@@ -22,4 +22,6 @@
 
 pub use hpa_core::*;
 pub use hpa_faultsim as faultsim;
+pub use hpa_sdk as sdk;
+pub use hpa_serve as serve;
 pub use hpa_verify as verify;

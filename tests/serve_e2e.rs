@@ -1,0 +1,141 @@
+//! End-to-end job lifecycle through a real daemon: an in-process
+//! [`Server`] bound to an ephemeral port, driven over actual TCP by the
+//! [`hpa_sdk`] client — the same wire path `hpa serve` / `hpa submit`
+//! exercise, minus the process boundary.
+
+use half_price::obs::digest::debug_digest;
+use half_price::sdk::Client;
+use half_price::serve::proto::{JobProgram, JobRequest, JobStatus};
+use half_price::serve::server::{Server, ServerConfig};
+use half_price::workloads::Scale;
+use half_price::{MachineWidth, Scheme};
+use std::io;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Binds a daemon on an ephemeral port and runs it on its own thread;
+/// returns a client for it plus the join handle (`run` returns once a
+/// `/shutdown` drains it).
+fn start_server(workers: usize) -> (Client, JoinHandle<io::Result<()>>) {
+    let server =
+        Server::bind(ServerConfig { addr: "127.0.0.1:0".to_string(), workers, cache_dir: None })
+            .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound socket has an address").to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (Client::new(addr), handle)
+}
+
+const WAIT: Duration = Duration::from_secs(120);
+
+#[test]
+fn duplicate_job_is_served_from_cache_bit_identically() {
+    let (client, handle) = start_server(2);
+
+    let request = JobRequest::workload("gcc", Scale::Tiny, Scheme::Base);
+    let first = client.submit(&request).expect("first submit");
+    assert!(!first.cached, "an empty cache cannot hit");
+    let first = client.wait(first.job_id, WAIT).expect("first result");
+    assert_eq!(first.status, JobStatus::Done);
+    assert_eq!(first.cells.len(), 1);
+    assert!(!first.cells[0].cached);
+
+    // Identical request: the submit fast-path finds every cell cached and
+    // completes the job without ever queueing it.
+    let second = client.submit(&request).expect("second submit");
+    assert_eq!(second.status, JobStatus::Done, "full cache hit completes at submit");
+    assert!(second.cached);
+    let second = client.result(second.job_id).expect("second result");
+    assert!(second.cached && second.cells[0].cached);
+
+    // The cached cell is bit-identical to the originally rendered one.
+    assert_eq!(first.cells[0].payload_json(), second.cells[0].payload_json());
+
+    // And the payload's digest is the digest of a direct in-process run —
+    // the daemon adds transport, not noise.
+    let direct = half_price::run_workload("gcc", Scale::Tiny, MachineWidth::Four, Scheme::Base)
+        .expect("direct run");
+    assert_eq!(first.cells[0].stats_digest(), Some(debug_digest(&direct.stats)));
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn zero_deadline_expires_instead_of_running() {
+    let (client, handle) = start_server(1);
+
+    let mut request = JobRequest::workload("mcf", Scale::Tiny, Scheme::Base);
+    request.seed = 0xdead; // unique: must miss the cache, or it never queues
+    request.deadline_ms = Some(0);
+    let submit = client.submit(&request).expect("submit");
+    assert_eq!(submit.status, JobStatus::Queued);
+    let result = client.wait(submit.job_id, WAIT).expect("result");
+    assert_eq!(result.status, JobStatus::Expired);
+    assert!(result.cells.is_empty(), "an expired job never produced cells");
+    assert!(result.error.is_some());
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn planted_panic_fails_the_job_but_not_the_server() {
+    let (client, handle) = start_server(1);
+
+    // A non-power-of-two PC table panics the simulator constructor; the
+    // catch_unwind isolation must turn that into a `failed` job.
+    let mut request = JobRequest::workload("gcc", Scale::Tiny, Scheme::Base);
+    request.pc_table_entries = Some(3);
+    let submit = client.submit(&request).expect("submit");
+    let result = client.wait(submit.job_id, WAIT).expect("result");
+    assert_eq!(result.status, JobStatus::Failed);
+    let error = result.error.expect("failed jobs carry an error");
+    assert!(error.contains("panicked"), "unexpected error: {error}");
+
+    // The worker survived: the same server still executes jobs.
+    let ok = client
+        .submit(&JobRequest::workload("gcc", Scale::Tiny, Scheme::Base))
+        .expect("post-panic submit");
+    let ok = client.wait(ok.job_id, WAIT).expect("post-panic result");
+    assert_eq!(ok.status, JobStatus::Done);
+
+    let health = client.health().expect("health");
+    assert_eq!(
+        health.get("counters").and_then(|c| c.get("jobs_failed")).and_then(|v| v.as_u64()),
+        Some(1)
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn source_programs_run_end_to_end() {
+    let (client, handle) = start_server(1);
+
+    let request = JobRequest {
+        program: JobProgram::Source(
+            "li r1, #5\nloop:\n  add r2, #1, r2\n  sub r1, #1, r1\n  bgt r1, loop\n  halt\n"
+                .to_string(),
+        ),
+        width: MachineWidth::Four,
+        schemes: vec![Scheme::Base, Scheme::Combined],
+        seed: 0,
+        sampled: None,
+        deadline_ms: None,
+        cycle_budget: half_price::serve::proto::DEFAULT_CYCLE_BUDGET,
+        pc_table_entries: None,
+    };
+    let submit = client.submit(&request).expect("submit");
+    let result = client.wait(submit.job_id, WAIT).expect("result");
+    assert_eq!(result.status, JobStatus::Done);
+    assert_eq!(result.cells.len(), 2, "one cell per requested scheme");
+    assert_eq!(result.cells[0].scheme, Scheme::Base);
+    assert_eq!(result.cells[1].scheme, Scheme::Combined);
+    for cell in &result.cells {
+        assert!(cell.ipc().is_some_and(|ipc| ipc > 0.0));
+    }
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+}

@@ -9,21 +9,10 @@
 //! Regenerate (only after an *intentional* timing change) with
 //! `cargo run --release --example golden_stats_digest`.
 
+use half_price::obs::digest::debug_digest as digest;
 use half_price::sim::SampleUnits;
 use half_price::workloads::Scale;
 use half_price::{run_workload, run_workload_observed, run_workload_sampled, MachineWidth, Scheme};
-
-/// FNV-1a over the debug formatting of a value (kept in sync with
-/// `examples/golden_stats_digest.rs`).
-fn digest(s: &impl std::fmt::Debug) -> u64 {
-    let text = format!("{s:?}");
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in text.bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
 
 const GOLDEN: [(&str, Scheme, u64); 24] = [
     ("gap", Scheme::Base, 0xb63cdac63665bc31),

@@ -64,6 +64,53 @@ if [ -z "$total" ] || [ "$total" -eq 0 ]; then
 fi
 echo "hpa counters --json: $total issue slots attributed"
 
+echo "== serve smoke =="
+# Simulation-as-a-service gate, end to end through real processes: start
+# the daemon on an ephemeral port, submit the same tiny workload twice,
+# and require (a) the resubmission is served from the content-addressed
+# result cache, (b) both payloads carry the exact stats digest a direct
+# in-process run prints, and (c) `serve --stop` drains the daemon to a
+# clean exit 0.
+serve_log="$(mktemp /tmp/hpa-serve-smoke.XXXXXX.log)"
+serve_cache="$(mktemp -d /tmp/hpa-serve-smoke-cache.XXXXXX)"
+cargo run --release -q --bin hpa -- serve --addr 127.0.0.1:0 --cache-dir "$serve_cache" \
+  > "$serve_log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  grep -q 'listening on' "$serve_log" 2>/dev/null && break
+  sleep 0.1
+done
+serve_addr="$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$serve_log" | head -1)"
+if [ -z "$serve_addr" ]; then
+  echo "ERROR: hpa serve did not come up:" >&2
+  cat "$serve_log" >&2
+  kill "$serve_pid" 2>/dev/null || true
+  exit 1
+fi
+first="$(cargo run --release -q --bin hpa -- submit gcc --scale tiny --addr "$serve_addr" --json)"
+second="$(cargo run --release -q --bin hpa -- submit gcc --scale tiny --addr "$serve_addr" --json)"
+if [ "$(json_scalar "$first" cached)" != "false" ]; then
+  echo "ERROR: first submission reported a cache hit on an empty cache: $first" >&2
+  exit 1
+fi
+if [ "$(json_scalar "$second" cached)" != "true" ]; then
+  echo "ERROR: resubmission was not served from the result cache: $second" >&2
+  exit 1
+fi
+first_digest="$(json_scalar "$first" stats_digest)"
+second_digest="$(json_scalar "$second" stats_digest)"
+direct_digest="$(cargo run --release -q --bin hpa -- bench gcc --scale tiny |
+  awk '/^stats digest/ {print $3}')"
+if [ -z "$first_digest" ] || [ "$first_digest" != "$direct_digest" ] ||
+   [ "$second_digest" != "$direct_digest" ]; then
+  echo "ERROR: daemon stats digests ($first_digest, $second_digest) != direct run ($direct_digest)" >&2
+  exit 1
+fi
+cargo run --release -q --bin hpa -- serve --stop --addr "$serve_addr"
+wait "$serve_pid"
+rm -rf "$serve_cache"
+echo "hpa serve: cache hit on resubmission, digest $direct_digest matches direct run, clean shutdown"
+
 echo "== sampled-accuracy check (non-fatal) =="
 # SMARTS-style sampling vs full detailed simulation on two workloads at
 # the default scale, fixed seed. Non-fatal: sampling only warms branch

@@ -32,6 +32,18 @@ phase_ns_per_cycle() {
     awk '!seen[$1]++'
 }
 
+# Prints the value of the FIRST `"key":<scalar>` pair in the JSON text
+# `$1` (key in `$2`): strings are unquoted, numbers/booleans print as-is,
+# and a missing key prints nothing. Scalar fields only — values holding
+# `,`, `}` or escaped quotes are out of scope (the serve wire format
+# keeps its greppable fields — status, cached, digests — scalar).
+json_scalar() {
+  printf '%s' "$1" |
+    grep -o "\"$2\": *\(\"[^\"]*\"\|[^,}]*\)" |
+    head -1 |
+    sed 's/^"[^"]*": *//; s/ *$//; s/^"//; s/"$//'
+}
+
 # Like-for-like per-phase comparison of two perf_smoke JSONs
 # (`$1` = fresh, `$2` = baseline). For every phase present in both,
 # prints `<phase> <fresh> <baseline> <ratio>` (ratio > 1 means the fresh

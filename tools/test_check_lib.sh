@@ -60,6 +60,17 @@ expect "worst regression first" \
   "$(phase_regressions "$tmp/fresh.json" "$tmp/base.json" | awk '{print $1, $4}' | tr '\n' ';')" \
   "select 1.500;wakeup 1.000;"
 
+# json_scalar pulls scalar fields out of serve/submit wire JSON: strings
+# unquoted, numbers and booleans verbatim, first occurrence winning, and
+# nothing for absent keys.
+wire='{"job_id":7,"status":"done","cached":true,"cells":[{"scheme":"base","cached":false,"result":{"stats_digest":"0x432788c91a33cfe9","ipc":0.866}}]}'
+expect "json string" "$(json_scalar "$wire" status)" "done"
+expect "json bool (first wins)" "$(json_scalar "$wire" cached)" "true"
+expect "json number" "$(json_scalar "$wire" job_id)" "7"
+expect "json hex string" "$(json_scalar "$wire" stats_digest)" "0x432788c91a33cfe9"
+expect "json missing key" "$(json_scalar "$wire" nonesuch)" ""
+expect "json spaced colon" "$(json_scalar '{ "a": 3.5 }' a)" "3.5"
+
 # A pre-v4 baseline (no phase keys) yields no comparison rather than junk.
 cat > "$tmp/old.json" <<'EOF'
 { "aggregate_mcycles_per_sec": 4.01 }
