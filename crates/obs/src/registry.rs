@@ -223,17 +223,38 @@ pub struct ServeCounters {
     pub jobs_failed: u64,
     /// Jobs that reached `expired`.
     pub jobs_expired: u64,
+    /// Submissions bounced by admission control (`--max-queue`) with 429.
+    pub jobs_rejected: u64,
+    /// Result-cache entries evicted by the entry/byte bounds.
+    pub cache_evictions: u64,
+    /// Corrupt/truncated journal records skipped during startup replay.
+    pub journal_records_skipped: u64,
+    /// Incomplete journaled jobs re-enqueued during startup replay.
+    pub journal_jobs_requeued: u64,
+    /// Terminal journaled jobs rehydrated into the table during replay.
+    pub journal_jobs_rehydrated: u64,
     /// Queue depth observed at each submission (pressure distribution).
     pub queue_depth: Histogram,
     /// Submit-to-terminal-state latency per job, as `log2(1 + ms)` — the
     /// 16 buckets then span 1 ms to ~9 hours.
     pub job_latency_log2_ms: Histogram,
+    /// Exact sum of per-job latencies, so `retry_after_ms` hints can use
+    /// a true mean rather than a log-bucket approximation.
+    pub latency_ms_total: u64,
 }
 
 impl ServeCounters {
     /// Records a finished job's submit-to-terminal latency.
     pub fn record_latency_ms(&mut self, ms: u64) {
         self.job_latency_log2_ms.record(u64::from(64 - (ms + 1).leading_zeros() - 1));
+        self.latency_ms_total = self.latency_ms_total.saturating_add(ms);
+    }
+
+    /// Mean observed job latency in ms (`None` before any job finishes).
+    #[must_use]
+    pub fn mean_latency_ms(&self) -> Option<u64> {
+        let n = self.job_latency_log2_ms.samples();
+        (n > 0).then(|| self.latency_ms_total / n)
     }
 
     /// Cache hit rate in `[0, 1]` (`0.0` before any lookup).
@@ -264,6 +285,18 @@ impl ServeCounters {
         let _ = write!(out, "{}", self.jobs_failed);
         out.push_str(",\"jobs_expired\":");
         let _ = write!(out, "{}", self.jobs_expired);
+        out.push_str(",\"jobs_rejected\":");
+        let _ = write!(out, "{}", self.jobs_rejected);
+        out.push_str(",\"cache_evictions\":");
+        let _ = write!(out, "{}", self.cache_evictions);
+        out.push_str(",\"journal_records_skipped\":");
+        let _ = write!(out, "{}", self.journal_records_skipped);
+        out.push_str(",\"journal_jobs_requeued\":");
+        let _ = write!(out, "{}", self.journal_jobs_requeued);
+        out.push_str(",\"journal_jobs_rehydrated\":");
+        let _ = write!(out, "{}", self.journal_jobs_rehydrated);
+        out.push_str(",\"mean_latency_ms\":");
+        let _ = write!(out, "{}", self.mean_latency_ms().unwrap_or(0));
         out.push_str(",\"queue_depth\":");
         self.queue_depth.json_into(&mut out);
         out.push_str(",\"queue_depth_mean\":");
@@ -286,8 +319,14 @@ impl fmt::Display for ServeCounters {
         )?;
         writeln!(
             f,
-            "jobs:  {} done, {} failed, {} expired",
-            self.jobs_done, self.jobs_failed, self.jobs_expired
+            "jobs:  {} done, {} failed, {} expired, {} rejected",
+            self.jobs_done, self.jobs_failed, self.jobs_expired, self.jobs_rejected
+        )?;
+        writeln!(f, "cache evictions:        {}", self.cache_evictions)?;
+        writeln!(
+            f,
+            "journal replay:         {} requeued, {} rehydrated, {} skipped",
+            self.journal_jobs_requeued, self.journal_jobs_rehydrated, self.journal_records_skipped
         )?;
         writeln!(
             f,
@@ -383,5 +422,17 @@ mod tests {
         assert!(j.contains("\"serve_cache_misses\":1"), "{j}");
         assert!(j.contains("\"jobs_done\":4"), "{j}");
         assert!(j.contains("\"queue_depth_mean\":2.0000"), "{j}");
+        assert!(j.contains("\"jobs_rejected\":0"), "{j}");
+        assert!(j.contains("\"journal_records_skipped\":0"), "{j}");
+    }
+
+    #[test]
+    fn serve_counters_mean_latency_is_exact_not_bucketed() {
+        let mut s = ServeCounters::default();
+        assert_eq!(s.mean_latency_ms(), None, "no samples yet");
+        s.record_latency_ms(100);
+        s.record_latency_ms(300);
+        assert_eq!(s.mean_latency_ms(), Some(200));
+        assert!(s.to_json().contains("\"mean_latency_ms\":200"));
     }
 }

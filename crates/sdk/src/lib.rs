@@ -28,9 +28,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use hpa_obs::digest::fnv1a;
 use hpa_obs::json::Json;
 use hpa_serve::http::{self, Request, Response};
 use hpa_serve::proto::{JobRequest, ResultResponse, StatusResponse, SubmitResponse};
+use hpa_workloads::SplitMix64;
 use std::fmt;
 use std::io::BufReader;
 use std::net::TcpStream;
@@ -50,6 +52,9 @@ pub enum ClientError {
         status: u16,
         /// The decoded error message.
         message: String,
+        /// The server's backoff hint, when it sent one (429 bodies
+        /// carry `retry_after_ms` derived from observed job latency).
+        retry_after_ms: Option<u64>,
     },
     /// [`Client::wait`] ran out of time before the job reached a
     /// terminal state.
@@ -59,6 +64,14 @@ pub enum ClientError {
         /// How long the wait lasted.
         waited: Duration,
     },
+    /// Every retry attempt failed. Wraps the final error and surfaces
+    /// how many attempts the client made before giving up.
+    Exhausted {
+        /// Total attempts made (initial call + retries).
+        attempts: u32,
+        /// The last attempt's error.
+        last: Box<ClientError>,
+    },
 }
 
 impl fmt::Display for ClientError {
@@ -66,12 +79,32 @@ impl fmt::Display for ClientError {
         match self {
             ClientError::Io(e) => write!(f, "i/o: {e}"),
             ClientError::Protocol(m) => write!(f, "protocol: {m}"),
-            ClientError::Server { status, message } => write!(f, "server ({status}): {message}"),
+            ClientError::Server { status, message, retry_after_ms } => {
+                write!(f, "server ({status}): {message}")?;
+                if let Some(ms) = retry_after_ms {
+                    write!(f, " (retry after {ms} ms)")?;
+                }
+                Ok(())
+            }
             ClientError::Timeout { job_id, waited } => {
                 write!(f, "job {job_id} not finished after {waited:?}")
             }
+            ClientError::Exhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempt(s): {last}")
+            }
         }
     }
+}
+
+/// Whether an error class is worth retrying: transport failures and
+/// damaged responses are transient network trouble, and 429/503 are the
+/// server explicitly saying "try again later". Submits are safe to
+/// retry by construction — the content-addressed cache makes them
+/// idempotent (a duplicate submit of the same request hits the cache or
+/// coalesces on the same results).
+fn retryable(e: &ClientError) -> bool {
+    matches!(e, ClientError::Io(_) | ClientError::Protocol(_))
+        || matches!(e, ClientError::Server { status: 429 | 503, .. })
 }
 
 impl std::error::Error for ClientError {}
@@ -90,6 +123,12 @@ pub struct Client {
     addr: String,
     io_timeout: Duration,
     poll_interval: Duration,
+    /// Retries after the initial attempt for retryable errors.
+    retries: u32,
+    /// First-retry backoff; doubles per attempt (with jitter).
+    backoff_base: Duration,
+    /// Seed for the jitter stream, so retry timing is reproducible.
+    retry_seed: u64,
 }
 
 impl Client {
@@ -100,6 +139,9 @@ impl Client {
             addr: addr.into(),
             io_timeout: Duration::from_secs(30),
             poll_interval: Duration::from_millis(20),
+            retries: 3,
+            backoff_base: Duration::from_millis(50),
+            retry_seed: 0x5eed,
         }
     }
 
@@ -107,6 +149,21 @@ impl Client {
     #[must_use]
     pub fn with_io_timeout(mut self, timeout: Duration) -> Client {
         self.io_timeout = timeout;
+        self
+    }
+
+    /// Overrides the retry budget (`0` disables retries entirely).
+    #[must_use]
+    pub fn with_retries(mut self, retries: u32) -> Client {
+        self.retries = retries;
+        self
+    }
+
+    /// Overrides the jitter seed (the backoff schedule is a pure
+    /// function of this seed and the request path).
+    #[must_use]
+    pub fn with_retry_seed(mut self, seed: u64) -> Client {
+        self.retry_seed = seed;
         self
     }
 
@@ -132,9 +189,57 @@ impl Client {
                 .get("error")
                 .and_then(Json::as_str)
                 .map_or_else(|| response.body.clone(), str::to_string);
-            return Err(ClientError::Server { status: response.status, message });
+            let retry_after_ms = parsed.get("retry_after_ms").and_then(Json::as_u64);
+            return Err(ClientError::Server { status: response.status, message, retry_after_ms });
         }
         Ok(parsed)
+    }
+
+    /// [`Client::call_json`] under the retry policy: retryable errors
+    /// (I/O, damaged responses, 429/503) are retried up to `retries`
+    /// times with seeded-jittered exponential backoff, honoring any
+    /// server-sent `retry_after_ms` hint. Non-retryable errors return
+    /// immediately; an exhausted budget returns
+    /// [`ClientError::Exhausted`] carrying the attempt count.
+    fn call_json_retrying(
+        &self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<Json, ClientError> {
+        // Seeded per (client, path): reproducible, but submit and poll
+        // streams do not march in lockstep.
+        let mut rng = SplitMix64::new(self.retry_seed ^ fnv1a(path.as_bytes()));
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let err = match self.call_json(method, path, body.to_string()) {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            if !retryable(&err) {
+                return Err(err);
+            }
+            if attempts > self.retries {
+                return Err(if attempts > 1 {
+                    ClientError::Exhausted { attempts, last: Box::new(err) }
+                } else {
+                    err
+                });
+            }
+            // Exponential base doubling per attempt, jittered into
+            // [base/2, base] so synchronized clients de-correlate, and
+            // never shorter than the server's own hint.
+            let base = (self.backoff_base.as_millis() as u64)
+                .saturating_mul(1 << (attempts - 1).min(16))
+                .clamp(1, 10_000);
+            let jittered = base / 2 + rng.below(base / 2 + 1);
+            let wait = match &err {
+                ClientError::Server { retry_after_ms: Some(hint), .. } => jittered.max(*hint),
+                _ => jittered,
+            };
+            std::thread::sleep(Duration::from_millis(wait.min(10_000)));
+        }
     }
 
     /// Submits a job.
@@ -144,7 +249,7 @@ impl Client {
     /// [`ClientError::Server`] for rejected requests (bad workload name,
     /// draining server), plus transport failures.
     pub fn submit(&self, request: &JobRequest) -> Result<SubmitResponse, ClientError> {
-        let v = self.call_json("POST", "/submit", request.to_json())?;
+        let v = self.call_json_retrying("POST", "/submit", &request.to_json())?;
         SubmitResponse::from_json(&v).map_err(ClientError::Protocol)
     }
 
@@ -154,7 +259,7 @@ impl Client {
     ///
     /// [`ClientError::Server`] with status 404 for an unknown id.
     pub fn status(&self, job_id: u64) -> Result<StatusResponse, ClientError> {
-        let v = self.call_json("GET", &format!("/status/{job_id}"), String::new())?;
+        let v = self.call_json_retrying("GET", &format!("/status/{job_id}"), "")?;
         StatusResponse::from_json(&v).map_err(ClientError::Protocol)
     }
 
@@ -164,7 +269,7 @@ impl Client {
     ///
     /// [`ClientError::Server`] with status 404 for an unknown id.
     pub fn result(&self, job_id: u64) -> Result<ResultResponse, ClientError> {
-        let v = self.call_json("GET", &format!("/result/{job_id}"), String::new())?;
+        let v = self.call_json_retrying("GET", &format!("/result/{job_id}"), "")?;
         ResultResponse::from_json(&v).map_err(ClientError::Protocol)
     }
 
@@ -195,11 +300,13 @@ impl Client {
     ///
     /// Transport or protocol failures.
     pub fn health(&self) -> Result<Json, ClientError> {
-        self.call_json("GET", "/health", String::new())
+        self.call_json_retrying("GET", "/health", "")
     }
 
     /// Requests a graceful shutdown: the daemon drains its queue,
-    /// flushes the cache index and exits.
+    /// flushes the cache index and exits. Deliberately *not* retried —
+    /// once the daemon accepts it, subsequent attempts race its exit and
+    /// would misreport a successful shutdown as an error.
     ///
     /// # Errors
     ///
@@ -215,8 +322,10 @@ mod tests {
 
     #[test]
     fn connect_failure_is_io_not_panic() {
-        // Port 1 on localhost is essentially never listening.
-        let client = Client::new("127.0.0.1:1").with_io_timeout(Duration::from_millis(200));
+        // Port 1 on localhost is essentially never listening. Retries
+        // off: this test pins the *undecorated* error class.
+        let client =
+            Client::new("127.0.0.1:1").with_io_timeout(Duration::from_millis(200)).with_retries(0);
         match client.health() {
             Err(ClientError::Io(_)) => {}
             other => panic!("expected Io error, got {other:?}"),
@@ -224,10 +333,54 @@ mod tests {
     }
 
     #[test]
+    fn exhausted_retries_surface_the_attempt_count() {
+        let client =
+            Client::new("127.0.0.1:1").with_io_timeout(Duration::from_millis(100)).with_retries(2);
+        match client.health() {
+            Err(ClientError::Exhausted { attempts: 3, last }) => {
+                assert!(matches!(*last, ClientError::Io(_)), "{last:?}");
+            }
+            other => panic!("expected Exhausted after 3 attempts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retry_classification_is_precise() {
+        let io = ClientError::Io(std::io::Error::other("refused"));
+        let proto = ClientError::Protocol("half a response".into());
+        let busy =
+            ClientError::Server { status: 429, message: "full".into(), retry_after_ms: Some(100) };
+        let draining =
+            ClientError::Server { status: 503, message: "draining".into(), retry_after_ms: None };
+        let bad = ClientError::Server {
+            status: 400,
+            message: "bad request".into(),
+            retry_after_ms: None,
+        };
+        let missing =
+            ClientError::Server { status: 404, message: "no job".into(), retry_after_ms: None };
+        assert!(retryable(&io) && retryable(&proto) && retryable(&busy) && retryable(&draining));
+        assert!(!retryable(&bad) && !retryable(&missing));
+        assert!(!retryable(&ClientError::Timeout { job_id: 1, waited: Duration::ZERO }));
+    }
+
+    #[test]
     fn errors_render_usefully() {
-        let e = ClientError::Server { status: 404, message: "no job 9".into() };
+        let e =
+            ClientError::Server { status: 404, message: "no job 9".into(), retry_after_ms: None };
         assert_eq!(e.to_string(), "server (404): no job 9");
+        let e = ClientError::Server {
+            status: 429,
+            message: "queue full".into(),
+            retry_after_ms: Some(250),
+        };
+        assert_eq!(e.to_string(), "server (429): queue full (retry after 250 ms)");
         let e = ClientError::Timeout { job_id: 3, waited: Duration::from_secs(2) };
         assert!(e.to_string().contains("job 3"));
+        let e = ClientError::Exhausted {
+            attempts: 4,
+            last: Box::new(ClientError::Protocol("torn response".into())),
+        };
+        assert_eq!(e.to_string(), "gave up after 4 attempt(s): protocol: torn response");
     }
 }

@@ -27,7 +27,7 @@ use hpa_asm::Program;
 use hpa_core::Scheme;
 use hpa_obs::digest::fnv1a;
 use hpa_sim::{SampleUnits, SimConfig};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -99,51 +99,94 @@ pub fn cell_key(
     fnv1a(&bytes)
 }
 
-/// The result cache: an in-memory index over an optional on-disk store.
+/// The index plus the bookkeeping eviction needs: insertion order and
+/// total payload bytes.
+#[derive(Default)]
+struct CacheState {
+    map: HashMap<u64, String>,
+    /// Keys in insertion order (oldest first); the eviction order. Keys
+    /// are unique here — `insert` only appends on a fresh map entry.
+    order: VecDeque<u64>,
+    /// Sum of payload byte lengths across the index.
+    bytes: u64,
+    /// Entries evicted over this cache's lifetime (served by `/health`).
+    evictions: u64,
+}
+
+/// The result cache: an in-memory index over an optional on-disk store,
+/// bounded (when configured) by entry count and payload bytes with
+/// insertion-order eviction.
 pub struct ResultCache {
     dir: Option<PathBuf>,
-    index: Mutex<HashMap<u64, String>>,
+    max_entries: Option<usize>,
+    max_bytes: Option<u64>,
+    state: Mutex<CacheState>,
 }
 
 impl ResultCache {
+    /// Opens an unbounded cache; see [`ResultCache::open_bounded`].
+    ///
+    /// # Errors
+    ///
+    /// Only directory creation errors.
+    pub fn open(dir: Option<PathBuf>) -> io::Result<ResultCache> {
+        ResultCache::open_bounded(dir, None, None)
+    }
+
     /// Opens a cache. With a directory, existing `<0x-key>.json` entries
     /// are loaded into the index (unreadable or misnamed files are
     /// skipped — the cache is advisory, never load-bearing); the
     /// directory is created if missing. With `None`, the cache is
     /// memory-only and dies with the server.
     ///
+    /// `max_entries` / `max_bytes` bound the index for long-lived
+    /// daemons: inserting past either bound evicts oldest-inserted
+    /// entries first (and prunes their disk files). Bounds are applied
+    /// to a reloaded store too, in directory-iteration order.
+    ///
     /// # Errors
     ///
     /// Only directory creation errors; a present-but-odd entry never
     /// fails the open.
-    pub fn open(dir: Option<PathBuf>) -> io::Result<ResultCache> {
-        let mut index = HashMap::new();
-        if let Some(dir) = &dir {
-            std::fs::create_dir_all(dir)?;
-            for entry in std::fs::read_dir(dir)? {
+    pub fn open_bounded(
+        dir: Option<PathBuf>,
+        max_entries: Option<usize>,
+        max_bytes: Option<u64>,
+    ) -> io::Result<ResultCache> {
+        let cache =
+            ResultCache { dir, max_entries, max_bytes, state: Mutex::new(CacheState::default()) };
+        if let Some(dir) = cache.dir.clone() {
+            std::fs::create_dir_all(&dir)?;
+            let mut state = cache.state.lock().expect("cache index");
+            for entry in std::fs::read_dir(&dir)? {
                 let Ok(entry) = entry else { continue };
                 let path = entry.path();
                 let Some(key) = entry_key(&path) else { continue };
                 if let Ok(payload) = std::fs::read_to_string(&path) {
-                    index.insert(key, payload);
+                    cache.insert_locked(&mut state, key, payload);
                 }
             }
         }
-        Ok(ResultCache { dir, index: Mutex::new(index) })
+        Ok(cache)
     }
 
     /// The payload for a key, if cached.
     #[must_use]
     pub fn get(&self, key: u64) -> Option<String> {
-        self.index.lock().expect("cache index").get(&key).cloned()
+        self.state.lock().expect("cache index").map.get(&key).cloned()
     }
 
     /// Stores a payload under a key: into the index, and — when the
     /// cache is disk-backed — write-through to a temp file renamed
     /// atomically into place. A disk failure downgrades the entry to
     /// memory-only rather than failing the job that produced it.
+    /// Inserting past a configured bound evicts oldest entries (index
+    /// and disk file both).
     pub fn put(&self, key: u64, payload: &str) {
-        self.index.lock().expect("cache index").insert(key, payload.to_string());
+        {
+            let mut state = self.state.lock().expect("cache index");
+            self.insert_locked(&mut state, key, payload.to_string());
+        }
         if let Some(dir) = &self.dir {
             // Temp name is unique per key; concurrent puts of the *same*
             // key write identical bytes, so either rename winning is fine.
@@ -153,10 +196,39 @@ impl ResultCache {
         }
     }
 
+    /// Inserts into the index and evicts down to the configured bounds,
+    /// oldest insertion first. A single entry larger than `max_bytes`
+    /// can evict everything including itself — correct (the bound
+    /// holds), just wasteful, and only reachable with a tiny bound.
+    fn insert_locked(&self, state: &mut CacheState, key: u64, payload: String) {
+        let len = payload.len() as u64;
+        match state.map.insert(key, payload) {
+            None => {
+                state.order.push_back(key);
+                state.bytes += len;
+            }
+            // Overwrite (same content by construction): adjust bytes,
+            // keep the original insertion position.
+            Some(old) => state.bytes += len.saturating_sub(old.len() as u64),
+        }
+        while self.max_entries.is_some_and(|m| state.map.len() > m)
+            || self.max_bytes.is_some_and(|m| state.bytes > m)
+        {
+            let Some(oldest) = state.order.pop_front() else { break };
+            if let Some(evicted) = state.map.remove(&oldest) {
+                state.bytes -= evicted.len() as u64;
+                state.evictions += 1;
+                if let Some(dir) = &self.dir {
+                    let _ = std::fs::remove_file(dir.join(format!("{}.json", format_hex(oldest))));
+                }
+            }
+        }
+    }
+
     /// Number of indexed entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.index.lock().expect("cache index").len()
+        self.state.lock().expect("cache index").map.len()
     }
 
     /// Whether the cache holds no entries.
@@ -165,14 +237,26 @@ impl ResultCache {
         self.len() == 0
     }
 
+    /// Total payload bytes currently indexed.
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.state.lock().expect("cache index").bytes
+    }
+
+    /// Entries evicted by the size bounds over this cache's lifetime.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.state.lock().expect("cache index").evictions
+    }
+
     /// Flushes the index to disk. Writes are already write-through, so
     /// this re-persists any entry whose earlier disk write failed (it
     /// was downgraded to memory-only) and is otherwise a no-op; called
     /// on graceful shutdown.
     pub fn flush(&self) {
         let Some(dir) = &self.dir else { return };
-        let index = self.index.lock().expect("cache index");
-        for (&key, payload) in index.iter() {
+        let state = self.state.lock().expect("cache index");
+        for (&key, payload) in state.map.iter() {
             let final_path = dir.join(format!("{}.json", format_hex(key)));
             if final_path.exists() {
                 continue;
@@ -285,6 +369,45 @@ mod tests {
         assert_eq!(cache.get(42).as_deref(), Some("{\"ipc\":1.5}"));
         assert_eq!(cache.len(), 1);
         assert!(cache.describe().contains("memory only"));
+    }
+
+    #[test]
+    fn entry_bound_evicts_in_insertion_order() {
+        let cache = ResultCache::open_bounded(None, Some(2), None).unwrap();
+        cache.put(1, "one");
+        cache.put(2, "two");
+        cache.put(3, "three");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.get(1), None, "oldest insertion goes first");
+        assert!(cache.get(2).is_some() && cache.get(3).is_some());
+        // Overwriting an existing key does not count as an insertion.
+        cache.put(3, "three");
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.bytes(), "two".len() as u64 + "three".len() as u64);
+    }
+
+    #[test]
+    fn byte_bound_evicts_until_under_and_prunes_disk() {
+        let dir = std::env::temp_dir().join(format!("hpa-cache-evict-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ResultCache::open_bounded(Some(dir.clone()), None, Some(10)).unwrap();
+        cache.put(1, "aaaa"); // 4 bytes
+        cache.put(2, "bbbb"); // 8 bytes
+        assert_eq!(cache.evictions(), 0);
+        cache.put(3, "cccc"); // 12 bytes -> evict key 1
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.bytes(), 8);
+        assert!(
+            !dir.join(format!("{}.json", format_hex(1))).exists(),
+            "eviction prunes the disk store"
+        );
+        assert!(dir.join(format!("{}.json", format_hex(2))).exists());
+        // A reload of the pruned store honors the bound too.
+        drop(cache);
+        let cache = ResultCache::open_bounded(Some(dir.clone()), Some(1), None).unwrap();
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

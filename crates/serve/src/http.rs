@@ -14,6 +14,11 @@ use std::io::{self, BufRead, Write};
 /// daemon's memory.
 pub const MAX_BODY: usize = 8 << 20;
 
+/// Bound on the number of headers per message. The protocol itself only
+/// ever sends three; a peer streaming an endless header section is
+/// cut off here instead of pinning a worker thread forever.
+pub const MAX_HEADERS: usize = 64;
+
 /// A parsed request: method, path and (possibly empty) body.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Request {
@@ -58,6 +63,7 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        429 => "Too Many Requests",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
@@ -68,6 +74,27 @@ fn bad(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("http: {what}"))
 }
 
+/// Marker prefix distinguishing "you sent too much" from "you sent
+/// garbage" inside the single `InvalidData` error kind, so the server
+/// can answer `413` rather than a generic `400`.
+const TOO_LARGE: &str = "too large: ";
+
+fn too_large(what: &str) -> io::Error {
+    bad(&format!("{TOO_LARGE}{what}"))
+}
+
+/// Maps a [`read_request`] error to the structured response the peer
+/// should see: `413` for oversize framing (body or header section past
+/// [`MAX_BODY`], header count past [`MAX_HEADERS`]), `400` for anything
+/// else malformed. The error text rides along in the JSON body so a
+/// client can log *why* it was rejected.
+#[must_use]
+pub fn rejection(err: &io::Error) -> Response {
+    let text = err.to_string();
+    let status = if text.contains(TOO_LARGE) { 413 } else { 400 };
+    Response::error(status, &text)
+}
+
 /// Reads one CRLF- (or LF-) terminated line without the terminator.
 fn read_line(reader: &mut impl BufRead) -> io::Result<String> {
     let mut line = String::new();
@@ -75,7 +102,7 @@ fn read_line(reader: &mut impl BufRead) -> io::Result<String> {
         return Err(bad("unexpected end of stream"));
     }
     if line.len() > MAX_BODY {
-        return Err(bad("header line too long"));
+        return Err(too_large("header line"));
     }
     while line.ends_with('\n') || line.ends_with('\r') {
         line.pop();
@@ -86,7 +113,8 @@ fn read_line(reader: &mut impl BufRead) -> io::Result<String> {
 /// Reads headers up to the blank line, returning the `Content-Length`.
 fn read_headers(reader: &mut impl BufRead) -> io::Result<usize> {
     let mut content_length = 0usize;
-    loop {
+    // One extra iteration: the blank terminator line also costs a read.
+    for _ in 0..=MAX_HEADERS {
         let line = read_line(reader)?;
         if line.is_empty() {
             return Ok(content_length);
@@ -98,10 +126,11 @@ fn read_headers(reader: &mut impl BufRead) -> io::Result<usize> {
             content_length =
                 value.trim().parse::<usize>().map_err(|_| bad("bad content-length"))?;
             if content_length > MAX_BODY {
-                return Err(bad("body too large"));
+                return Err(too_large("body"));
             }
         }
     }
+    Err(too_large("header count"))
 }
 
 fn read_body(reader: &mut impl BufRead, len: usize) -> io::Result<String> {
@@ -242,6 +271,50 @@ mod tests {
             assert!(read_request(&mut BufReader::new(*case)).is_err(), "{case:?}");
         }
         assert!(read_response(&mut BufReader::new(&b"HTTP/1.1 abc\r\n\r\n"[..])).is_err());
+    }
+
+    #[test]
+    fn oversize_framing_maps_to_413_and_garbage_to_400() {
+        // Oversize: declared body over the cap, and a runaway header section.
+        let oversize = format!("POST /submit HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY + 1);
+        let err = read_request(&mut BufReader::new(oversize.as_bytes())).unwrap_err();
+        assert_eq!(rejection(&err).status, 413, "{err}");
+
+        let mut runaway = String::from("GET /health HTTP/1.1\r\n");
+        for i in 0..MAX_HEADERS + 1 {
+            runaway.push_str(&format!("x-pad-{i}: 1\r\n"));
+        }
+        runaway.push_str("\r\n");
+        let err = read_request(&mut BufReader::new(runaway.as_bytes())).unwrap_err();
+        assert_eq!(rejection(&err).status, 413, "{err}");
+
+        // Garbage: malformed request line, broken header, premature EOF
+        // mid-body, and an empty stream all map to 400, never a panic.
+        let garbage: &[&[u8]] = &[
+            b"\x7f\x00\x01 \x02\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"POST /submit HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort",
+            b"GET /x HTTP/1.1\r\ncontent-length: -1\r\n\r\n",
+            b"",
+        ];
+        for case in garbage {
+            let err = read_request(&mut BufReader::new(*case)).unwrap_err();
+            let resp = rejection(&err);
+            assert_eq!(resp.status, 400, "{case:?} -> {err}");
+            assert!(resp.body.starts_with("{\"error\":"), "structured body: {}", resp.body);
+        }
+    }
+
+    #[test]
+    fn exactly_max_headers_is_still_accepted() {
+        let mut wire = String::from("GET /health HTTP/1.1\r\n");
+        // MAX_HEADERS total, the last one carrying the length.
+        for i in 0..MAX_HEADERS - 1 {
+            wire.push_str(&format!("x-pad-{i}: 1\r\n"));
+        }
+        wire.push_str("content-length: 2\r\n\r\nok");
+        let req = read_request(&mut BufReader::new(wire.as_bytes())).unwrap();
+        assert_eq!(req.body, "ok");
     }
 
     #[test]

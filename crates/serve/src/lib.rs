@@ -19,11 +19,17 @@
 //!   cached value *is* the original rendered payload;
 //! * [`proto`] — the typed wire protocol, shared with the `hpa-sdk`
 //!   client crate so both sides cannot drift;
-//! * [`queue`] — the Mutex + Condvar job FIFO with drain semantics;
-//! * [`http`] — the minimal HTTP/1.1 subset both sides speak.
+//! * [`queue`] — the Mutex + Condvar job FIFO with drain semantics and
+//!   a bounded-admission push;
+//! * [`http`] — the minimal HTTP/1.1 subset both sides speak;
+//! * [`journal`] — the write-ahead job journal: checksum-framed JSONL
+//!   replayed on startup so a `kill -9` loses no accepted job, torture-
+//!   tested against truncation and bit flips;
+//! * [`chaos`] — a seeded fault-injecting TCP proxy (drop / delay /
+//!   truncate / corrupt) for deterministic network-failure testing.
 //!
-//! Wire protocol, job state machine and the cache-key encoding spec are
-//! documented in `DESIGN.md` §12.
+//! Wire protocol, job state machine, cache-key encoding and the
+//! durability/degradation rules are documented in `DESIGN.md` §12.
 //!
 //! # Example
 //!
@@ -43,12 +49,16 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod http;
+pub mod journal;
 pub mod proto;
 pub mod queue;
 pub mod server;
 
 pub use cache::{cell_key, ResultCache};
+pub use chaos::ChaosProxy;
+pub use journal::{Journal, Record, Replay, ReplayedJob};
 pub use proto::{
     CellResult, JobProgram, JobRequest, JobStatus, ResultResponse, StatusResponse, SubmitResponse,
 };

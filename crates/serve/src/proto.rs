@@ -396,6 +396,53 @@ pub fn parse_hex(s: &str) -> Option<u64> {
     u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
 }
 
+/// Renders a cell array (`[{scheme, cached, result}, ...]`) into `out`.
+/// Payloads are embedded verbatim: they are already JSON, and
+/// re-rendering could perturb byte identity with the cache. Shared by
+/// `/result` responses and the job journal's `done` records.
+pub fn render_cells_into(out: &mut String, cells: &[CellResult]) {
+    out.push('[');
+    for (k, c) in cells.iter().enumerate() {
+        if k > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"scheme\":\"{}\",\"cached\":{},\"result\":{}}}",
+            c.scheme.key(),
+            c.cached,
+            c.payload
+        );
+    }
+    out.push(']');
+}
+
+/// Decodes a cell array rendered by [`render_cells_into`].
+///
+/// # Errors
+///
+/// A description of the first missing or malformed field.
+pub fn parse_cells_json(arr: &Json) -> Result<Vec<CellResult>, String> {
+    let items = arr.as_arr().ok_or_else(|| "`cells` must be an array".to_string())?;
+    items
+        .iter()
+        .map(|c| {
+            let key = c
+                .get("scheme")
+                .and_then(Json::as_str)
+                .ok_or_else(|| "cell missing `scheme`".to_string())?;
+            let scheme = Scheme::from_key(key).ok_or_else(|| format!("unknown scheme `{key}`"))?;
+            let payload =
+                c.get("result").ok_or_else(|| "cell missing `result`".to_string())?.render();
+            Ok(CellResult {
+                scheme,
+                cached: c.get("cached").and_then(Json::as_bool).unwrap_or(false),
+                payload,
+            })
+        })
+        .collect()
+}
+
 /// Formats a u64 as the wire's `0x`-prefixed, zero-padded hex.
 #[must_use]
 pub fn format_hex(v: u64) -> String {
@@ -434,22 +481,9 @@ impl ResultResponse {
             escape_into(&mut out, e);
             out.push('"');
         }
-        out.push_str(",\"cells\":[");
-        for (k, c) in self.cells.iter().enumerate() {
-            if k > 0 {
-                out.push(',');
-            }
-            // The payload is embedded verbatim: it is already JSON, and
-            // re-rendering it could perturb byte identity with the cache.
-            let _ = write!(
-                out,
-                "{{\"scheme\":\"{}\",\"cached\":{},\"result\":{}}}",
-                c.scheme.key(),
-                c.cached,
-                c.payload
-            );
-        }
-        out.push_str("]}");
+        out.push_str(",\"cells\":");
+        render_cells_into(&mut out, &self.cells);
+        out.push('}');
         out
     }
 
@@ -461,29 +495,7 @@ impl ResultResponse {
     pub fn from_json(v: &Json) -> Result<ResultResponse, String> {
         let cells = match v.get("cells") {
             None => Vec::new(),
-            Some(arr) => {
-                let items = arr.as_arr().ok_or_else(|| "`cells` must be an array".to_string())?;
-                items
-                    .iter()
-                    .map(|c| {
-                        let key = c
-                            .get("scheme")
-                            .and_then(Json::as_str)
-                            .ok_or_else(|| "cell missing `scheme`".to_string())?;
-                        let scheme = Scheme::from_key(key)
-                            .ok_or_else(|| format!("unknown scheme `{key}`"))?;
-                        let payload = c
-                            .get("result")
-                            .ok_or_else(|| "cell missing `result`".to_string())?
-                            .render();
-                        Ok(CellResult {
-                            scheme,
-                            cached: c.get("cached").and_then(Json::as_bool).unwrap_or(false),
-                            payload,
-                        })
-                    })
-                    .collect::<Result<Vec<_>, String>>()?
-            }
+            Some(arr) => parse_cells_json(arr)?,
         };
         Ok(ResultResponse {
             job_id: v

@@ -43,12 +43,30 @@ impl JobQueue {
     /// draining queue still enqueues — submissions are rejected at the
     /// route layer during drain, but a racing push must not be lost.
     pub fn push(&self, id: u64) -> usize {
+        self.push_bounded(id, None).expect("unbounded push cannot be rejected")
+    }
+
+    /// Like [`JobQueue::push`], but rejects the push when the queue
+    /// already holds `max` ids, returning the current depth instead.
+    /// The check and the push happen under one lock acquisition, so the
+    /// bound holds exactly even under racing submits — this is the
+    /// admission-control primitive.
+    ///
+    /// # Errors
+    ///
+    /// The current depth, when it is at or over the bound.
+    pub fn push_bounded(&self, id: u64, max: Option<usize>) -> Result<usize, usize> {
         let mut s = self.state.lock().expect("queue state");
+        if let Some(max) = max {
+            if s.pending.len() >= max {
+                return Err(s.pending.len());
+            }
+        }
         s.pending.push_back(id);
         let depth = s.pending.len();
         drop(s);
         self.wakeup.notify_one();
-        depth
+        Ok(depth)
     }
 
     /// Blocks until a job id is available and returns it, or returns
@@ -132,6 +150,98 @@ mod tests {
         });
         assert_eq!(popped.load(Ordering::Relaxed), 10);
         assert!(q.is_empty() && q.is_draining());
+    }
+
+    #[test]
+    fn bounded_push_rejects_at_the_cap_and_admits_after_a_pop() {
+        let q = JobQueue::new();
+        assert_eq!(q.push_bounded(1, Some(2)), Ok(1));
+        assert_eq!(q.push_bounded(2, Some(2)), Ok(2));
+        assert_eq!(q.push_bounded(3, Some(2)), Err(2), "at the cap: rejected with the depth");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.push_bounded(3, Some(2)), Ok(2), "space freed by the pop");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3), "FIFO order survives a rejected push");
+    }
+
+    #[test]
+    fn bounded_push_holds_the_cap_exactly_under_contention() {
+        // 8 racing submitters, cap 5: exactly 5 must win, and the queue
+        // can never exceed the bound at any interleaving.
+        let q = JobQueue::new();
+        let admitted = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for id in 0..8 {
+                let (q, admitted) = (&q, &admitted);
+                scope.spawn(move || {
+                    if q.push_bounded(id, Some(5)).is_ok() {
+                        admitted.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(admitted.load(Ordering::Relaxed), 5);
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn shutdown_wakes_workers_blocked_on_an_empty_queue() {
+        // The condvar-wakeup edge: workers block in `pop` with nothing
+        // ever pushed; `drain` alone must release all of them. A missed
+        // notify_all here wedges this test forever (harness timeout).
+        let q = JobQueue::new();
+        let released = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    assert_eq!(q.pop(), None);
+                    released.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            // Give the workers a moment to actually block on the condvar
+            // so the drain exercises the wakeup path, not the fast path.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            q.drain();
+        });
+        assert_eq!(released.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn concurrent_push_pop_under_drain_loses_nothing() {
+        // Pushes racing the drain call itself: every id pushed before or
+        // during the drain is still handed out exactly once (drain
+        // finishes the backlog; it never abandons it).
+        let q = JobQueue::new();
+        let seen = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    while let Some(id) = q.pop() {
+                        seen.lock().unwrap().push(id);
+                    }
+                });
+            }
+            let pushers: Vec<_> = [0u64, 1]
+                .into_iter()
+                .map(|half| {
+                    let q = &q;
+                    scope.spawn(move || {
+                        for id in half * 50..(half + 1) * 50 {
+                            q.push(id);
+                        }
+                    })
+                })
+                .collect();
+            for p in pushers {
+                p.join().expect("pusher");
+            }
+            // Drain races the poppers mid-backlog: it must flush every
+            // remaining id through them before releasing them.
+            q.drain();
+        });
+        let mut ids = seen.into_inner().unwrap();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..100).collect::<Vec<_>>());
     }
 
     #[test]

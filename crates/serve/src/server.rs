@@ -16,6 +16,7 @@
 
 use crate::cache::{cell_key, ResultCache};
 use crate::http::{self, Request, Response};
+use crate::journal::{Journal, Record, ReplayedJob};
 use crate::proto::{
     format_hex, CellResult, JobProgram, JobRequest, JobStatus, ResultResponse, StatusResponse,
     SubmitResponse,
@@ -48,6 +49,14 @@ pub struct ServerConfig {
     pub workers: usize,
     /// On-disk cache directory; `None` keeps the cache memory-only.
     pub cache_dir: Option<PathBuf>,
+    /// Write-ahead journal directory; `None` disables durability.
+    pub journal_dir: Option<PathBuf>,
+    /// Admission-control bound on queued jobs; `None` is unbounded.
+    pub max_queue: Option<usize>,
+    /// Result-cache entry bound (insertion-order eviction past it).
+    pub cache_max_entries: Option<usize>,
+    /// Result-cache payload-byte bound (insertion-order eviction).
+    pub cache_max_bytes: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -56,13 +65,19 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:8080".to_string(),
             workers: hpa_core::default_jobs().min(4),
             cache_dir: None,
+            journal_dir: None,
+            max_queue: None,
+            cache_max_entries: None,
+            cache_max_bytes: None,
         }
     }
 }
 
 /// One job's full lifecycle record.
 struct Job {
-    request: JobRequest,
+    /// `None` only for journal-rehydrated terminal jobs whose `submitted`
+    /// record was lost to corruption — their results still serve.
+    request: Option<JobRequest>,
     status: JobStatus,
     cached: bool,
     error: Option<String>,
@@ -71,16 +86,28 @@ struct Job {
     deadline: Option<Instant>,
 }
 
+/// The lazy-expiry message (also journaled, so replay reproduces it).
+const EXPIRY_ERROR: &str = "deadline passed before the job started";
+
 impl Job {
     /// Lazily expires a job still queued past its deadline; returns
     /// whether this call performed the transition.
     fn expire_if_due(&mut self, now: Instant) -> bool {
         if self.status == JobStatus::Queued && self.deadline.is_some_and(|d| now >= d) {
             self.status = JobStatus::Expired;
-            self.error = Some("deadline passed before the job started".to_string());
+            self.error = Some(EXPIRY_ERROR.to_string());
             return true;
         }
         false
+    }
+}
+
+/// Bookkeeping after a lazy expiry (caller must have released the jobs
+/// lock): counter bump plus a journaled terminal record.
+fn record_expiry(state: &ServerState, id: u64) {
+    state.counters.lock().expect("serve counters").jobs_expired += 1;
+    if let Some(journal) = &state.journal {
+        journal.append(&Record::Expired { id, error: EXPIRY_ERROR.to_string() }, true);
     }
 }
 
@@ -91,6 +118,14 @@ struct ServerState {
     cache: ResultCache,
     counters: Mutex<ServeCounters>,
     shutdown: AtomicBool,
+    /// Write-ahead journal (`None` without `--journal-dir`). Lock order:
+    /// appends always happen *after* the jobs/counters locks are
+    /// released; the journal's own mutex is innermost and leaf-only.
+    journal: Option<Journal>,
+    /// Admission-control bound on queued jobs.
+    max_queue: Option<usize>,
+    /// Worker-pool size, for deriving `retry_after_ms` from queue depth.
+    workers: usize,
 }
 
 /// The simulation daemon. [`Server::bind`] claims the socket (so the
@@ -100,18 +135,31 @@ pub struct Server {
     listener: TcpListener,
     state: ServerState,
     workers: usize,
+    /// Human-readable summary of the startup journal replay (`None`
+    /// without a journal), for the CLI to print.
+    replay_summary: Option<String>,
 }
 
 impl Server {
-    /// Binds the listener and opens the cache.
+    /// Binds the listener, opens the cache, and — with a journal
+    /// configured — replays it: terminal jobs rehydrate the job table and
+    /// the result cache, incomplete jobs re-enqueue in original submit
+    /// order (their deadline clocks restart at recovery time).
     ///
     /// # Errors
     ///
-    /// Socket bind or cache-directory creation failures.
+    /// Socket bind or cache/journal-directory creation failures. Corrupt
+    /// journal *content* is never an error — damaged records are skipped
+    /// and counted in `journal_records_skipped`.
     pub fn bind(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        let cache = ResultCache::open(config.cache_dir)?;
-        Ok(Server {
+        let cache = ResultCache::open_bounded(
+            config.cache_dir,
+            config.cache_max_entries,
+            config.cache_max_bytes,
+        )?;
+        let workers = config.workers.max(1);
+        let mut server = Server {
             listener,
             state: ServerState {
                 jobs: Mutex::new(HashMap::new()),
@@ -120,9 +168,91 @@ impl Server {
                 cache,
                 counters: Mutex::new(ServeCounters::default()),
                 shutdown: AtomicBool::new(false),
+                journal: None,
+                max_queue: config.max_queue,
+                workers,
             },
-            workers: config.workers.max(1),
-        })
+            workers,
+            replay_summary: None,
+        };
+        if let Some(dir) = &config.journal_dir {
+            let (journal, replay) = Journal::open(dir)?;
+            let now = Instant::now();
+            let mut requeued = 0u64;
+            let mut rehydrated = 0u64;
+            let mut jobs = server.state.jobs.lock().expect("job table");
+            for (id, replayed) in replay.jobs {
+                let job = match replayed {
+                    ReplayedJob::Pending(request) => {
+                        // The original deadline was wall-clock-relative to
+                        // a process that no longer exists; restart it.
+                        let deadline =
+                            request.deadline_ms.map(|ms| now + Duration::from_millis(ms));
+                        requeued += 1;
+                        Job {
+                            request: Some(request),
+                            status: JobStatus::Queued,
+                            cached: false,
+                            error: None,
+                            cells: Vec::new(),
+                            submitted: now,
+                            deadline,
+                        }
+                    }
+                    ReplayedJob::Done { cached, cells } => {
+                        for cell in &cells {
+                            if let Some(key) = cell.cache_key() {
+                                server.state.cache.put(key, cell.payload_json());
+                            }
+                        }
+                        rehydrated += 1;
+                        Job {
+                            request: None,
+                            status: JobStatus::Done,
+                            cached,
+                            error: None,
+                            cells,
+                            submitted: now,
+                            deadline: None,
+                        }
+                    }
+                    ReplayedJob::Failed(error) => {
+                        rehydrated += 1;
+                        terminal_job(JobStatus::Failed, error, now)
+                    }
+                    ReplayedJob::Expired(error) => {
+                        rehydrated += 1;
+                        terminal_job(JobStatus::Expired, error, now)
+                    }
+                };
+                let requeue = job.status == JobStatus::Queued;
+                jobs.insert(id, job);
+                if requeue {
+                    server.state.queue.push(id);
+                }
+            }
+            drop(jobs);
+            server.state.next_id.store(replay.next_id, Ordering::SeqCst);
+            {
+                let mut counters = server.state.counters.lock().expect("serve counters");
+                counters.journal_records_skipped = replay.skipped;
+                counters.journal_jobs_requeued = requeued;
+                counters.journal_jobs_rehydrated = rehydrated;
+            }
+            server.replay_summary = Some(format!(
+                "journal: replayed {} record(s): {requeued} requeued, \
+                 {rehydrated} rehydrated, {} skipped",
+                replay.records, replay.skipped
+            ));
+            server.state.journal = Some(journal);
+        }
+        Ok(server)
+    }
+
+    /// The startup journal-replay summary, when a journal is configured.
+    #[must_use]
+    pub fn replay_summary(&self) -> Option<&str> {
+        self.replay_summary.as_deref()
     }
 
     /// The bound address (resolves port 0 to the actual ephemeral port).
@@ -170,6 +300,19 @@ impl Server {
     }
 }
 
+/// A journal-rehydrated terminal job (failed or expired).
+fn terminal_job(status: JobStatus, error: String, now: Instant) -> Job {
+    Job {
+        request: None,
+        status,
+        cached: false,
+        error: Some(error),
+        cells: Vec::new(),
+        submitted: now,
+        deadline: None,
+    }
+}
+
 /// One worker: pop ids until drain completes, expiring overdue jobs and
 /// executing the rest.
 fn worker_loop(state: &ServerState) {
@@ -191,7 +334,8 @@ fn handle_connection(state: &ServerState, stream: TcpStream) {
     });
     let response = match http::read_request(&mut reader) {
         Ok(req) => route(state, &req),
-        Err(e) => Response::error(400, &format!("malformed request: {e}")),
+        // Structured rejection: 413 for oversize framing, 400 otherwise.
+        Err(e) => http::rejection(&e),
     };
     let mut stream = stream;
     let _ = http::write_response(&mut stream, &response);
@@ -228,10 +372,21 @@ fn parse_id(path: &str, prefix: &str) -> Option<u64> {
 }
 
 /// `POST /submit`: validate, probe the cache, and either answer
-/// immediately (every cell cached) or enqueue.
+/// immediately (every cell cached), enqueue, or bounce with a structured
+/// 429 when admission control says the queue is full.
 fn handle_submit(state: &ServerState, body: &str) -> Response {
     if state.queue.is_draining() {
         return Response::error(503, "server is draining");
+    }
+    // Cheap admission pre-check before any parsing or journaling: an
+    // overloaded daemon sheds load at the door. (The authoritative check
+    // is the atomic `push_bounded` below; this one just keeps the
+    // rejected path from paying for validation and an fsync.)
+    if let Some(max) = state.max_queue {
+        let depth = state.queue.len();
+        if depth >= max {
+            return reject_overflow(state, depth);
+        }
     }
     let parsed = match hpa_obs::json::parse(body) {
         Ok(v) => v,
@@ -268,27 +423,74 @@ fn handle_submit(state: &ServerState, body: &str) -> Response {
         }
     }
     let all_cached = !cells.is_empty();
+    let n_cells = request.schemes.len() as u64;
 
     let status = if all_cached { JobStatus::Done } else { JobStatus::Queued };
-    let job =
-        Job { request, status, cached: all_cached, error: None, cells, submitted: now, deadline };
-    let n_cells = job.request.schemes.len() as u64;
+    // Journal `submitted` (fsync'd) *before* the job becomes visible —
+    // once the 200 goes out, a kill -9 cannot lose the job. Appends
+    // happen outside the jobs/counters locks (lock-order discipline).
+    if let Some(journal) = &state.journal {
+        journal.append(&Record::Submitted { id, request: request.clone() }, true);
+        if all_cached {
+            journal.append(&Record::Done { id, cached: true, cells: cells.clone() }, true);
+        }
+    }
+    let job = Job {
+        request: Some(request),
+        status,
+        cached: all_cached,
+        error: None,
+        cells,
+        submitted: now,
+        deadline,
+    };
     state.jobs.lock().expect("job table").insert(id, job);
 
-    let mut counters = state.counters.lock().expect("serve counters");
     if all_cached {
+        let mut counters = state.counters.lock().expect("serve counters");
         counters.cache_hits += n_cells;
         counters.jobs_done += 1;
         counters.record_latency_ms(0);
         drop(counters);
-        SubmitResponse { job_id: id, status: JobStatus::Done, cached: true }
-    } else {
-        let depth = state.queue.push(id);
-        counters.queue_depth.record(depth as u64);
-        drop(counters);
-        SubmitResponse { job_id: id, status: JobStatus::Queued, cached: false }
+        return SubmitResponse { job_id: id, status: JobStatus::Done, cached: true }
+            .into_response();
     }
-    .into_response()
+
+    match state.queue.push_bounded(id, state.max_queue) {
+        Ok(depth) => {
+            state.counters.lock().expect("serve counters").queue_depth.record(depth as u64);
+            SubmitResponse { job_id: id, status: JobStatus::Queued, cached: false }.into_response()
+        }
+        Err(depth) => {
+            // Lost the admission race after the `submitted` record was
+            // already durable: retract the job. The journaled `expired`
+            // record keeps replay consistent (a harmless terminal entry).
+            state.jobs.lock().expect("job table").remove(&id);
+            if let Some(journal) = &state.journal {
+                journal
+                    .append(&Record::Expired { id, error: "rejected: queue full".into() }, false);
+            }
+            reject_overflow(state, depth)
+        }
+    }
+}
+
+/// Builds the structured 429: the error plus a `retry_after_ms` hint
+/// derived from the mean observed job latency and the backlog depth
+/// relative to the worker pool (how many "waves" of work are queued).
+fn reject_overflow(state: &ServerState, depth: usize) -> Response {
+    let mut counters = state.counters.lock().expect("serve counters");
+    counters.jobs_rejected += 1;
+    // 500 ms before any job has finished: long enough to matter, short
+    // enough that a freshly started daemon is retried promptly.
+    let mean = counters.mean_latency_ms().unwrap_or(500).max(1);
+    drop(counters);
+    let waves = (depth as u64).div_ceil(state.workers as u64).max(1);
+    let retry_after_ms = (mean * waves).clamp(100, 60_000);
+    let mut body = String::from("{\"error\":\"");
+    escape_into(&mut body, &format!("queue full: {depth} job(s) queued"));
+    let _ = write!(body, "\",\"retry_after_ms\":{retry_after_ms}}}");
+    Response { status: 429, body }
 }
 
 impl SubmitResponse {
@@ -311,7 +513,7 @@ fn handle_status(state: &ServerState, id: u64) -> Response {
     };
     drop(jobs);
     if expired {
-        state.counters.lock().expect("serve counters").jobs_expired += 1;
+        record_expiry(state, id);
     }
     Response::ok(resp.to_json())
 }
@@ -331,18 +533,27 @@ fn handle_result(state: &ServerState, id: u64) -> Response {
     };
     drop(jobs);
     if expired {
-        state.counters.lock().expect("serve counters").jobs_expired += 1;
+        record_expiry(state, id);
     }
     Response::ok(resp.to_json())
 }
 
 fn handle_health(state: &ServerState) -> Response {
-    let counters = state.counters.lock().expect("serve counters").to_json();
+    let counters = {
+        let mut counters = state.counters.lock().expect("serve counters");
+        // Eviction bookkeeping lives in the cache; mirror it here so one
+        // endpoint reports everything.
+        counters.cache_evictions = state.cache.evictions();
+        counters.to_json()
+    };
     let body = format!(
-        "{{\"ok\":true,\"draining\":{},\"queue_depth\":{},\"cache_entries\":{},\"counters\":{}}}",
+        "{{\"ok\":true,\"draining\":{},\"queue_depth\":{},\"max_queue\":{},\
+         \"cache_entries\":{},\"cache_bytes\":{},\"counters\":{}}}",
         state.queue.is_draining(),
         state.queue.len(),
+        state.max_queue.map_or_else(|| "null".to_string(), |m| m.to_string()),
         state.cache.len(),
+        state.cache.bytes(),
         counters
     );
     Response::ok(body)
@@ -391,15 +602,21 @@ fn execute_job(state: &ServerState, id: u64) {
         let Some(job) = jobs.get_mut(&id) else { return };
         if job.expire_if_due(Instant::now()) {
             drop(jobs);
-            state.counters.lock().expect("serve counters").jobs_expired += 1;
+            record_expiry(state, id);
             return;
         }
         if job.status != JobStatus::Queued {
             return;
         }
+        let Some(request) = job.request.clone() else { return };
         job.status = JobStatus::Running;
-        job.request.clone()
+        request
     };
+    if let Some(journal) = &state.journal {
+        // A recovery hint only, so no fsync: losing it merely means the
+        // job replays as queued instead of "was running".
+        journal.append(&Record::Started { id }, false);
+    }
 
     let resolved = match resolve_program(&request) {
         Ok(r) => r,
@@ -463,33 +680,70 @@ fn execute_job(state: &ServerState, id: u64) {
     }
 }
 
-/// Records a job's terminal state and its latency.
+/// Records a job's terminal state, its latency, and the journal's
+/// terminal record — then rotates the journal if it has grown past the
+/// threshold.
 fn finish_job(state: &ServerState, id: u64, outcome: Result<Vec<CellResult>, String>) {
-    let (latency_ms, done) = {
+    let (latency_ms, terminal) = {
         let mut jobs = state.jobs.lock().expect("job table");
         let Some(job) = jobs.get_mut(&id) else { return };
-        let done = match outcome {
+        let terminal = match outcome {
             Ok(cells) => {
                 job.cached = cells.iter().all(|c| c.cached);
-                job.cells = cells;
+                job.cells = cells.clone();
                 job.status = JobStatus::Done;
-                true
+                Record::Done { id, cached: job.cached, cells }
             }
             Err(e) => {
                 job.status = JobStatus::Failed;
-                job.error = Some(e);
-                false
+                job.error = Some(e.clone());
+                Record::Failed { id, error: e }
             }
         };
-        (job.submitted.elapsed().as_millis() as u64, done)
+        (job.submitted.elapsed().as_millis() as u64, terminal)
     };
-    let mut counters = state.counters.lock().expect("serve counters");
-    if done {
-        counters.jobs_done += 1;
-    } else {
-        counters.jobs_failed += 1;
+    let done = matches!(terminal, Record::Done { .. });
+    {
+        let mut counters = state.counters.lock().expect("serve counters");
+        if done {
+            counters.jobs_done += 1;
+        } else {
+            counters.jobs_failed += 1;
+        }
+        counters.record_latency_ms(latency_ms);
     }
-    counters.record_latency_ms(latency_ms);
+    if let Some(journal) = &state.journal {
+        journal.append(&terminal, true);
+        if journal.should_rotate() {
+            journal.rewrite(&live_records(state));
+        }
+    }
+}
+
+/// Snapshots the job table as journal records (sorted by id, which is
+/// submit order) for a rotation rewrite.
+fn live_records(state: &ServerState) -> Vec<Record> {
+    let jobs = state.jobs.lock().expect("job table");
+    let mut records: Vec<Record> = jobs
+        .iter()
+        .filter_map(|(&id, job)| match job.status {
+            JobStatus::Queued | JobStatus::Running => {
+                job.request.clone().map(|request| Record::Submitted { id, request })
+            }
+            JobStatus::Done => {
+                Some(Record::Done { id, cached: job.cached, cells: job.cells.clone() })
+            }
+            JobStatus::Failed => {
+                Some(Record::Failed { id, error: job.error.clone().unwrap_or_default() })
+            }
+            JobStatus::Expired => {
+                Some(Record::Expired { id, error: job.error.clone().unwrap_or_default() })
+            }
+        })
+        .collect();
+    drop(jobs);
+    records.sort_by_key(Record::id);
+    records
 }
 
 /// Simulates one cache-missing cell and renders its payload.

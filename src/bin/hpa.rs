@@ -100,7 +100,8 @@ const COMMANDS: &[Subcommand] = &[
     Subcommand {
         name: "serve",
         help: "simulation-as-a-service daemon (or --stop one)",
-        usage: "hpa serve [--addr HOST:PORT] [--jobs N] [--cache-dir DIR] [--stop]",
+        usage: "hpa serve [--addr HOST:PORT] [--jobs N] [--cache-dir DIR] [--journal-dir DIR] \
+                [--max-queue N] [--cache-max-entries N] [--cache-max-bytes N] [--stop]",
         run: cmd_serve,
     },
     Subcommand {
@@ -108,8 +109,14 @@ const COMMANDS: &[Subcommand] = &[
         help: "submit a job to a running daemon",
         usage: "hpa submit <bench|file.s> [--addr HOST:PORT] [--scheme S|all] [--scale K] \
                 [--width 4|8] [--seed N] [--sampled W:D:F] [--deadline-ms N] [--wait-secs N] \
-                [--cycle-budget N] [--json]",
+                [--cycle-budget N] [--no-wait] [--json]",
         run: cmd_submit,
+    },
+    Subcommand {
+        name: "job",
+        help: "fetch (and wait for) a submitted job's results",
+        usage: "hpa job <id> [--addr HOST:PORT] [--wait-secs N] [--json]",
+        run: cmd_job,
     },
 ];
 
@@ -214,7 +221,7 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 
 /// Flags that take no value, so the positional-argument scan must not
 /// treat their successor as a flag value.
-const BOOL_FLAGS: [&str; 4] = ["--cpi-stack", "--counters", "--json", "--stop"];
+const BOOL_FLAGS: [&str; 5] = ["--cpi-stack", "--counters", "--json", "--stop", "--no-wait"];
 
 fn bool_flag(args: &[String], name: &str) -> bool {
     debug_assert!(BOOL_FLAGS.contains(&name));
@@ -740,11 +747,47 @@ fn cmd_serve(args: &[String]) -> CliResult {
     let cache_dir = flag(args, "--cache-dir").map(std::path::PathBuf::from);
     let cache_desc =
         cache_dir.as_ref().map_or_else(|| "memory only".to_string(), |d| d.display().to_string());
-    let server = Server::bind(ServerConfig { addr, workers, cache_dir }).map_err(other)?;
+    let journal_dir = flag(args, "--journal-dir").map(std::path::PathBuf::from);
+    let max_queue = match flag(args, "--max-queue") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| usage(format!("bad --max-queue `{v}` (want an integer >= 1)")))?,
+        ),
+    };
+    let cache_max_entries = match flag(args, "--cache-max-entries") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| usage(format!("bad --cache-max-entries `{v}` (want an integer)")))?,
+        ),
+    };
+    let cache_max_bytes = match flag(args, "--cache-max-bytes") {
+        None => None,
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| usage(format!("bad --cache-max-bytes `{v}` (want an integer)")))?,
+        ),
+    };
+    let server = Server::bind(ServerConfig {
+        addr,
+        workers,
+        cache_dir,
+        journal_dir,
+        max_queue,
+        cache_max_entries,
+        cache_max_bytes,
+    })
+    .map_err(other)?;
     let local = server.local_addr().map_err(other)?;
     // The `listening on` line is the contract `tools/check.sh` parses to
     // discover the bound port; keep it first and stable.
     println!("hpa serve listening on {local} ({workers} worker(s), cache: {cache_desc})");
+    if let Some(summary) = server.replay_summary() {
+        println!("{summary}");
+    }
     server.run().map_err(other)
 }
 
@@ -752,7 +795,7 @@ fn cmd_serve(args: &[String]) -> CliResult {
 /// requests are usage errors, everything else is operational.
 fn client_err(e: ClientError) -> CliError {
     match e {
-        ClientError::Server { status: 400, message } => usage(message),
+        ClientError::Server { status: 400, message, .. } => usage(message),
         e => other(e),
     }
 }
@@ -805,19 +848,56 @@ fn cmd_submit(args: &[String]) -> CliResult {
 
     let client = Client::new(addr);
     let submit = client.submit(&request).map_err(client_err)?;
+    if bool_flag(args, "--no-wait") && !submit.status.is_terminal() {
+        // Fire-and-forget: print the submit receipt; `hpa job <id>`
+        // collects the results later (even across a daemon restart,
+        // with a journal).
+        if bool_flag(args, "--json") {
+            println!("{}", submit.to_json());
+        } else {
+            println!("job {} {} (cached: {})", submit.job_id, submit.status.key(), submit.cached);
+        }
+        return Ok(());
+    }
     let result = if submit.status.is_terminal() {
         client.result(submit.job_id).map_err(client_err)?
     } else {
         let timeout = Duration::from_secs(num_flag(args, "--wait-secs", 600)?);
         client.wait(submit.job_id, timeout).map_err(client_err)?
     };
+    report_result(result, bool_flag(args, "--json"))
+}
 
-    if bool_flag(args, "--json") {
+/// Fetches one job's results from a running daemon, waiting for a
+/// terminal state first.
+fn cmd_job(args: &[String]) -> CliResult {
+    let id: u64 = args
+        .iter()
+        .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
+        .ok_or_else(|| usage("missing job id; see `hpa submit`"))?
+        .parse()
+        .map_err(|_| usage("bad job id (want an integer)"))?;
+    let addr = flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8080".into());
+    let client = Client::new(addr);
+    let timeout = Duration::from_secs(num_flag(args, "--wait-secs", 600)?);
+    let result = client.wait(id, timeout).map_err(client_err)?;
+    report_result(result, bool_flag(args, "--json"))
+}
+
+/// Prints a terminal job result and maps its status onto the exit-code
+/// scheme (shared by `hpa submit` and `hpa job`). Cell headings name the
+/// workload from the payload itself, so the caller needs no context.
+fn report_result(result: half_price::serve::proto::ResultResponse, json: bool) -> CliResult {
+    if json {
         println!("{}", result.to_json());
     } else {
         println!("job {} {} (cached: {})", result.job_id, result.status.key(), result.cached);
         for cell in &result.cells {
             let scheme = cell.scheme;
+            let target = cell
+                .payload()
+                .and_then(|p| p.get("workload").and_then(|w| w.as_str().map(str::to_string)))
+                .unwrap_or_else(|| "source".to_string());
             println!("`{target}` under {} (cached: {}):", scheme.label(), cell.cached);
             if let Some(p) = cell.payload() {
                 if let Some(ipc) = cell.ipc() {

@@ -4,7 +4,7 @@
 //! exercise, minus the process boundary.
 
 use half_price::obs::digest::debug_digest;
-use half_price::sdk::Client;
+use half_price::sdk::{Client, ClientError};
 use half_price::serve::proto::{JobProgram, JobRequest, JobStatus};
 use half_price::serve::server::{Server, ServerConfig};
 use half_price::workloads::Scale;
@@ -17,9 +17,15 @@ use std::time::Duration;
 /// returns a client for it plus the join handle (`run` returns once a
 /// `/shutdown` drains it).
 fn start_server(workers: usize) -> (Client, JoinHandle<io::Result<()>>) {
-    let server =
-        Server::bind(ServerConfig { addr: "127.0.0.1:0".to_string(), workers, cache_dir: None })
-            .expect("bind ephemeral port");
+    start_server_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        ..ServerConfig::default()
+    })
+}
+
+fn start_server_with(config: ServerConfig) -> (Client, JoinHandle<io::Result<()>>) {
+    let server = Server::bind(config).expect("bind ephemeral port");
     let addr = server.local_addr().expect("bound socket has an address").to_string();
     let handle = std::thread::spawn(move || server.run());
     (Client::new(addr), handle)
@@ -103,6 +109,101 @@ fn planted_panic_fails_the_job_but_not_the_server() {
     assert_eq!(
         health.get("counters").and_then(|c| c.get("jobs_failed")).and_then(|v| v.as_u64()),
         Some(1)
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn overflowing_the_queue_is_a_structured_429_with_a_retry_hint() {
+    let (client, handle) = start_server_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        max_queue: Some(1),
+        ..ServerConfig::default()
+    });
+    // Retries off: this test wants to *see* the 429, not ride it out.
+    let client = client.with_retries(0);
+
+    // Pin the single worker on a long-running source job, and only then
+    // fill the one queue slot — the admission outcome is deterministic,
+    // not a race against the worker's pop.
+    let slow = JobRequest {
+        program: JobProgram::Source(
+            "li r1, #500000\nloop:\n  sub r1, #1, r1\n  bgt r1, loop\n  halt\n".to_string(),
+        ),
+        width: MachineWidth::Four,
+        schemes: vec![Scheme::Base],
+        seed: 0xa1,
+        sampled: None,
+        deadline_ms: None,
+        cycle_budget: half_price::serve::proto::DEFAULT_CYCLE_BUDGET,
+        pc_table_entries: None,
+    };
+    let slow_id = client.submit(&slow).expect("slow submit").job_id;
+    while client.status(slow_id).expect("status").status == JobStatus::Queued {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let mut filler = JobRequest::workload("gcc", Scale::Tiny, Scheme::Base);
+    filler.seed = 0xa2;
+    let filler_id = client.submit(&filler).expect("one queue slot is free").job_id;
+
+    let mut overflow = JobRequest::workload("gcc", Scale::Tiny, Scheme::Base);
+    overflow.seed = 0xa3;
+    match client.submit(&overflow) {
+        Err(ClientError::Server { status: 429, message, retry_after_ms }) => {
+            assert!(message.contains("queue full"), "{message}");
+            let hint = retry_after_ms.expect("429 carries a retry_after_ms hint");
+            assert!((100..=60_000).contains(&hint), "hint {hint} outside the clamp");
+        }
+        other => panic!("expected a structured 429, got {other:?}"),
+    }
+
+    // Admitted work still completes, and /health reports the rejection.
+    for id in [slow_id, filler_id] {
+        let result = client.wait(id, WAIT).expect("admitted job result");
+        assert_eq!(result.status, JobStatus::Done);
+    }
+    let health = client.health().expect("health");
+    assert_eq!(
+        health.get("counters").and_then(|c| c.get("jobs_rejected")).and_then(|v| v.as_u64()),
+        Some(1)
+    );
+    assert_eq!(health.get("max_queue").and_then(|v| v.as_u64()), Some(1));
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn cache_entry_bound_evicts_and_reports_in_health() {
+    let (client, handle) = start_server_with(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        cache_max_entries: Some(1),
+        ..ServerConfig::default()
+    });
+
+    for seed in [0xb1, 0xb2u64] {
+        let mut r = JobRequest::workload("gcc", Scale::Tiny, Scheme::Base);
+        r.seed = seed;
+        let submit = client.submit(&r).expect("submit");
+        let result = client.wait(submit.job_id, WAIT).expect("result");
+        assert_eq!(result.status, JobStatus::Done);
+    }
+
+    let health = client.health().expect("health");
+    assert_eq!(
+        health.get("cache_entries").and_then(|v| v.as_u64()),
+        Some(1),
+        "the entry bound holds"
+    );
+    assert_eq!(
+        health.get("counters").and_then(|c| c.get("cache_evictions")).and_then(|v| v.as_u64()),
+        Some(1),
+        "the second fill evicted the first"
     );
 
     client.shutdown().expect("shutdown");

@@ -111,6 +111,71 @@ wait "$serve_pid"
 rm -rf "$serve_cache"
 echo "hpa serve: cache hit on resubmission, digest $direct_digest matches direct run, clean shutdown"
 
+echo "== serve crash-recovery gate =="
+# Durability gate, end to end through real processes and a real SIGKILL:
+# start a journaled daemon, submit a job without waiting, kill -9 the
+# daemon, restart it on the same journal, and require the replayed job to
+# finish with the exact digest a direct in-process run prints. This is
+# the contract the write-ahead journal exists for.
+recover_log="$(mktemp /tmp/hpa-serve-recover.XXXXXX.log)"
+recover_cache="$(mktemp -d /tmp/hpa-serve-recover-cache.XXXXXX)"
+recover_journal="$(mktemp -d /tmp/hpa-serve-recover-journal.XXXXXX)"
+cargo run --release -q --bin hpa -- serve --addr 127.0.0.1:0 --jobs 1 \
+  --journal-dir "$recover_journal" --cache-dir "$recover_cache" \
+  > "$recover_log" 2>&1 &
+recover_pid=$!
+for _ in $(seq 1 100); do
+  grep -q 'listening on' "$recover_log" 2>/dev/null && break
+  sleep 0.1
+done
+recover_addr="$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$recover_log" | head -1)"
+if [ -z "$recover_addr" ]; then
+  echo "ERROR: journaled hpa serve did not come up:" >&2
+  cat "$recover_log" >&2
+  kill "$recover_pid" 2>/dev/null || true
+  exit 1
+fi
+receipt="$(cargo run --release -q --bin hpa -- submit mcf --scale tiny \
+  --addr "$recover_addr" --no-wait --json)"
+recover_job="$(json_scalar "$receipt" job_id)"
+if [ -z "$recover_job" ]; then
+  echo "ERROR: --no-wait submit returned no job_id: $receipt" >&2
+  exit 1
+fi
+# The 200 is out, so the journal holds the job: SIGKILL, no grace.
+kill -9 "$recover_pid"
+wait "$recover_pid" 2>/dev/null || true
+cargo run --release -q --bin hpa -- serve --addr 127.0.0.1:0 --jobs 1 \
+  --journal-dir "$recover_journal" --cache-dir "$recover_cache" \
+  > "$recover_log" 2>&1 &
+recover_pid=$!
+for _ in $(seq 1 100); do
+  grep -q 'listening on' "$recover_log" 2>/dev/null && break
+  sleep 0.1
+done
+recover_addr="$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$recover_log" | head -1)"
+recovered="$(cargo run --release -q --bin hpa -- job "$recover_job" \
+  --addr "$recover_addr" --wait-secs 180 --json)"
+recovered_digest="$(json_scalar "$recovered" stats_digest)"
+mcf_digest="$(cargo run --release -q --bin hpa -- bench mcf --scale tiny |
+  awk '/^stats digest/ {print $3}')"
+if [ -z "$recovered_digest" ] || [ "$recovered_digest" != "$mcf_digest" ]; then
+  echo "ERROR: recovered job digest ($recovered_digest) != direct run ($mcf_digest)" >&2
+  cat "$recover_log" >&2
+  kill "$recover_pid" 2>/dev/null || true
+  exit 1
+fi
+cargo run --release -q --bin hpa -- serve --stop --addr "$recover_addr"
+wait "$recover_pid"
+rm -rf "$recover_cache" "$recover_journal"
+echo "hpa serve: kill -9 mid-job, journal replay, digest $recovered_digest matches direct run"
+
+echo "== chaos smoke (fixed seeds) =="
+# Fault-injection proxy between SDK and daemon: seeded drops, delays,
+# truncations and bit flips on the wire. The retry loop must carry the
+# submissions through, and the daemon must never wedge.
+cargo test -q --release --test serve_chaos chaos_proxy
+
 echo "== sampled-accuracy check (non-fatal) =="
 # SMARTS-style sampling vs full detailed simulation on two workloads at
 # the default scale, fixed seed. Non-fatal: sampling only warms branch
