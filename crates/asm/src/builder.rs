@@ -2,12 +2,15 @@
 
 use crate::{AsmError, Program};
 use hpa_isa::{
-    AluOp, BranchCond, FReg, FpBinOp, Inst, JumpKind, MemWidth, Reg, RegOrLit, UnaryOp, INST_BYTES,
+    AluOp, BranchCond, CmpCond, FReg, FpBinOp, Inst, JumpKind, MemWidth, Reg, RegOrLit, UnaryOp,
+    INST_BYTES,
 };
 use std::collections::HashMap;
 
 const DISP21_MAX: i64 = (1 << 20) - 1;
 const DISP21_MIN: i64 = -(1 << 20);
+const DISP13_MAX: i64 = (1 << 12) - 1;
+const DISP13_MIN: i64 = -(1 << 12);
 
 /// One assembly item; every item occupies exactly one instruction slot so
 /// that label layout is known before resolution.
@@ -22,6 +25,12 @@ enum Item {
     FBranch {
         cond: BranchCond,
         fa: FReg,
+        label: String,
+    },
+    BranchCmp {
+        cmp: CmpCond,
+        ra: Reg,
+        rb: Reg,
         label: String,
     },
     Br {
@@ -340,6 +349,11 @@ impl Asm {
         self.items.push(Item::FBranch { cond, fa, label });
     }
 
+    /// Two-register compare branch to a label (13-bit displacement range).
+    pub fn cbranch_to(&mut self, cmp: CmpCond, ra: Reg, rb: Reg, label: impl Into<String>) {
+        self.items.push(Item::BranchCmp { cmp, ra, rb, label: label.into() });
+    }
+
     /// Unconditional branch to a label.
     pub fn br(&mut self, label: impl Into<String>) -> &mut Asm {
         self.items.push(Item::Br { ra: Reg::ZERO, label: label.into() });
@@ -354,17 +368,17 @@ impl Asm {
 
     /// Indirect jump: `pc <- base`.
     pub fn jmp(&mut self, base: Reg) -> &mut Asm {
-        self.raw(Inst::Jump { kind: JumpKind::Jmp, rt: Reg::ZERO, base })
+        self.raw(Inst::Jump { kind: JumpKind::Jmp, rt: Reg::ZERO, base, disp: 0 })
     }
 
     /// Indirect call: `rt <- return address; pc <- base`.
     pub fn jsr(&mut self, rt: Reg, base: Reg) -> &mut Asm {
-        self.raw(Inst::Jump { kind: JumpKind::Jsr, rt, base })
+        self.raw(Inst::Jump { kind: JumpKind::Jsr, rt, base, disp: 0 })
     }
 
     /// Return: `pc <- base` with a return-address-stack pop hint.
     pub fn ret(&mut self, base: Reg) -> &mut Asm {
-        self.raw(Inst::Jump { kind: JumpKind::Ret, rt: Reg::ZERO, base })
+        self.raw(Inst::Jump { kind: JumpKind::Ret, rt: Reg::ZERO, base, disp: 0 })
     }
 
     /// Register move.
@@ -476,6 +490,16 @@ impl Asm {
                     fa: *fa,
                     disp: disp_to(slot, resolve(label)?, label)?,
                 },
+                Item::BranchCmp { cmp, ra, rb, label } => {
+                    let disp = disp_to(slot, resolve(label)?, label)?;
+                    if !(DISP13_MIN..=DISP13_MAX).contains(&i64::from(disp)) {
+                        return Err(AsmError::BranchOutOfRange {
+                            label: label.to_string(),
+                            slots: i64::from(disp),
+                        });
+                    }
+                    Inst::BranchCmp { cmp: *cmp, ra: *ra, rb: *rb, disp }
+                }
                 Item::Br { ra, label } => {
                     Inst::Br { ra: *ra, disp: disp_to(slot, resolve(label)?, label)? }
                 }

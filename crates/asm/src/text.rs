@@ -5,7 +5,9 @@
 //! `parse_program(&disassemble(p))` reproduces `p`.
 
 use crate::{Asm, AsmError, Program};
-use hpa_isa::{AluOp, BranchCond, FReg, FpBinOp, Inst, JumpKind, MemWidth, Reg, RegOrLit, UnaryOp};
+use hpa_isa::{
+    AluOp, BranchCond, CmpCond, FReg, FpBinOp, Inst, JumpKind, MemWidth, Reg, RegOrLit, UnaryOp,
+};
 
 /// Renders a program as assembly text that [`parse_program`] accepts.
 #[must_use]
@@ -213,6 +215,10 @@ fn lookup_branch(m: &str) -> Option<BranchCond> {
     BranchCond::ALL.iter().copied().find(|c| c.mnemonic() == m)
 }
 
+fn lookup_cmp_branch(m: &str) -> Option<CmpCond> {
+    CmpCond::ALL.iter().copied().find(|c| c.mnemonic() == m)
+}
+
 fn parse_inst(asm: &mut Asm, text: &str, line: usize) -> Result<(), AsmError> {
     let mut parts = text.splitn(2, char::is_whitespace);
     let mnemonic = parts.next().unwrap();
@@ -266,6 +272,21 @@ fn parse_inst(asm: &mut Asm, text: &str, line: usize) -> Result<(), AsmError> {
         }
         return Ok(());
     }
+    // Two-register compare branch: `cbeq ra, rb, target`.
+    if let Some(cmp) = lookup_cmp_branch(mnemonic) {
+        want(3)?;
+        let ra = parse_reg(operands[0], line)?;
+        let rb = parse_reg(operands[1], line)?;
+        match parse_target(operands[2], line)? {
+            Target::Label(l) => {
+                asm.cbranch_to(cmp, ra, rb, l);
+            }
+            Target::Slots(disp) => {
+                asm.raw(Inst::BranchCmp { cmp, ra, rb, disp });
+            }
+        }
+        return Ok(());
+    }
     // FP conditional branch: `fbeq fa, target`.
     if let Some(cond) = mnemonic.strip_prefix('f').and_then(lookup_branch) {
         want(2)?;
@@ -282,13 +303,18 @@ fn parse_inst(asm: &mut Asm, text: &str, line: usize) -> Result<(), AsmError> {
     }
 
     match mnemonic {
-        "ldbu" | "ldl" | "ldq" | "stb" | "stl" | "stq" => {
+        "ldbu" | "ldb" | "ldhu" | "ldh" | "ldl" | "ldlu" | "ldq" | "stb" | "stsb" | "sth"
+        | "stsh" | "stl" | "stlu" | "stq" => {
             want(2)?;
             let rt = parse_reg(operands[0], line)?;
             let (disp, base) = parse_mem(operands[1], line)?;
-            let width = match &mnemonic[2..] {
-                "bu" | "b" => MemWidth::Byte,
-                "l" => MemWidth::Long,
+            let width = match mnemonic {
+                "ldbu" | "stb" => MemWidth::Byte,
+                "ldb" | "stsb" => MemWidth::SByte,
+                "ldhu" | "sth" => MemWidth::Half,
+                "ldh" | "stsh" => MemWidth::SHalf,
+                "ldl" | "stl" => MemWidth::Long,
+                "ldlu" | "stlu" => MemWidth::ULong,
                 _ => MemWidth::Quad,
             };
             if mnemonic.starts_with("ld") {
@@ -345,17 +371,13 @@ fn parse_inst(asm: &mut Asm, text: &str, line: usize) -> Result<(), AsmError> {
         "jmp" | "jsr" | "ret" => {
             want(2)?;
             let rt = parse_reg(operands[0], line)?;
-            let base_tok = operands[1]
-                .strip_prefix('(')
-                .and_then(|s| s.strip_suffix(')'))
-                .ok_or_else(|| err(line, "jump base must be written (rN)"))?;
-            let base = parse_reg(base_tok, line)?;
+            let (disp, base) = parse_mem(operands[1], line)?;
             let kind = match mnemonic {
                 "jmp" => JumpKind::Jmp,
                 "jsr" => JumpKind::Jsr,
                 _ => JumpKind::Ret,
             };
-            asm.raw(Inst::Jump { kind, rt, base });
+            asm.raw(Inst::Jump { kind, rt, base, disp });
         }
         "li" => {
             want(2)?;
@@ -430,9 +452,77 @@ mod tests {
             Inst::Load { width: MemWidth::Quad, rt: Reg::R1, base: Reg::R2, disp: 16 }
         );
         assert_eq!(p.insts()[2], Inst::FLoad { ft: FReg::F1, base: Reg::R5, disp: 0 });
-        assert_eq!(p.insts()[3], Inst::Jump { kind: JumpKind::Jsr, rt: Reg::R26, base: Reg::R27 });
+        assert_eq!(
+            p.insts()[3],
+            Inst::Jump { kind: JumpKind::Jsr, rt: Reg::R26, base: Reg::R27, disp: 0 }
+        );
         assert_eq!(p.insts()[5], Inst::Br { ra: Reg::ZERO, disp: 2 });
         assert_eq!(p.insts()[7], Inst::FBranch { cond: BranchCond::Ne, fa: FReg::F1, disp: 1 });
+    }
+
+    #[test]
+    fn parse_extension_widths_and_compare_branches() {
+        use hpa_isa::CmpCond;
+        let p = parse_program(
+            "
+            ldh r1, -2(r2)
+            ldhu r3, 2(r4)
+            ldb r5, (r6)
+            ldlu r7, 4(r8)
+            sth r1, -2(r2)
+            stsb r5, 1(r6)
+            stlu r7, 4(r8)
+            cbltu r1, r3, +2
+            cbeq r1, r3, back
+        back:
+            jmp r31, 8(r9)
+            halt
+        ",
+        )
+        .unwrap();
+        assert_eq!(
+            p.insts()[0],
+            Inst::Load { width: MemWidth::SHalf, rt: Reg::R1, base: Reg::R2, disp: -2 }
+        );
+        assert_eq!(
+            p.insts()[1],
+            Inst::Load { width: MemWidth::Half, rt: Reg::R3, base: Reg::R4, disp: 2 }
+        );
+        assert_eq!(
+            p.insts()[2],
+            Inst::Load { width: MemWidth::SByte, rt: Reg::R5, base: Reg::R6, disp: 0 }
+        );
+        assert_eq!(
+            p.insts()[3],
+            Inst::Load { width: MemWidth::ULong, rt: Reg::R7, base: Reg::R8, disp: 4 }
+        );
+        assert_eq!(
+            p.insts()[4],
+            Inst::Store { width: MemWidth::Half, rt: Reg::R1, base: Reg::R2, disp: -2 }
+        );
+        assert_eq!(
+            p.insts()[5],
+            Inst::Store { width: MemWidth::SByte, rt: Reg::R5, base: Reg::R6, disp: 1 }
+        );
+        assert_eq!(
+            p.insts()[6],
+            Inst::Store { width: MemWidth::ULong, rt: Reg::R7, base: Reg::R8, disp: 4 }
+        );
+        assert_eq!(
+            p.insts()[7],
+            Inst::BranchCmp { cmp: CmpCond::Ltu, ra: Reg::R1, rb: Reg::R3, disp: 2 }
+        );
+        assert_eq!(
+            p.insts()[8],
+            Inst::BranchCmp { cmp: CmpCond::Eq, ra: Reg::R1, rb: Reg::R3, disp: 0 }
+        );
+        assert_eq!(
+            p.insts()[9],
+            Inst::Jump { kind: JumpKind::Jmp, rt: Reg::R31, base: Reg::R9, disp: 8 }
+        );
+        // And the whole thing survives a disassemble/parse cycle.
+        let p2 = parse_program(&disassemble(&p)).unwrap();
+        assert_eq!(p.insts(), p2.insts());
     }
 
     #[test]

@@ -50,6 +50,7 @@ pub use hpa_circuits as circuits;
 pub use hpa_emu as emu;
 pub use hpa_isa as isa;
 pub use hpa_obs as obs;
+pub use hpa_rv as rv;
 pub use hpa_sim as sim;
 pub use hpa_workloads as workloads;
 

@@ -295,7 +295,11 @@ impl Emulator {
                 mem_addr = Some(addr);
                 let v = match width {
                     MemWidth::Byte => u64::from(self.memory.read_u8(addr)),
+                    MemWidth::SByte => self.memory.read_u8(addr) as i8 as i64 as u64,
+                    MemWidth::Half => u64::from(self.memory.read_u16(addr)),
+                    MemWidth::SHalf => self.memory.read_u16(addr) as i16 as i64 as u64,
                     MemWidth::Long => self.memory.read_u32(addr) as i32 as i64 as u64,
+                    MemWidth::ULong => u64::from(self.memory.read_u32(addr)),
                     MemWidth::Quad => self.memory.read_u64(addr),
                 };
                 self.set_reg(rt, v);
@@ -306,8 +310,9 @@ impl Emulator {
                 mem_addr = Some(addr);
                 let v = self.reg(rt);
                 match width {
-                    MemWidth::Byte => self.memory.write_u8(addr, v as u8),
-                    MemWidth::Long => self.memory.write_u32(addr, v as u32),
+                    MemWidth::Byte | MemWidth::SByte => self.memory.write_u8(addr, v as u8),
+                    MemWidth::Half | MemWidth::SHalf => self.memory.write_u16(addr, v as u16),
+                    MemWidth::Long | MemWidth::ULong => self.memory.write_u32(addr, v as u32),
                     MemWidth::Quad => self.memory.write_u64(addr, v),
                 }
             }
@@ -330,6 +335,12 @@ impl Emulator {
                     next_pc = branch_target(disp);
                 }
             }
+            Inst::BranchCmp { cmp, ra, rb, disp } => {
+                taken = cmp.eval(self.reg(ra), self.reg(rb));
+                if taken {
+                    next_pc = branch_target(disp);
+                }
+            }
             Inst::FBranch { cond, fa, disp } => {
                 taken = cond.eval_fp(self.freg(fa));
                 if taken {
@@ -341,10 +352,10 @@ impl Emulator {
                 taken = true;
                 next_pc = branch_target(disp);
             }
-            Inst::Jump { rt, base, .. } => {
+            Inst::Jump { rt, base, disp, .. } => {
                 // Read the target before writing the return address so that
                 // `jsr r26, (r26)` behaves correctly.
-                let target = self.reg(base);
+                let target = self.reg(base).wrapping_add_signed(i64::from(disp));
                 self.set_reg(rt, fallthrough);
                 taken = true;
                 next_pc = target;

@@ -187,6 +187,17 @@ impl Memory {
         }
     }
 
+    /// Reads a little-endian `u16`.
+    #[must_use]
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        u16::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn write_u16(&mut self, addr: u64, value: u16) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
     /// Reads a little-endian `u32`.
     #[must_use]
     pub fn read_u32(&self, addr: u64) -> u32 {
@@ -297,6 +308,58 @@ mod tests {
             // Unaligned load overlapping the patched byte.
             assert_eq!(m.read_u32(0x3FE), 0xFF01_0000);
         }
+    }
+
+    /// Every access width, placed so the access straddles a page edge the
+    /// way a loaded binary image's data can: the bytes must read back
+    /// identically whether or not a page boundary sits mid-access.
+    #[test]
+    fn every_width_straddles_page_edges() {
+        let boundary = 3 * PAGE_SIZE;
+        // Seed an "image" across the boundary the way the loader writes
+        // segments: one contiguous byte blob.
+        let image: Vec<u8> =
+            (0u16..32).map(|i| (i as u8).wrapping_mul(37).wrapping_add(1)).collect();
+        let image_base = boundary - 16;
+        let mut m = Memory::new();
+        m.write_bytes(image_base, &image);
+
+        // 1-byte accesses at either side of the edge.
+        assert_eq!(m.read_u8(boundary - 1), image[15]);
+        assert_eq!(m.read_u8(boundary), image[16]);
+        // 2-byte access straddling: one byte each side.
+        assert_eq!(m.read_u16(boundary - 1), u16::from_le_bytes([image[15], image[16]]));
+        // 4-byte access straddling 1..3 bytes into the next page.
+        for split in 1..4u64 {
+            let a = boundary - split;
+            let lo = (a - image_base) as usize;
+            assert_eq!(m.read_u32(a), u32::from_le_bytes(image[lo..lo + 4].try_into().unwrap()));
+        }
+        // 8-byte access straddling 1..7 bytes into the next page.
+        for split in 1..8u64 {
+            let a = boundary - split;
+            let lo = (a - image_base) as usize;
+            assert_eq!(m.read_u64(a), u64::from_le_bytes(image[lo..lo + 8].try_into().unwrap()));
+        }
+
+        // Straddling writes land on the correct bytes of both pages.
+        m.write_u16(boundary - 1, 0xBEEF);
+        assert_eq!(m.read_u8(boundary - 1), 0xEF);
+        assert_eq!(m.read_u8(boundary), 0xBE);
+        m.write_u32(boundary - 2, 0xAABB_CCDD);
+        assert_eq!(m.read_u32(boundary - 2), 0xAABB_CCDD);
+        m.write_u64(boundary - 5, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(boundary - 5), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn u16_round_trip_and_endianness() {
+        let mut m = Memory::new();
+        m.write_u16(0x500, 0xA1B2);
+        assert_eq!(m.read_u16(0x500), 0xA1B2);
+        assert_eq!(m.read_u8(0x500), 0xB2, "little-endian layout");
+        assert_eq!(m.read_u8(0x501), 0xA1);
+        assert_eq!(m.read_u16(0xFFF0), 0, "untouched memory reads zero");
     }
 
     #[test]

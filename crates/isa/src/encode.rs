@@ -7,7 +7,7 @@
 //! opcode per ALU operation so that a 16-bit literal fits.
 
 use crate::inst::{Inst, RegOrLit};
-use crate::op::{AluOp, BranchCond, FpBinOp, JumpKind, MemWidth, UnaryOp};
+use crate::op::{AluOp, BranchCond, CmpCond, FpBinOp, JumpKind, MemWidth, UnaryOp};
 use crate::reg::{FReg, Reg};
 use std::fmt;
 
@@ -38,14 +38,25 @@ const MAJ_LOAD_B: u32 = 6; // 6,7,8 = byte/long/quad
 const MAJ_STORE_B: u32 = 9; // 9,10,11
 const MAJ_FLOAD: u32 = 12;
 const MAJ_FSTORE: u32 = 13;
+const MAJ_LOAD2: u32 = 14; // RV-extension widths, 2-bit width field
+const MAJ_STORE2: u32 = 15;
 const MAJ_BR_INT: u32 = 16; // 16..24: one per BranchCond
 const MAJ_BR_FP: u32 = 24; // 24..32
 const MAJ_BR: u32 = 32;
 const MAJ_JMP: u32 = 33; // 33,34,35 = jmp/jsr/ret
-const MAJ_OP_LIT: u32 = 36; // 36..36+19: one per AluOp
+const MAJ_OP_LIT: u32 = 36; // 36..36+19: one per legacy AluOp
+const MAJ_OP2_REG: u32 = 55; // extension ops, 5-bit function field
+const MAJ_OP2_LIT: u32 = 56; // 56..60: addw/sllw/srlw/sraw literal forms
+const MAJ_BCMP: u32 = 60; // two-register compare-and-branch
+
+/// How many extension ops have literal-form majors (the first
+/// `OP2_LIT_COUNT` entries after [`AluOp::LEGACY`] in [`AluOp::ALL`]).
+const OP2_LIT_COUNT: u32 = 4;
 
 const DISP21_MAX: i32 = (1 << 20) - 1;
 const DISP21_MIN: i32 = -(1 << 20);
+const DISP13_MAX: i32 = (1 << 12) - 1;
+const DISP13_MIN: i32 = -(1 << 12);
 
 fn major(word: u32) -> u32 {
     word >> 26
@@ -71,12 +82,50 @@ fn width_of(index: u32) -> MemWidth {
     }
 }
 
-fn width_index(w: MemWidth) -> u32 {
+/// Legacy-width index under `MAJ_LOAD_B`/`MAJ_STORE_B`; `None` for the
+/// extension widths, which encode under `MAJ_LOAD2`/`MAJ_STORE2`.
+fn width_index(w: MemWidth) -> Option<u32> {
     match w {
-        MemWidth::Byte => 0,
-        MemWidth::Long => 1,
-        MemWidth::Quad => 2,
+        MemWidth::Byte => Some(0),
+        MemWidth::Long => Some(1),
+        MemWidth::Quad => Some(2),
+        MemWidth::SByte | MemWidth::Half | MemWidth::SHalf | MemWidth::ULong => None,
     }
+}
+
+fn width2_of(index: u32) -> MemWidth {
+    match index {
+        0 => MemWidth::SByte,
+        1 => MemWidth::Half,
+        2 => MemWidth::SHalf,
+        _ => MemWidth::ULong,
+    }
+}
+
+fn width2_index(w: MemWidth) -> u32 {
+    match w {
+        MemWidth::SByte => 0,
+        MemWidth::Half => 1,
+        MemWidth::SHalf => 2,
+        MemWidth::ULong => 3,
+        MemWidth::Byte | MemWidth::Long | MemWidth::Quad => unreachable!("legacy width"),
+    }
+}
+
+/// Packs an extension-width memory word: `rt`/`ft` at 21, base at 16, the
+/// 2-bit width index at 14 and a signed 13-bit byte displacement at 0
+/// (covers RV64I's ±2 KiB immediate with room to spare).
+fn encode_mem2(major: u32, rt: u32, base: Reg, width: MemWidth, disp: i16) -> u32 {
+    let d = i32::from(disp);
+    assert!(
+        (DISP13_MIN..=DISP13_MAX).contains(&d),
+        "memory displacement {d} out of 13-bit range for extension width"
+    );
+    (major << 26)
+        | (rt << 21)
+        | (u32::from(base.number()) << 16)
+        | (width2_index(width) << 14)
+        | (d as u32 & 0x1FFF)
 }
 
 fn alu_index(op: AluOp) -> u32 {
@@ -87,22 +136,37 @@ fn alu_index(op: AluOp) -> u32 {
 ///
 /// # Panics
 ///
-/// Panics if a branch displacement exceeds the signed 21-bit range — the
-/// assembler is responsible for staying within it.
+/// Panics if a branch displacement exceeds its encodable range (21 bits
+/// for the classic branch forms, 13 for [`Inst::BranchCmp`] and the
+/// extension-width memory displacements) — the assembler and the `hpa-rv`
+/// translator are responsible for staying within them — or if a
+/// literal-form operate uses an operation without a literal encoding (see
+/// [`AluOp::has_lit_form`]).
 #[must_use]
 pub fn encode(inst: &Inst) -> u32 {
     let maj = |m: u32| m << 26;
     match *inst {
         Inst::Halt => maj(MAJ_HALT),
         Inst::Op { op, ra, rb: RegOrLit::Reg(rb), rc } => {
-            maj(MAJ_OP_REG)
-                | (alu_index(op) << 21)
+            let (major, f) = match alu_index(op) {
+                i if i < AluOp::LEGACY as u32 => (MAJ_OP_REG, i),
+                i => (MAJ_OP2_REG, i - AluOp::LEGACY as u32),
+            };
+            maj(major)
+                | (f << 21)
                 | (u32::from(ra.number()) << 16)
                 | (u32::from(rb.number()) << 11)
                 | (u32::from(rc.number()) << 6)
         }
         Inst::Op { op, ra, rb: RegOrLit::Lit(lit), rc } => {
-            maj(MAJ_OP_LIT + alu_index(op))
+            let major = match alu_index(op) {
+                i if i < AluOp::LEGACY as u32 => MAJ_OP_LIT + i,
+                i if i < AluOp::LEGACY as u32 + OP2_LIT_COUNT => {
+                    MAJ_OP2_LIT + (i - AluOp::LEGACY as u32)
+                }
+                _ => panic!("{op} has no literal-form encoding"),
+            };
+            maj(major)
                 | (u32::from(ra.number()) << 21)
                 | (u32::from(rc.number()) << 16)
                 | u32::from(lit as u16)
@@ -128,18 +192,24 @@ pub fn encode(inst: &Inst) -> u32 {
         Inst::Ftoi { fa, rc } => {
             maj(MAJ_FTOI) | (u32::from(fa.number()) << 21) | (u32::from(rc.number()) << 16)
         }
-        Inst::Load { width, rt, base, disp } => {
-            maj(MAJ_LOAD_B + width_index(width))
-                | (u32::from(rt.number()) << 21)
-                | (u32::from(base.number()) << 16)
-                | u32::from(disp as u16)
-        }
-        Inst::Store { width, rt, base, disp } => {
-            maj(MAJ_STORE_B + width_index(width))
-                | (u32::from(rt.number()) << 21)
-                | (u32::from(base.number()) << 16)
-                | u32::from(disp as u16)
-        }
+        Inst::Load { width, rt, base, disp } => match width_index(width) {
+            Some(i) => {
+                maj(MAJ_LOAD_B + i)
+                    | (u32::from(rt.number()) << 21)
+                    | (u32::from(base.number()) << 16)
+                    | u32::from(disp as u16)
+            }
+            None => encode_mem2(MAJ_LOAD2, u32::from(rt.number()), base, width, disp),
+        },
+        Inst::Store { width, rt, base, disp } => match width_index(width) {
+            Some(i) => {
+                maj(MAJ_STORE_B + i)
+                    | (u32::from(rt.number()) << 21)
+                    | (u32::from(base.number()) << 16)
+                    | u32::from(disp as u16)
+            }
+            None => encode_mem2(MAJ_STORE2, u32::from(rt.number()), base, width, disp),
+        },
         Inst::FLoad { ft, base, disp } => {
             maj(MAJ_FLOAD)
                 | (u32::from(ft.number()) << 21)
@@ -175,19 +245,38 @@ pub fn encode(inst: &Inst) -> u32 {
             );
             maj(MAJ_BR) | (u32::from(ra.number()) << 21) | (disp as u32 & 0x1F_FFFF)
         }
-        Inst::Jump { kind, rt, base } => {
+        Inst::Jump { kind, rt, base, disp } => {
             let k = match kind {
                 JumpKind::Jmp => 0,
                 JumpKind::Jsr => 1,
                 JumpKind::Ret => 2,
             };
-            maj(MAJ_JMP + k) | (u32::from(rt.number()) << 21) | (u32::from(base.number()) << 16)
+            maj(MAJ_JMP + k)
+                | (u32::from(rt.number()) << 21)
+                | (u32::from(base.number()) << 16)
+                | u32::from(disp as u16)
+        }
+        Inst::BranchCmp { cmp, ra, rb, disp } => {
+            let c = CmpCond::ALL.iter().position(|&x| x == cmp).expect("cmp") as u32;
+            assert!(
+                (DISP13_MIN..=DISP13_MAX).contains(&disp),
+                "compare-branch displacement {disp} out of 13-bit range"
+            );
+            maj(MAJ_BCMP)
+                | (c << 23)
+                | (u32::from(ra.number()) << 18)
+                | (u32::from(rb.number()) << 13)
+                | (disp as u32 & 0x1FFF)
         }
     }
 }
 
 fn sext21(raw: u32) -> i32 {
     ((raw << 11) as i32) >> 11
+}
+
+fn sext13(raw: u32) -> i32 {
+    ((raw << 19) as i32) >> 19
 }
 
 /// Decodes one 32-bit word back into an instruction.
@@ -202,7 +291,19 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
     Ok(match m {
         MAJ_HALT => Inst::Halt,
         MAJ_OP_REG => {
-            let op = *AluOp::ALL.get(field(word, 21, 5) as usize).ok_or(err)?;
+            let op = *AluOp::ALL
+                .get(field(word, 21, 5) as usize)
+                .filter(|_| (field(word, 21, 5) as usize) < AluOp::LEGACY)
+                .ok_or(err)?;
+            Inst::Op {
+                op,
+                ra: reg_at(word, 16),
+                rb: RegOrLit::Reg(reg_at(word, 11)),
+                rc: reg_at(word, 6),
+            }
+        }
+        MAJ_OP2_REG => {
+            let op = *AluOp::ALL.get(AluOp::LEGACY + field(word, 21, 5) as usize).ok_or(err)?;
             Inst::Op {
                 op,
                 ra: reg_at(word, 16),
@@ -242,6 +343,18 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
             base: reg_at(word, 16),
             disp: field(word, 0, 16) as u16 as i16,
         },
+        MAJ_LOAD2 => Inst::Load {
+            width: width2_of(field(word, 14, 2)),
+            rt: reg_at(word, 21),
+            base: reg_at(word, 16),
+            disp: sext13(field(word, 0, 13)) as i16,
+        },
+        MAJ_STORE2 => Inst::Store {
+            width: width2_of(field(word, 14, 2)),
+            rt: reg_at(word, 21),
+            base: reg_at(word, 16),
+            disp: sext13(field(word, 0, 13)) as i16,
+        },
         m @ MAJ_BR_INT..=23 => Inst::Branch {
             cond: BranchCond::ALL[(m - MAJ_BR_INT) as usize],
             ra: reg_at(word, 21),
@@ -261,9 +374,25 @@ pub fn decode(word: u32) -> Result<Inst, DecodeError> {
             },
             rt: reg_at(word, 21),
             base: reg_at(word, 16),
+            disp: field(word, 0, 16) as u16 as i16,
         },
-        m if (MAJ_OP_LIT..MAJ_OP_LIT + AluOp::ALL.len() as u32).contains(&m) => {
+        MAJ_BCMP => Inst::BranchCmp {
+            cmp: *CmpCond::ALL.get(field(word, 23, 3) as usize).ok_or(err)?,
+            ra: reg_at(word, 18),
+            rb: reg_at(word, 13),
+            disp: sext13(field(word, 0, 13)),
+        },
+        m if (MAJ_OP_LIT..MAJ_OP_LIT + AluOp::LEGACY as u32).contains(&m) => {
             let op = AluOp::ALL[(m - MAJ_OP_LIT) as usize];
+            Inst::Op {
+                op,
+                ra: reg_at(word, 21),
+                rb: RegOrLit::Lit(field(word, 0, 16) as u16 as i16),
+                rc: reg_at(word, 16),
+            }
+        }
+        m if (MAJ_OP2_LIT..MAJ_OP2_LIT + OP2_LIT_COUNT).contains(&m) => {
+            let op = AluOp::ALL[AluOp::LEGACY + (m - MAJ_OP2_LIT) as usize];
             Inst::Op {
                 op,
                 ra: reg_at(word, 21),
@@ -283,8 +412,10 @@ mod tests {
         let mut v = Vec::new();
         for &op in &AluOp::ALL {
             v.push(Inst::Op { op, ra: Reg::R1, rb: RegOrLit::Reg(Reg::R30), rc: Reg::R17 });
-            v.push(Inst::Op { op, ra: Reg::R31, rb: RegOrLit::Lit(-1234), rc: Reg::R0 });
-            v.push(Inst::Op { op, ra: Reg::R9, rb: RegOrLit::Lit(i16::MAX), rc: Reg::R9 });
+            if op.has_lit_form() {
+                v.push(Inst::Op { op, ra: Reg::R31, rb: RegOrLit::Lit(-1234), rc: Reg::R0 });
+                v.push(Inst::Op { op, ra: Reg::R9, rb: RegOrLit::Lit(i16::MAX), rc: Reg::R9 });
+            }
         }
         for &op in &UnaryOp::ALL {
             v.push(Inst::Op1 { op, ra: Reg::R13, rc: Reg::R14 });
@@ -298,6 +429,10 @@ mod tests {
             v.push(Inst::Load { width: w, rt: Reg::R1, base: Reg::R2, disp: -8 });
             v.push(Inst::Store { width: w, rt: Reg::R3, base: Reg::R4, disp: 32 });
         }
+        for w in [MemWidth::SByte, MemWidth::Half, MemWidth::SHalf, MemWidth::ULong] {
+            v.push(Inst::Load { width: w, rt: Reg::R1, base: Reg::R2, disp: DISP13_MIN as i16 });
+            v.push(Inst::Store { width: w, rt: Reg::R3, base: Reg::R4, disp: DISP13_MAX as i16 });
+        }
         v.push(Inst::FLoad { ft: FReg::F8, base: Reg::R9, disp: 16 });
         v.push(Inst::FStore { ft: FReg::F10, base: Reg::R11, disp: -16 });
         for &cond in &BranchCond::ALL {
@@ -307,8 +442,25 @@ mod tests {
         v.push(Inst::Br { ra: Reg::R26, disp: 12345 });
         v.push(Inst::Br { ra: Reg::ZERO, disp: -12345 });
         for kind in [JumpKind::Jmp, JumpKind::Jsr, JumpKind::Ret] {
-            v.push(Inst::Jump { kind, rt: Reg::R26, base: Reg::R27 });
+            v.push(Inst::Jump { kind, rt: Reg::R26, base: Reg::R27, disp: 0 });
         }
+        v.push(Inst::Jump { kind: JumpKind::Jsr, rt: Reg::R0, base: Reg::R5, disp: -4 });
+        v.push(Inst::Jump { kind: JumpKind::Jmp, rt: Reg::R31, base: Reg::R5, disp: i16::MAX });
+        for &cmp in &CmpCond::ALL {
+            v.push(Inst::BranchCmp { cmp, ra: Reg::R2, rb: Reg::R7, disp: -6 });
+        }
+        v.push(Inst::BranchCmp {
+            cmp: CmpCond::Ltu,
+            ra: Reg::ZERO,
+            rb: Reg::R30,
+            disp: DISP13_MAX,
+        });
+        v.push(Inst::BranchCmp {
+            cmp: CmpCond::Geu,
+            ra: Reg::R30,
+            rb: Reg::ZERO,
+            disp: DISP13_MIN,
+        });
         v.push(Inst::Halt);
         v.push(Inst::nop());
         v
@@ -338,11 +490,46 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "out of 13-bit range")]
+    fn compare_branch_displacement_overflow_panics() {
+        let _ = encode(&Inst::BranchCmp {
+            cmp: CmpCond::Eq,
+            ra: Reg::R1,
+            rb: Reg::R2,
+            disp: DISP13_MAX + 1,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of 13-bit range")]
+    fn extension_width_displacement_overflow_panics() {
+        let _ = encode(&Inst::Load {
+            width: MemWidth::SHalf,
+            rt: Reg::R1,
+            base: Reg::R2,
+            disp: (DISP13_MIN - 1) as i16,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "no literal-form encoding")]
+    fn lit_form_of_extension_op_panics() {
+        let _ =
+            encode(&Inst::Op { op: AluOp::MulH, ra: Reg::R1, rb: RegOrLit::Lit(1), rc: Reg::R2 });
+    }
+
+    #[test]
     fn invalid_words_are_rejected() {
         // Unused major opcode.
         assert!(decode(63 << 26).is_err());
-        // OP_REG with out-of-range function field.
+        // OP_REG with out-of-range function field (extension ops live under
+        // their own major and must not decode here).
         assert!(decode((MAJ_OP_REG << 26) | (31 << 21)).is_err());
+        assert!(decode((MAJ_OP_REG << 26) | ((AluOp::LEGACY as u32) << 21)).is_err());
+        // OP2_REG with a function field past the extension op count.
+        assert!(decode((MAJ_OP2_REG << 26) | (31 << 21)).is_err());
+        // BCMP with an out-of-range condition field.
+        assert!(decode((MAJ_BCMP << 26) | (7 << 23)).is_err());
         // Error type displays the word.
         let e = decode(63 << 26).unwrap_err();
         assert!(e.to_string().contains("0xfc000000"));

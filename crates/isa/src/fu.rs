@@ -56,7 +56,19 @@ impl Inst {
     pub fn fu_class(&self) -> FuClass {
         match self {
             Inst::Op { op, .. } => match op {
-                AluOp::Mul | AluOp::Div | AluOp::Rem => FuClass::IntMulDiv,
+                AluOp::Mul
+                | AluOp::Div
+                | AluOp::Rem
+                | AluOp::MulW
+                | AluOp::MulH
+                | AluOp::MulHU
+                | AluOp::MulHSU
+                | AluOp::DivW
+                | AluOp::DivUW
+                | AluOp::RemW
+                | AluOp::RemUW
+                | AluOp::DivU
+                | AluOp::RemU => FuClass::IntMulDiv,
                 _ => FuClass::IntAlu,
             },
             Inst::Op1 { .. } => FuClass::IntAlu,
@@ -70,6 +82,7 @@ impl Inst {
             }
             Inst::Branch { .. }
             | Inst::FBranch { .. }
+            | Inst::BranchCmp { .. }
             | Inst::Br { .. }
             | Inst::Jump { .. }
             | Inst::Halt => FuClass::IntAlu,
@@ -84,8 +97,17 @@ impl Inst {
     pub fn latency(&self) -> OpLatency {
         match self {
             Inst::Op { op, .. } => match op {
-                AluOp::Mul => OpLatency::pipe(3),
-                AluOp::Div | AluOp::Rem => OpLatency::block(20),
+                AluOp::Mul | AluOp::MulW | AluOp::MulH | AluOp::MulHU | AluOp::MulHSU => {
+                    OpLatency::pipe(3)
+                }
+                AluOp::Div
+                | AluOp::Rem
+                | AluOp::DivW
+                | AluOp::DivUW
+                | AluOp::RemW
+                | AluOp::RemUW
+                | AluOp::DivU
+                | AluOp::RemU => OpLatency::block(20),
                 _ => OpLatency::pipe(1),
             },
             Inst::Op1 { .. } => OpLatency::pipe(1),
@@ -101,6 +123,7 @@ impl Inst {
             }
             Inst::Branch { .. }
             | Inst::FBranch { .. }
+            | Inst::BranchCmp { .. }
             | Inst::Br { .. }
             | Inst::Jump { .. }
             | Inst::Halt => OpLatency::pipe(1),
@@ -155,9 +178,25 @@ mod tests {
 
     #[test]
     fn branches_use_int_alu() {
-        use crate::op::BranchCond;
+        use crate::op::{BranchCond, CmpCond};
         let b = Inst::Branch { cond: BranchCond::Eq, ra: Reg::R1, disp: 4 };
         assert_eq!(b.fu_class(), FuClass::IntAlu);
         assert_eq!(b.latency().cycles, 1);
+        let cb = Inst::BranchCmp { cmp: CmpCond::Ltu, ra: Reg::R1, rb: Reg::R2, disp: 4 };
+        assert_eq!(cb.fu_class(), FuClass::IntAlu);
+        assert_eq!(cb.latency().cycles, 1);
+    }
+
+    #[test]
+    fn extension_ops_classify_like_their_legacy_kin() {
+        let mulh = Inst::op(AluOp::MulH, Reg::R1, RegOrLit::Reg(Reg::R2), Reg::R3);
+        assert_eq!(mulh.fu_class(), FuClass::IntMulDiv);
+        assert_eq!(mulh.latency(), OpLatency { cycles: 3, pipelined: true });
+        let remuw = Inst::op(AluOp::RemUW, Reg::R1, RegOrLit::Reg(Reg::R2), Reg::R3);
+        assert_eq!(remuw.fu_class(), FuClass::IntMulDiv);
+        assert_eq!(remuw.latency(), OpLatency { cycles: 20, pipelined: false });
+        let addw = Inst::op(AluOp::AddW, Reg::R1, RegOrLit::Reg(Reg::R2), Reg::R3);
+        assert_eq!(addw.fu_class(), FuClass::IntAlu);
+        assert_eq!(addw.latency().cycles, 1);
     }
 }

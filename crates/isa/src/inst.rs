@@ -1,6 +1,6 @@
 //! The instruction type.
 
-use crate::op::{AluOp, BranchCond, FpBinOp, JumpKind, MemWidth, UnaryOp};
+use crate::op::{AluOp, BranchCond, CmpCond, FpBinOp, JumpKind, MemWidth, UnaryOp};
 use crate::reg::{FReg, Reg};
 use std::fmt;
 
@@ -147,6 +147,19 @@ pub enum Inst {
         /// Displacement in instruction slots from the next instruction.
         disp: i32,
     },
+    /// Conditional branch comparing two integer registers (the RV64 branch
+    /// shape, added for the `hpa-rv` frontend). A 2-source-format
+    /// instruction with no destination.
+    BranchCmp {
+        /// The comparison.
+        cmp: CmpCond,
+        /// Left source register.
+        ra: Reg,
+        /// Right source register.
+        rb: Reg,
+        /// Displacement in instruction slots from the next instruction.
+        disp: i32,
+    },
     /// Conditional branch testing a floating-point register against zero.
     FBranch {
         /// The condition.
@@ -164,7 +177,11 @@ pub enum Inst {
         /// Displacement in instruction slots from the next instruction.
         disp: i32,
     },
-    /// Register-indirect jump: `rt <- return address; pc <- base`.
+    /// Register-indirect jump:
+    /// `rt <- return address; pc <- base + disp`.
+    ///
+    /// The byte displacement is 0 for the classic Alpha forms; the `hpa-rv`
+    /// frontend uses it for RV64 `jalr`'s immediate.
     Jump {
         /// RAS hint.
         kind: JumpKind,
@@ -172,6 +189,8 @@ pub enum Inst {
         rt: Reg,
         /// Target address register (the only source).
         base: Reg,
+        /// Byte displacement added to the target address.
+        disp: i16,
     },
     /// Stops the machine (stands in for the `call_pal halt` exit path).
     Halt,
@@ -211,14 +230,18 @@ impl Inst {
     pub fn is_control(&self) -> bool {
         matches!(
             self,
-            Inst::Branch { .. } | Inst::FBranch { .. } | Inst::Br { .. } | Inst::Jump { .. }
+            Inst::Branch { .. }
+                | Inst::BranchCmp { .. }
+                | Inst::FBranch { .. }
+                | Inst::Br { .. }
+                | Inst::Jump { .. }
         )
     }
 
     /// Whether this is a conditional branch.
     #[must_use]
     pub fn is_cond_branch(&self) -> bool {
-        matches!(self, Inst::Branch { .. } | Inst::FBranch { .. })
+        matches!(self, Inst::Branch { .. } | Inst::BranchCmp { .. } | Inst::FBranch { .. })
     }
 
     /// Whether this is a memory load (integer or floating-point).
@@ -239,11 +262,22 @@ impl fmt::Display for Inst {
         fn mem_mnemonic(width: MemWidth, store: bool) -> &'static str {
             match (width, store) {
                 (MemWidth::Byte, false) => "ldbu",
+                (MemWidth::SByte, false) => "ldb",
+                (MemWidth::Half, false) => "ldhu",
+                (MemWidth::SHalf, false) => "ldh",
                 (MemWidth::Long, false) => "ldl",
+                (MemWidth::ULong, false) => "ldlu",
                 (MemWidth::Quad, false) => "ldq",
                 (MemWidth::Byte, true) => "stb",
                 (MemWidth::Long, true) => "stl",
                 (MemWidth::Quad, true) => "stq",
+                (MemWidth::Half, true) => "sth",
+                // Extension rules are meaningless for stores; these exist
+                // only so every (width, store) pair stays printable and
+                // re-parseable. Canonical code uses stb/sth/stl/stq.
+                (MemWidth::SByte, true) => "stsb",
+                (MemWidth::SHalf, true) => "stsh",
+                (MemWidth::ULong, true) => "stlu",
             }
         }
         match *self {
@@ -263,6 +297,9 @@ impl fmt::Display for Inst {
             Inst::Branch { cond, ra, disp } => {
                 write!(f, "{} {ra}, {disp:+}", cond.mnemonic())
             }
+            Inst::BranchCmp { cmp, ra, rb, disp } => {
+                write!(f, "{} {ra}, {rb}, {disp:+}", cmp.mnemonic())
+            }
             Inst::FBranch { cond, fa, disp } => {
                 write!(f, "f{} {fa}, {disp:+}", cond.mnemonic())
             }
@@ -273,13 +310,17 @@ impl fmt::Display for Inst {
                     write!(f, "bsr {ra}, {disp:+}")
                 }
             }
-            Inst::Jump { kind, rt, base } => {
+            Inst::Jump { kind, rt, base, disp } => {
                 let m = match kind {
                     JumpKind::Jmp => "jmp",
                     JumpKind::Jsr => "jsr",
                     JumpKind::Ret => "ret",
                 };
-                write!(f, "{m} {rt}, ({base})")
+                if disp == 0 {
+                    write!(f, "{m} {rt}, ({base})")
+                } else {
+                    write!(f, "{m} {rt}, {disp}({base})")
+                }
             }
             Inst::Halt => write!(f, "halt"),
         }
@@ -304,6 +345,22 @@ mod tests {
         );
         assert_eq!(Inst::Br { ra: Reg::ZERO, disp: 7 }.to_string(), "br +7");
         assert_eq!(Inst::nop().to_string(), "or r31, r31, r31");
+        assert_eq!(
+            Inst::BranchCmp { cmp: CmpCond::Ltu, ra: Reg::R1, rb: Reg::R2, disp: -3 }.to_string(),
+            "cbltu r1, r2, -3"
+        );
+        assert_eq!(
+            Inst::Load { width: MemWidth::SHalf, rt: Reg::R4, base: Reg::R5, disp: -2 }.to_string(),
+            "ldh r4, -2(r5)"
+        );
+        assert_eq!(
+            Inst::Store { width: MemWidth::Half, rt: Reg::R4, base: Reg::R5, disp: 6 }.to_string(),
+            "sth r4, 6(r5)"
+        );
+        let jmp = |disp| Inst::Jump { kind: JumpKind::Jmp, rt: Reg::ZERO, base: Reg::R5, disp };
+        assert_eq!(jmp(0).to_string(), "jmp r31, (r5)");
+        assert_eq!(jmp(8).to_string(), "jmp r31, 8(r5)");
+        assert_eq!(jmp(-4).to_string(), "jmp r31, -4(r5)");
     }
 
     #[test]
@@ -311,6 +368,8 @@ mod tests {
         assert!(Inst::Branch { cond: BranchCond::Eq, ra: Reg::R1, disp: 0 }.is_control());
         assert!(Inst::Branch { cond: BranchCond::Eq, ra: Reg::R1, disp: 0 }.is_cond_branch());
         assert!(!Inst::Br { ra: Reg::ZERO, disp: 0 }.is_cond_branch());
+        let cb = Inst::BranchCmp { cmp: CmpCond::Eq, ra: Reg::R1, rb: Reg::R2, disp: 0 };
+        assert!(cb.is_control() && cb.is_cond_branch());
         assert!(Inst::Load { width: MemWidth::Quad, rt: Reg::R1, base: Reg::R2, disp: 0 }.is_load());
         assert!(Inst::FStore { ft: FReg::F1, base: Reg::R2, disp: 0 }.is_store());
         assert!(!Inst::Halt.is_control());

@@ -53,7 +53,7 @@ mod reg;
 pub use encode::{decode, encode, DecodeError};
 pub use fu::{FuClass, OpLatency};
 pub use inst::{Inst, RegOrLit};
-pub use op::{AluOp, BranchCond, FpBinOp, JumpKind, MemWidth, UnaryOp};
+pub use op::{AluOp, BranchCond, CmpCond, FpBinOp, JumpKind, MemWidth, UnaryOp};
 pub use operands::{FormatClass, SourceSet};
 pub use reg::{ArchReg, FReg, Reg, NUM_ARCH_REGS, NUM_REGS};
 

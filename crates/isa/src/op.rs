@@ -44,11 +44,64 @@ pub enum AluOp {
     CmpUlt,
     /// Unsigned `rc <- (ra <= rb) as u64`.
     CmpUle,
+    // --- RV64-oriented extension (the `hpa-rv` real-binary frontend) ---
+    // The remaining operations mirror RV64I W-forms and the M extension so
+    // translated guest instructions stay 1:1 ALU ops instead of multi-
+    // instruction scratch-register sequences. Division semantics follow
+    // RISC-V (divide by zero is all-ones / the dividend), which differs
+    // deliberately from the Alpha-flavored `Div`/`Rem` above.
+    /// 32-bit add, result sign-extended (RV64 `addw`/`addiw`).
+    AddW,
+    /// 32-bit logical shift left, sign-extended (RV64 `sllw`; shift mod 32).
+    SllW,
+    /// 32-bit logical shift right, sign-extended (RV64 `srlw`).
+    SrlW,
+    /// 32-bit arithmetic shift right, sign-extended (RV64 `sraw`).
+    SraW,
+    /// 32-bit subtract, sign-extended (RV64 `subw`).
+    SubW,
+    /// 32-bit multiply, sign-extended (RV64M `mulw`).
+    MulW,
+    /// 32-bit signed division, sign-extended; by zero yields −1 (RV64M
+    /// `divw`).
+    DivW,
+    /// 32-bit unsigned division, sign-extended; by zero yields 2³²−1
+    /// (RV64M `divuw`).
+    DivUW,
+    /// 32-bit signed remainder, sign-extended; by zero yields the dividend
+    /// (RV64M `remw`).
+    RemW,
+    /// 32-bit unsigned remainder, sign-extended (RV64M `remuw`).
+    RemUW,
+    /// 64-bit unsigned division; by zero yields all ones (RV64M `divu`).
+    DivU,
+    /// 64-bit unsigned remainder; by zero yields the dividend (RV64M
+    /// `remu`).
+    RemU,
+    /// High 64 bits of the signed 128-bit product (RV64M `mulh`).
+    MulH,
+    /// High 64 bits of the unsigned 128-bit product (RV64M `mulhu`).
+    MulHU,
+    /// High 64 bits of the signed×unsigned product (RV64M `mulhsu`).
+    MulHSU,
+}
+
+/// Sign-extends the low 32 bits of `v` — the RV64 W-form result rule.
+fn sext32(v: u64) -> u64 {
+    v as u32 as i32 as i64 as u64
 }
 
 impl AluOp {
-    /// All ALU operations, in encoding order.
-    pub const ALL: [AluOp; 19] = [
+    /// Number of legacy (pre-`hpa-rv`) operations: the first
+    /// [`AluOp::LEGACY`] entries of [`AluOp::ALL`] keep their original
+    /// one-major-per-op literal encodings, so existing program words are
+    /// stable.
+    pub const LEGACY: usize = 19;
+
+    /// All ALU operations, in encoding order. The first [`AluOp::LEGACY`]
+    /// are the original Alpha-flavored set; the rest are the RV64
+    /// extension, with the literal-capable W-immediates first.
+    pub const ALL: [AluOp; 34] = [
         AluOp::Add,
         AluOp::Sub,
         AluOp::S4Add,
@@ -68,7 +121,32 @@ impl AluOp {
         AluOp::CmpLe,
         AluOp::CmpUlt,
         AluOp::CmpUle,
+        AluOp::AddW,
+        AluOp::SllW,
+        AluOp::SrlW,
+        AluOp::SraW,
+        AluOp::SubW,
+        AluOp::MulW,
+        AluOp::DivW,
+        AluOp::DivUW,
+        AluOp::RemW,
+        AluOp::RemUW,
+        AluOp::DivU,
+        AluOp::RemU,
+        AluOp::MulH,
+        AluOp::MulHU,
+        AluOp::MulHSU,
     ];
+
+    /// Whether the operation has a literal-form encoding (`rc <- ra OP
+    /// #lit`). True for every legacy operation and for the four W-form
+    /// operations with RV64 immediate variants (`addiw`/`slliw`/`srliw`/
+    /// `sraiw`); the remaining extension ops are register-form only.
+    #[must_use]
+    pub fn has_lit_form(self) -> bool {
+        let idx = AluOp::ALL.iter().position(|&o| o == self).expect("op in ALL");
+        idx < AluOp::LEGACY || matches!(self, AluOp::AddW | AluOp::SllW | AluOp::SrlW | AluOp::SraW)
+    }
 
     /// The mnemonic used by the assembler and disassembler.
     #[must_use]
@@ -93,6 +171,21 @@ impl AluOp {
             AluOp::CmpLe => "cmple",
             AluOp::CmpUlt => "cmpult",
             AluOp::CmpUle => "cmpule",
+            AluOp::AddW => "addw",
+            AluOp::SllW => "sllw",
+            AluOp::SrlW => "srlw",
+            AluOp::SraW => "sraw",
+            AluOp::SubW => "subw",
+            AluOp::MulW => "mulw",
+            AluOp::DivW => "divw",
+            AluOp::DivUW => "divuw",
+            AluOp::RemW => "remw",
+            AluOp::RemUW => "remuw",
+            AluOp::DivU => "divu",
+            AluOp::RemU => "remu",
+            AluOp::MulH => "mulh",
+            AluOp::MulHU => "mulhu",
+            AluOp::MulHSU => "mulhsu",
         }
     }
 
@@ -133,6 +226,51 @@ impl AluOp {
             AluOp::CmpLe => u64::from((a as i64) <= (b as i64)),
             AluOp::CmpUlt => u64::from(a < b),
             AluOp::CmpUle => u64::from(a <= b),
+            AluOp::AddW => sext32(a.wrapping_add(b)),
+            AluOp::SubW => sext32(a.wrapping_sub(b)),
+            AluOp::SllW => sext32(u64::from((a as u32) << (b & 31))),
+            AluOp::SrlW => sext32(u64::from((a as u32) >> (b & 31))),
+            AluOp::SraW => ((a as u32 as i32) >> (b & 31)) as i64 as u64,
+            AluOp::MulW => (a as i32).wrapping_mul(b as i32) as i64 as u64,
+            AluOp::DivW => {
+                let (a, b) = (a as i32, b as i32);
+                if b == 0 {
+                    u64::MAX
+                } else {
+                    a.wrapping_div(b) as i64 as u64
+                }
+            }
+            AluOp::DivUW => {
+                let (a, b) = (a as u32, b as u32);
+                a.checked_div(b).map_or(u64::MAX, |q| q as i32 as i64 as u64)
+            }
+            AluOp::RemW => {
+                let (a, b) = (a as i32, b as i32);
+                if b == 0 {
+                    a as i64 as u64
+                } else {
+                    a.wrapping_rem(b) as i64 as u64
+                }
+            }
+            AluOp::RemUW => {
+                let (a, b) = (a as u32, b as u32);
+                if b == 0 {
+                    a as i32 as i64 as u64
+                } else {
+                    (a % b) as i32 as i64 as u64
+                }
+            }
+            AluOp::DivU => a.checked_div(b).unwrap_or(u64::MAX),
+            AluOp::RemU => {
+                if b == 0 {
+                    a
+                } else {
+                    a % b
+                }
+            }
+            AluOp::MulH => (((a as i64 as i128) * (b as i64 as i128)) >> 64) as u64,
+            AluOp::MulHU => (((a as u128) * (b as u128)) >> 64) as u64,
+            AluOp::MulHSU => (((a as i64 as i128) * (i128::from(b))) >> 64) as u64,
         }
     }
 }
@@ -325,15 +463,79 @@ impl BranchCond {
     }
 }
 
+/// Conditions for two-register compare-and-branch instructions
+/// ([`crate::Inst::BranchCmp`]): the RV64 branch set, added for the
+/// `hpa-rv` real-binary frontend so guest branches translate 1:1 instead
+/// of needing a compare into a scratch register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)]
+pub enum CmpCond {
+    Eq,
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+    /// Unsigned greater-or-equal.
+    Geu,
+}
+
+impl CmpCond {
+    /// All compare-branch conditions, in encoding order.
+    pub const ALL: [CmpCond; 6] =
+        [CmpCond::Eq, CmpCond::Ne, CmpCond::Lt, CmpCond::Ge, CmpCond::Ltu, CmpCond::Geu];
+
+    /// The mnemonic (`cbeq`, `cbne`, ...; the `cb` prefix keeps the
+    /// single-register `beq` family unambiguous in assembly).
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpCond::Eq => "cbeq",
+            CmpCond::Ne => "cbne",
+            CmpCond::Lt => "cblt",
+            CmpCond::Ge => "cbge",
+            CmpCond::Ltu => "cbltu",
+            CmpCond::Geu => "cbgeu",
+        }
+    }
+
+    /// Evaluates the condition on two integer register values.
+    #[must_use]
+    pub fn eval(self, a: u64, b: u64) -> bool {
+        match self {
+            CmpCond::Eq => a == b,
+            CmpCond::Ne => a != b,
+            CmpCond::Lt => (a as i64) < (b as i64),
+            CmpCond::Ge => (a as i64) >= (b as i64),
+            CmpCond::Ltu => a < b,
+            CmpCond::Geu => a >= b,
+        }
+    }
+}
+
 /// Widths of memory accesses.
+///
+/// The first three are the original Alpha-flavored set and keep their
+/// encodings; the last four were added for the `hpa-rv` frontend to cover
+/// the full RV64I load/store matrix (all sizes × both extension rules).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum MemWidth {
-    /// One byte, zero-extended on load (Alpha `ldbu`/`stb`).
+    /// One byte, zero-extended on load (Alpha `ldbu`/`stb`, RV `lbu`/`sb`).
     Byte,
-    /// Four bytes, sign-extended on load (Alpha `ldl`/`stl`).
+    /// Four bytes, sign-extended on load (Alpha `ldl`/`stl`, RV `lw`/`sw`).
     Long,
-    /// Eight bytes (Alpha `ldq`/`stq`).
+    /// Eight bytes (Alpha `ldq`/`stq`, RV `ld`/`sd`).
     Quad,
+    /// One byte, sign-extended on load (RV `lb`).
+    SByte,
+    /// Two bytes, zero-extended on load (RV `lhu`/`sh`).
+    Half,
+    /// Two bytes, sign-extended on load (RV `lh`).
+    SHalf,
+    /// Four bytes, zero-extended on load (RV `lwu`).
+    ULong,
 }
 
 impl MemWidth {
@@ -341,8 +543,9 @@ impl MemWidth {
     #[must_use]
     pub fn bytes(self) -> u64 {
         match self {
-            MemWidth::Byte => 1,
-            MemWidth::Long => 4,
+            MemWidth::Byte | MemWidth::SByte => 1,
+            MemWidth::Half | MemWidth::SHalf => 2,
+            MemWidth::Long | MemWidth::ULong => 4,
             MemWidth::Quad => 8,
         }
     }
@@ -439,9 +642,77 @@ mod tests {
         names.extend(UnaryOp::ALL.iter().map(|o| o.mnemonic()));
         names.extend(FpBinOp::ALL.iter().map(|o| o.mnemonic()));
         names.extend(BranchCond::ALL.iter().map(|c| c.mnemonic()));
+        names.extend(CmpCond::ALL.iter().map(|c| c.mnemonic()));
         let n = names.len();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn w_form_semantics() {
+        // Results are always the sign-extension of a 32-bit value.
+        assert_eq!(AluOp::AddW.eval(0x7FFF_FFFF, 1), 0xFFFF_FFFF_8000_0000);
+        assert_eq!(AluOp::SubW.eval(0, 1), u64::MAX);
+        assert_eq!(AluOp::SllW.eval(1, 31), 0xFFFF_FFFF_8000_0000);
+        // W-form shifts mask the amount to 5 bits and ignore the upper
+        // source bits entirely.
+        assert_eq!(AluOp::SrlW.eval(0xFFFF_FFFF_8000_0000, 31), 1);
+        assert_eq!(AluOp::SraW.eval(0x8000_0000, 31), u64::MAX);
+        assert_eq!(AluOp::SllW.eval(1, 32), 1);
+        assert_eq!(AluOp::MulW.eval(0x1_0000_0003, 5), 15);
+    }
+
+    #[test]
+    fn riscv_division_semantics() {
+        // RISC-V defines division by zero as all-ones (quotient) / the
+        // dividend (remainder), and MIN/-1 wraps.
+        assert_eq!(AluOp::DivU.eval(9, 0), u64::MAX);
+        assert_eq!(AluOp::RemU.eval(9, 0), 9);
+        assert_eq!(AluOp::DivU.eval(9, 2), 4);
+        assert_eq!(AluOp::RemU.eval(9, 2), 1);
+        assert_eq!(AluOp::DivW.eval(9, 0), u64::MAX);
+        assert_eq!(AluOp::RemW.eval((-9i64) as u64, 0), (-9i64) as u64);
+        assert_eq!(AluOp::DivW.eval(0x8000_0000, u64::MAX), 0xFFFF_FFFF_8000_0000);
+        assert_eq!(AluOp::DivUW.eval(8, 0), u64::MAX);
+        assert_eq!(AluOp::RemUW.eval(0x9000_0001, 0), 0xFFFF_FFFF_9000_0001);
+        assert_eq!(AluOp::DivUW.eval(0x8000_0000, 2), 0x4000_0000);
+        assert_eq!(AluOp::RemW.eval((-9i64) as u64, 2), (-1i64) as u64);
+    }
+
+    #[test]
+    fn mulh_semantics() {
+        assert_eq!(AluOp::MulH.eval((-1i64) as u64, (-1i64) as u64), 0);
+        assert_eq!(AluOp::MulHU.eval(u64::MAX, u64::MAX), u64::MAX - 1);
+        assert_eq!(AluOp::MulHSU.eval((-1i64) as u64, u64::MAX), (-1i64) as u64);
+        assert_eq!(AluOp::MulH.eval(1 << 40, 1 << 40), 1 << 16);
+    }
+
+    #[test]
+    fn lit_form_coverage() {
+        for (i, &op) in AluOp::ALL.iter().enumerate() {
+            let expect = i < AluOp::LEGACY
+                || matches!(op, AluOp::AddW | AluOp::SllW | AluOp::SrlW | AluOp::SraW);
+            assert_eq!(op.has_lit_form(), expect, "{op}");
+        }
+    }
+
+    #[test]
+    fn cmp_cond_semantics() {
+        let neg = (-1i64) as u64;
+        assert!(CmpCond::Eq.eval(3, 3) && !CmpCond::Eq.eval(3, 4));
+        assert!(CmpCond::Ne.eval(3, 4));
+        assert!(CmpCond::Lt.eval(neg, 0) && !CmpCond::Ltu.eval(neg, 0));
+        assert!(CmpCond::Ge.eval(0, neg) && !CmpCond::Geu.eval(0, neg));
+        assert!(CmpCond::Ltu.eval(0, neg));
+        assert!(CmpCond::Geu.eval(neg, neg));
+    }
+
+    #[test]
+    fn new_mem_widths() {
+        assert_eq!(MemWidth::SByte.bytes(), 1);
+        assert_eq!(MemWidth::Half.bytes(), 2);
+        assert_eq!(MemWidth::SHalf.bytes(), 2);
+        assert_eq!(MemWidth::ULong.bytes(), 4);
     }
 }

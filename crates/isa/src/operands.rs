@@ -93,7 +93,9 @@ impl Inst {
     #[must_use]
     pub fn format_class(&self) -> FormatClass {
         match self {
-            Inst::Op { rb: RegOrLit::Reg(_), .. } | Inst::FpOp { .. } => FormatClass::TwoSrc,
+            Inst::Op { rb: RegOrLit::Reg(_), .. } | Inst::FpOp { .. } | Inst::BranchCmp { .. } => {
+                FormatClass::TwoSrc
+            }
             Inst::Op { rb: RegOrLit::Lit(_), .. }
             | Inst::Op1 { .. }
             | Inst::Itof { .. }
@@ -131,6 +133,7 @@ impl Inst {
             Inst::FStore { ft, base, .. } => [Some(ArchReg::from(base)), Some(ArchReg::from(ft))],
             Inst::Branch { ra, .. } => [Some(ArchReg::from(ra)), None],
             Inst::FBranch { fa, .. } => [Some(ArchReg::from(fa)), None],
+            Inst::BranchCmp { ra, rb, .. } => [Some(ArchReg::from(ra)), Some(ArchReg::from(rb))],
             Inst::Br { .. } | Inst::Halt => [None, None],
             Inst::Jump { base, .. } => [Some(ArchReg::from(base)), None],
         }
@@ -185,6 +188,7 @@ impl Inst {
             | Inst::FStore { .. }
             | Inst::Branch { .. }
             | Inst::FBranch { .. }
+            | Inst::BranchCmp { .. }
             | Inst::Halt => None,
         };
         d.filter(|r| !r.is_zero())
@@ -235,6 +239,14 @@ mod tests {
             Inst::Branch { cond: BranchCond::Eq, ra: Reg::R1, disp: 0 }.format_class(),
             FormatClass::OneSrc
         );
+        // Two-register compare branches are true 2-source instructions.
+        use crate::op::CmpCond;
+        let cb = Inst::BranchCmp { cmp: CmpCond::Lt, ra: Reg::R1, rb: Reg::R2, disp: 4 };
+        assert_eq!(cb.format_class(), FormatClass::TwoSrc);
+        assert_eq!(cb.unique_sources().len(), 2);
+        assert_eq!(cb.dest(), None);
+        let cb0 = Inst::BranchCmp { cmp: CmpCond::Lt, ra: Reg::R1, rb: Reg::ZERO, disp: 4 };
+        assert_eq!(cb0.unique_sources().len(), 1);
     }
 
     #[test]

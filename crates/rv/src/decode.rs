@@ -1,0 +1,635 @@
+//! RV64I(+M) instruction decoder and encoder.
+//!
+//! The decoder covers exactly the guest subset the translator supports:
+//! the full RV64I base integer ISA (minus CSR instructions) plus the M
+//! extension. The encoder is the decoder's inverse and exists for the
+//! fixture assembler and the golden encoding tests — every decoded
+//! instruction re-encodes to the original word.
+
+use std::fmt;
+
+/// A guest register number, `x0`..`x31`.
+pub type XReg = u8;
+
+/// Condition of a conditional branch (`funct3` of the BRANCH opcode).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RvBranch {
+    /// `beq`
+    Eq,
+    /// `bne`
+    Ne,
+    /// `blt` (signed)
+    Lt,
+    /// `bge` (signed)
+    Ge,
+    /// `bltu`
+    Ltu,
+    /// `bgeu`
+    Geu,
+}
+
+impl RvBranch {
+    /// All branch conditions.
+    pub const ALL: [RvBranch; 6] =
+        [RvBranch::Eq, RvBranch::Ne, RvBranch::Lt, RvBranch::Ge, RvBranch::Ltu, RvBranch::Geu];
+
+    fn funct3(self) -> u32 {
+        match self {
+            RvBranch::Eq => 0,
+            RvBranch::Ne => 1,
+            RvBranch::Lt => 4,
+            RvBranch::Ge => 5,
+            RvBranch::Ltu => 6,
+            RvBranch::Geu => 7,
+        }
+    }
+}
+
+/// Memory access width and extension of loads/stores (`funct3`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RvWidth {
+    /// `lb`/`sb`: byte, sign-extending load.
+    B,
+    /// `lh`/`sh`: halfword, sign-extending load.
+    H,
+    /// `lw`/`sw`: word, sign-extending load.
+    W,
+    /// `ld`/`sd`: doubleword.
+    D,
+    /// `lbu`: byte, zero-extending (loads only).
+    Bu,
+    /// `lhu`: halfword, zero-extending (loads only).
+    Hu,
+    /// `lwu`: word, zero-extending (loads only).
+    Wu,
+}
+
+impl RvWidth {
+    fn funct3(self) -> u32 {
+        match self {
+            RvWidth::B => 0,
+            RvWidth::H => 1,
+            RvWidth::W => 2,
+            RvWidth::D => 3,
+            RvWidth::Bu => 4,
+            RvWidth::Hu => 5,
+            RvWidth::Wu => 6,
+        }
+    }
+}
+
+/// Register-register / register-immediate ALU operation.
+///
+/// Immediate forms exist only for the subset RV64I defines (`OpImm` /
+/// `OpImm32`); the translator enforces that pairing, the enum just names
+/// the operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum RvOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    // RV64I W-forms (operate on 32 bits, sign-extend the result).
+    Addw,
+    Subw,
+    Sllw,
+    Srlw,
+    Sraw,
+    // M extension.
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+    Mulw,
+    Divw,
+    Divuw,
+    Remw,
+    Remuw,
+}
+
+/// One decoded RV64I(+M) instruction.
+///
+/// Immediates are fully assembled and sign-extended: `Lui`/`Auipc` carry
+/// the shifted 32-bit value, branch/jump offsets are byte offsets relative
+/// to the instruction's own address.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RvInst {
+    /// `lui rd, imm20` — `rd <- sext(imm20 << 12)`; `imm` is pre-shifted.
+    Lui {
+        /// Destination.
+        rd: XReg,
+        /// The shifted immediate (multiple of 4096).
+        imm: i32,
+    },
+    /// `auipc rd, imm20` — `rd <- pc + sext(imm20 << 12)`; pre-shifted.
+    Auipc {
+        /// Destination.
+        rd: XReg,
+        /// The shifted immediate (multiple of 4096).
+        imm: i32,
+    },
+    /// `jal rd, offset` — link `pc+4` into `rd`, jump to `pc+offset`.
+    Jal {
+        /// Link destination (`x0` discards).
+        rd: XReg,
+        /// Byte offset from this instruction (±1 MiB, even).
+        offset: i32,
+    },
+    /// `jalr rd, offset(rs1)` — link `pc+4`, jump to `(rs1+offset)&!1`.
+    Jalr {
+        /// Link destination.
+        rd: XReg,
+        /// Base register.
+        rs1: XReg,
+        /// Byte offset (12-bit signed).
+        offset: i16,
+    },
+    /// Conditional branch to `pc+offset`.
+    Branch {
+        /// Condition.
+        cond: RvBranch,
+        /// Left comparison operand.
+        rs1: XReg,
+        /// Right comparison operand.
+        rs2: XReg,
+        /// Byte offset from this instruction (±4 KiB, even).
+        offset: i32,
+    },
+    /// Load `rd <- MEM[rs1+offset]`.
+    Load {
+        /// Access width/extension.
+        width: RvWidth,
+        /// Destination.
+        rd: XReg,
+        /// Base register.
+        rs1: XReg,
+        /// Byte offset (12-bit signed).
+        offset: i16,
+    },
+    /// Store `MEM[rs1+offset] <- rs2`.
+    Store {
+        /// Access width (`B`/`H`/`W`/`D` only).
+        width: RvWidth,
+        /// Data register.
+        rs2: XReg,
+        /// Base register.
+        rs1: XReg,
+        /// Byte offset (12-bit signed).
+        offset: i16,
+    },
+    /// Register-immediate ALU operation (`addi`, `slti`, shifts, ...).
+    OpImm {
+        /// Operation.
+        op: RvOp,
+        /// Destination.
+        rd: XReg,
+        /// Source.
+        rs1: XReg,
+        /// Sign-extended immediate (shift amount for shifts).
+        imm: i16,
+    },
+    /// Register-register ALU operation.
+    Op {
+        /// Operation.
+        op: RvOp,
+        /// Destination.
+        rd: XReg,
+        /// Left source.
+        rs1: XReg,
+        /// Right source.
+        rs2: XReg,
+    },
+    /// `fence`/`fence.i` — a no-op on this single-hart in-order-commit
+    /// guest model.
+    Fence,
+    /// `ecall` — enters the ABI shim (exit / write).
+    Ecall,
+    /// `ebreak` — halts the machine.
+    Ebreak,
+}
+
+/// Error for words that are not in the supported RV64I+M subset.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RvDecodeError {
+    /// The offending word.
+    pub word: u32,
+}
+
+impl fmt::Display for RvDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unsupported RISC-V instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for RvDecodeError {}
+
+fn bits(word: u32, lsb: u32, n: u32) -> u32 {
+    (word >> lsb) & ((1 << n) - 1)
+}
+
+fn rd(word: u32) -> XReg {
+    bits(word, 7, 5) as XReg
+}
+
+fn rs1(word: u32) -> XReg {
+    bits(word, 15, 5) as XReg
+}
+
+fn rs2(word: u32) -> XReg {
+    bits(word, 20, 5) as XReg
+}
+
+fn funct3(word: u32) -> u32 {
+    bits(word, 12, 3)
+}
+
+fn funct7(word: u32) -> u32 {
+    bits(word, 25, 7)
+}
+
+/// I-type immediate: bits [31:20], sign-extended.
+fn imm_i(word: u32) -> i16 {
+    ((word as i32) >> 20) as i16
+}
+
+/// S-type immediate: [31:25] | [11:7], sign-extended.
+fn imm_s(word: u32) -> i16 {
+    let raw = (bits(word, 25, 7) << 5) | bits(word, 7, 5);
+    (((raw << 20) as i32) >> 20) as i16
+}
+
+/// B-type immediate: byte offset, sign-extended, even.
+fn imm_b(word: u32) -> i32 {
+    let raw = (bits(word, 31, 1) << 12)
+        | (bits(word, 7, 1) << 11)
+        | (bits(word, 25, 6) << 5)
+        | (bits(word, 8, 4) << 1);
+    ((raw << 19) as i32) >> 19
+}
+
+/// J-type immediate: byte offset, sign-extended, even.
+fn imm_j(word: u32) -> i32 {
+    let raw = (bits(word, 31, 1) << 20)
+        | (bits(word, 12, 8) << 12)
+        | (bits(word, 20, 1) << 11)
+        | (bits(word, 21, 10) << 1);
+    ((raw << 11) as i32) >> 11
+}
+
+/// U-type immediate: bits [31:12], kept shifted, sign-extended.
+fn imm_u(word: u32) -> i32 {
+    (word & 0xFFFF_F000) as i32
+}
+
+/// Decodes one 32-bit RISC-V word.
+///
+/// # Errors
+///
+/// Returns [`RvDecodeError`] for anything outside the supported RV64I+M
+/// subset (compressed instructions, CSRs, A/F/D extensions, ...).
+pub fn decode(word: u32) -> Result<RvInst, RvDecodeError> {
+    let err = RvDecodeError { word };
+    let opcode = bits(word, 0, 7);
+    Ok(match opcode {
+        0x37 => RvInst::Lui { rd: rd(word), imm: imm_u(word) },
+        0x17 => RvInst::Auipc { rd: rd(word), imm: imm_u(word) },
+        0x6F => RvInst::Jal { rd: rd(word), offset: imm_j(word) },
+        0x67 if funct3(word) == 0 => {
+            RvInst::Jalr { rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
+        }
+        0x63 => {
+            let cond = match funct3(word) {
+                0 => RvBranch::Eq,
+                1 => RvBranch::Ne,
+                4 => RvBranch::Lt,
+                5 => RvBranch::Ge,
+                6 => RvBranch::Ltu,
+                7 => RvBranch::Geu,
+                _ => return Err(err),
+            };
+            RvInst::Branch { cond, rs1: rs1(word), rs2: rs2(word), offset: imm_b(word) }
+        }
+        0x03 => {
+            let width = match funct3(word) {
+                0 => RvWidth::B,
+                1 => RvWidth::H,
+                2 => RvWidth::W,
+                3 => RvWidth::D,
+                4 => RvWidth::Bu,
+                5 => RvWidth::Hu,
+                6 => RvWidth::Wu,
+                _ => return Err(err),
+            };
+            RvInst::Load { width, rd: rd(word), rs1: rs1(word), offset: imm_i(word) }
+        }
+        0x23 => {
+            let width = match funct3(word) {
+                0 => RvWidth::B,
+                1 => RvWidth::H,
+                2 => RvWidth::W,
+                3 => RvWidth::D,
+                _ => return Err(err),
+            };
+            RvInst::Store { width, rs2: rs2(word), rs1: rs1(word), offset: imm_s(word) }
+        }
+        0x13 => {
+            // OP-IMM; 64-bit shifts use a 6-bit shamt, so the "funct7"
+            // discriminator is the top 6 bits only.
+            let f6 = bits(word, 26, 6);
+            let op = match (funct3(word), f6) {
+                (0, _) => RvOp::Add,
+                (2, _) => RvOp::Slt,
+                (3, _) => RvOp::Sltu,
+                (4, _) => RvOp::Xor,
+                (6, _) => RvOp::Or,
+                (7, _) => RvOp::And,
+                (1, 0x00) => RvOp::Sll,
+                (5, 0x00) => RvOp::Srl,
+                (5, 0x10) => RvOp::Sra,
+                _ => return Err(err),
+            };
+            let imm = match op {
+                RvOp::Sll | RvOp::Srl | RvOp::Sra => bits(word, 20, 6) as i16,
+                _ => imm_i(word),
+            };
+            RvInst::OpImm { op, rd: rd(word), rs1: rs1(word), imm }
+        }
+        0x1B => {
+            // OP-IMM-32; 5-bit shamt, full funct7 discriminator.
+            let op = match (funct3(word), funct7(word)) {
+                (0, _) => RvOp::Addw,
+                (1, 0x00) => RvOp::Sllw,
+                (5, 0x00) => RvOp::Srlw,
+                (5, 0x20) => RvOp::Sraw,
+                _ => return Err(err),
+            };
+            let imm = match op {
+                RvOp::Addw => imm_i(word),
+                _ => bits(word, 20, 5) as i16,
+            };
+            RvInst::OpImm { op, rd: rd(word), rs1: rs1(word), imm }
+        }
+        0x33 => {
+            let op = match (funct7(word), funct3(word)) {
+                (0x00, 0) => RvOp::Add,
+                (0x20, 0) => RvOp::Sub,
+                (0x00, 1) => RvOp::Sll,
+                (0x00, 2) => RvOp::Slt,
+                (0x00, 3) => RvOp::Sltu,
+                (0x00, 4) => RvOp::Xor,
+                (0x00, 5) => RvOp::Srl,
+                (0x20, 5) => RvOp::Sra,
+                (0x00, 6) => RvOp::Or,
+                (0x00, 7) => RvOp::And,
+                (0x01, 0) => RvOp::Mul,
+                (0x01, 1) => RvOp::Mulh,
+                (0x01, 2) => RvOp::Mulhsu,
+                (0x01, 3) => RvOp::Mulhu,
+                (0x01, 4) => RvOp::Div,
+                (0x01, 5) => RvOp::Divu,
+                (0x01, 6) => RvOp::Rem,
+                (0x01, 7) => RvOp::Remu,
+                _ => return Err(err),
+            };
+            RvInst::Op { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+        }
+        0x3B => {
+            let op = match (funct7(word), funct3(word)) {
+                (0x00, 0) => RvOp::Addw,
+                (0x20, 0) => RvOp::Subw,
+                (0x00, 1) => RvOp::Sllw,
+                (0x00, 5) => RvOp::Srlw,
+                (0x20, 5) => RvOp::Sraw,
+                (0x01, 0) => RvOp::Mulw,
+                (0x01, 4) => RvOp::Divw,
+                (0x01, 5) => RvOp::Divuw,
+                (0x01, 6) => RvOp::Remw,
+                (0x01, 7) => RvOp::Remuw,
+                _ => return Err(err),
+            };
+            RvInst::Op { op, rd: rd(word), rs1: rs1(word), rs2: rs2(word) }
+        }
+        0x0F => RvInst::Fence,
+        0x73 if word == 0x0000_0073 => RvInst::Ecall,
+        0x73 if word == 0x0010_0073 => RvInst::Ebreak,
+        _ => return Err(err),
+    })
+}
+
+fn r_type(opcode: u32, f7: u32, f3: u32, rd: XReg, rs1: XReg, rs2: XReg) -> u32 {
+    (f7 << 25)
+        | (u32::from(rs2) << 20)
+        | (u32::from(rs1) << 15)
+        | (f3 << 12)
+        | (u32::from(rd) << 7)
+        | opcode
+}
+
+fn i_type(opcode: u32, f3: u32, rd: XReg, rs1: XReg, imm: i16) -> u32 {
+    ((imm as u32 & 0xFFF) << 20)
+        | (u32::from(rs1) << 15)
+        | (f3 << 12)
+        | (u32::from(rd) << 7)
+        | opcode
+}
+
+fn s_type(opcode: u32, f3: u32, rs1: XReg, rs2: XReg, imm: i16) -> u32 {
+    let imm = imm as u32 & 0xFFF;
+    ((imm >> 5) << 25)
+        | (u32::from(rs2) << 20)
+        | (u32::from(rs1) << 15)
+        | (f3 << 12)
+        | ((imm & 0x1F) << 7)
+        | opcode
+}
+
+fn b_type(opcode: u32, f3: u32, rs1: XReg, rs2: XReg, offset: i32) -> u32 {
+    assert!(offset % 2 == 0 && (-4096..4096).contains(&offset), "B offset {offset}");
+    let imm = offset as u32 & 0x1FFF;
+    (((imm >> 12) & 1) << 31)
+        | (((imm >> 5) & 0x3F) << 25)
+        | (u32::from(rs2) << 20)
+        | (u32::from(rs1) << 15)
+        | (f3 << 12)
+        | (((imm >> 1) & 0xF) << 8)
+        | (((imm >> 11) & 1) << 7)
+        | opcode
+}
+
+fn j_type(opcode: u32, rd: XReg, offset: i32) -> u32 {
+    assert!(offset % 2 == 0 && (-(1 << 20)..(1 << 20)).contains(&offset), "J offset {offset}");
+    let imm = offset as u32 & 0x1F_FFFF;
+    (((imm >> 20) & 1) << 31)
+        | (((imm >> 1) & 0x3FF) << 21)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 12) & 0xFF) << 12)
+        | (u32::from(rd) << 7)
+        | opcode
+}
+
+/// Encodes one instruction back into its 32-bit word (the decoder's exact
+/// inverse).
+///
+/// # Panics
+///
+/// Panics on out-of-range immediates or an immediate form of an operation
+/// RV64I does not define one for (e.g. `subi`).
+#[must_use]
+pub fn encode(inst: &RvInst) -> u32 {
+    match *inst {
+        RvInst::Lui { rd, imm } => {
+            assert_eq!(imm & 0xFFF, 0, "lui immediate must be shifted");
+            (imm as u32) | (u32::from(rd) << 7) | 0x37
+        }
+        RvInst::Auipc { rd, imm } => {
+            assert_eq!(imm & 0xFFF, 0, "auipc immediate must be shifted");
+            (imm as u32) | (u32::from(rd) << 7) | 0x17
+        }
+        RvInst::Jal { rd, offset } => j_type(0x6F, rd, offset),
+        RvInst::Jalr { rd, rs1, offset } => i_type(0x67, 0, rd, rs1, offset),
+        RvInst::Branch { cond, rs1, rs2, offset } => b_type(0x63, cond.funct3(), rs1, rs2, offset),
+        RvInst::Load { width, rd, rs1, offset } => i_type(0x03, width.funct3(), rd, rs1, offset),
+        RvInst::Store { width, rs2, rs1, offset } => {
+            assert!(width.funct3() < 4, "no store of width {width:?}");
+            s_type(0x23, width.funct3(), rs1, rs2, offset)
+        }
+        RvInst::OpImm { op, rd, rs1, imm } => match op {
+            RvOp::Add => i_type(0x13, 0, rd, rs1, imm),
+            RvOp::Slt => i_type(0x13, 2, rd, rs1, imm),
+            RvOp::Sltu => i_type(0x13, 3, rd, rs1, imm),
+            RvOp::Xor => i_type(0x13, 4, rd, rs1, imm),
+            RvOp::Or => i_type(0x13, 6, rd, rs1, imm),
+            RvOp::And => i_type(0x13, 7, rd, rs1, imm),
+            RvOp::Sll => {
+                assert!((0..64).contains(&imm), "slli shamt {imm}");
+                i_type(0x13, 1, rd, rs1, imm)
+            }
+            RvOp::Srl => {
+                assert!((0..64).contains(&imm), "srli shamt {imm}");
+                i_type(0x13, 5, rd, rs1, imm)
+            }
+            RvOp::Sra => {
+                assert!((0..64).contains(&imm), "srai shamt {imm}");
+                i_type(0x13, 5, rd, rs1, imm) | (0x10 << 26)
+            }
+            RvOp::Addw => i_type(0x1B, 0, rd, rs1, imm),
+            RvOp::Sllw => {
+                assert!((0..32).contains(&imm), "slliw shamt {imm}");
+                i_type(0x1B, 1, rd, rs1, imm)
+            }
+            RvOp::Srlw => {
+                assert!((0..32).contains(&imm), "srliw shamt {imm}");
+                i_type(0x1B, 5, rd, rs1, imm)
+            }
+            RvOp::Sraw => {
+                assert!((0..32).contains(&imm), "sraiw shamt {imm}");
+                i_type(0x1B, 5, rd, rs1, imm) | (0x20 << 25)
+            }
+            _ => panic!("{op:?} has no immediate form"),
+        },
+        RvInst::Op { op, rd, rs1, rs2 } => {
+            let (opcode, f7, f3) = match op {
+                RvOp::Add => (0x33, 0x00, 0),
+                RvOp::Sub => (0x33, 0x20, 0),
+                RvOp::Sll => (0x33, 0x00, 1),
+                RvOp::Slt => (0x33, 0x00, 2),
+                RvOp::Sltu => (0x33, 0x00, 3),
+                RvOp::Xor => (0x33, 0x00, 4),
+                RvOp::Srl => (0x33, 0x00, 5),
+                RvOp::Sra => (0x33, 0x20, 5),
+                RvOp::Or => (0x33, 0x00, 6),
+                RvOp::And => (0x33, 0x00, 7),
+                RvOp::Mul => (0x33, 0x01, 0),
+                RvOp::Mulh => (0x33, 0x01, 1),
+                RvOp::Mulhsu => (0x33, 0x01, 2),
+                RvOp::Mulhu => (0x33, 0x01, 3),
+                RvOp::Div => (0x33, 0x01, 4),
+                RvOp::Divu => (0x33, 0x01, 5),
+                RvOp::Rem => (0x33, 0x01, 6),
+                RvOp::Remu => (0x33, 0x01, 7),
+                RvOp::Addw => (0x3B, 0x00, 0),
+                RvOp::Subw => (0x3B, 0x20, 0),
+                RvOp::Sllw => (0x3B, 0x00, 1),
+                RvOp::Srlw => (0x3B, 0x00, 5),
+                RvOp::Sraw => (0x3B, 0x20, 5),
+                RvOp::Mulw => (0x3B, 0x01, 0),
+                RvOp::Divw => (0x3B, 0x01, 4),
+                RvOp::Divuw => (0x3B, 0x01, 5),
+                RvOp::Remw => (0x3B, 0x01, 6),
+                RvOp::Remuw => (0x3B, 0x01, 7),
+            };
+            r_type(opcode, f7, f3, rd, rs1, rs2)
+        }
+        RvInst::Fence => 0x0000_000F,
+        RvInst::Ecall => 0x0000_0073,
+        RvInst::Ebreak => 0x0010_0073,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_words() {
+        // `addi x0, x0, 0` is the canonical nop.
+        assert_eq!(
+            decode(0x0000_0013).unwrap(),
+            RvInst::OpImm { op: RvOp::Add, rd: 0, rs1: 0, imm: 0 }
+        );
+        // `ret` = jalr x0, 0(x1).
+        assert_eq!(decode(0x0000_8067).unwrap(), RvInst::Jalr { rd: 0, rs1: 1, offset: 0 });
+        assert_eq!(decode(0x0000_0073).unwrap(), RvInst::Ecall);
+        assert_eq!(decode(0x0010_0073).unwrap(), RvInst::Ebreak);
+    }
+
+    #[test]
+    fn unsupported_words_error() {
+        for word in [
+            0xFFFF_FFFF,
+            0x0000_0000,
+            0x0000_2073, // csrrs
+            0x0200_0053, // fadd.s
+            0x1000_0001, // compressed-looking garbage
+        ] {
+            assert!(decode(word).is_err(), "{word:#010x}");
+        }
+        let e = decode(0xFFFF_FFFF).unwrap_err();
+        assert!(e.to_string().contains("0xffffffff"));
+    }
+
+    #[test]
+    fn immediates_sign_extend() {
+        // addi x5, x6, -1
+        let w = encode(&RvInst::OpImm { op: RvOp::Add, rd: 5, rs1: 6, imm: -1 });
+        assert_eq!(decode(w).unwrap(), RvInst::OpImm { op: RvOp::Add, rd: 5, rs1: 6, imm: -1 });
+        // Store with negative offset.
+        let w = encode(&RvInst::Store { width: RvWidth::D, rs2: 7, rs1: 2, offset: -2048 });
+        assert_eq!(
+            decode(w).unwrap(),
+            RvInst::Store { width: RvWidth::D, rs2: 7, rs1: 2, offset: -2048 }
+        );
+        // Branch with the most negative encodable offset.
+        let w = encode(&RvInst::Branch { cond: RvBranch::Geu, rs1: 1, rs2: 2, offset: -4096 });
+        assert_eq!(
+            decode(w).unwrap(),
+            RvInst::Branch { cond: RvBranch::Geu, rs1: 1, rs2: 2, offset: -4096 }
+        );
+        // Jal across the full range.
+        for offset in [-(1 << 20), (1 << 20) - 2, -2, 2] {
+            let w = encode(&RvInst::Jal { rd: 1, offset });
+            assert_eq!(decode(w).unwrap(), RvInst::Jal { rd: 1, offset });
+        }
+    }
+}

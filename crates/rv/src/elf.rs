@@ -1,0 +1,368 @@
+//! Guest-image loaders: a minimal ELF64 executable parser and a flat
+//! binary loader.
+//!
+//! Both produce a [`GuestImage`] — entry point plus loadable segments —
+//! and both are total: every malformed, truncated or oversized input maps
+//! to a structured [`LoadError`]. No code path panics; the byte-mangling
+//! fuzz test in `tests/elf_fuzz.rs` holds the crate to that.
+
+use std::fmt;
+
+/// Upper bound on an input file; anything larger is rejected before
+/// parsing (`hpa run` feeds user-supplied files straight in here).
+pub const MAX_FILE_BYTES: usize = 64 << 20;
+
+/// Upper bound on one segment's memory footprint, and on the highest
+/// guest virtual address a segment may reach.
+pub const MAX_SEGMENT_BYTES: u64 = 16 << 20;
+
+/// Highest guest virtual address a segment may extend to.
+pub const MAX_VADDR: u64 = 1 << 32;
+
+/// One loadable segment of a guest image.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Segment {
+    /// Guest virtual address of the first byte.
+    pub vaddr: u64,
+    /// File-backed bytes (may be shorter than `memsz`; the rest is BSS).
+    pub data: Vec<u8>,
+    /// Total memory footprint in bytes (`>= data.len()`).
+    pub memsz: u64,
+    /// Whether the segment is executable (its words are translated).
+    pub exec: bool,
+}
+
+/// A loaded guest program: where to start and what to map.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GuestImage {
+    /// Guest entry-point address.
+    pub entry: u64,
+    /// Loadable segments, in file order.
+    pub segments: Vec<Segment>,
+}
+
+/// Why an input could not be loaded. Every variant names the check that
+/// failed; nothing in this module panics on malformed bytes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LoadError {
+    /// Input shorter than an ELF64 header (or empty for a flat binary).
+    Truncated {
+        /// How many bytes were needed.
+        need: usize,
+        /// How many were present.
+        got: usize,
+    },
+    /// Input larger than [`MAX_FILE_BYTES`].
+    FileTooLarge {
+        /// The input length.
+        got: usize,
+    },
+    /// The first four bytes are not `\x7fELF`.
+    BadMagic,
+    /// Not a 64-bit little-endian ELF.
+    BadFormat {
+        /// `EI_CLASS` (want 2 = 64-bit).
+        class: u8,
+        /// `EI_DATA` (want 1 = little-endian).
+        data: u8,
+    },
+    /// `e_type` is not `ET_EXEC` (static executables only).
+    BadType {
+        /// The `e_type` found.
+        e_type: u16,
+    },
+    /// `e_machine` is not `EM_RISCV`.
+    BadMachine {
+        /// The `e_machine` found.
+        e_machine: u16,
+    },
+    /// `e_phentsize` is not the ELF64 program-header size (56).
+    BadPhentsize {
+        /// The size found.
+        phentsize: u16,
+    },
+    /// The program-header table runs past the end of the file.
+    PhdrOutOfBounds {
+        /// `e_phoff`.
+        phoff: u64,
+        /// `e_phnum`.
+        phnum: u16,
+    },
+    /// No `PT_LOAD` segment with execute permission was found.
+    NoExecSegment,
+    /// A segment's file range runs past the end of the file.
+    SegmentOutOfBounds {
+        /// Index in the program-header table.
+        index: u16,
+        /// `p_offset`.
+        offset: u64,
+        /// `p_filesz`.
+        filesz: u64,
+    },
+    /// A segment's `p_filesz` exceeds its `p_memsz`.
+    FileszExceedsMemsz {
+        /// Index in the program-header table.
+        index: u16,
+    },
+    /// A segment is larger than [`MAX_SEGMENT_BYTES`] or reaches past
+    /// [`MAX_VADDR`].
+    SegmentTooLarge {
+        /// Index in the program-header table.
+        index: u16,
+        /// `p_vaddr`.
+        vaddr: u64,
+        /// `p_memsz`.
+        memsz: u64,
+    },
+    /// An executable segment's address or size is not 4-byte aligned.
+    MisalignedText {
+        /// Index in the program-header table.
+        index: u16,
+        /// `p_vaddr`.
+        vaddr: u64,
+    },
+    /// The entry point is not 4-byte aligned or lies outside every
+    /// executable segment.
+    BadEntry {
+        /// `e_entry`.
+        entry: u64,
+    },
+}
+
+impl fmt::Display for LoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            LoadError::Truncated { need, got } => {
+                write!(f, "truncated input: need {need} bytes, got {got}")
+            }
+            LoadError::FileTooLarge { got } => {
+                write!(f, "input of {got} bytes exceeds the {MAX_FILE_BYTES}-byte limit")
+            }
+            LoadError::BadMagic => write!(f, "not an ELF file (bad magic)"),
+            LoadError::BadFormat { class, data } => {
+                write!(f, "not a 64-bit little-endian ELF (class {class}, data {data})")
+            }
+            LoadError::BadType { e_type } => {
+                write!(f, "e_type {e_type} is not ET_EXEC (2); only static executables load")
+            }
+            LoadError::BadMachine { e_machine } => {
+                write!(f, "e_machine {e_machine} is not EM_RISCV (243)")
+            }
+            LoadError::BadPhentsize { phentsize } => {
+                write!(f, "e_phentsize {phentsize} is not 56")
+            }
+            LoadError::PhdrOutOfBounds { phoff, phnum } => {
+                write!(f, "program headers (phoff {phoff:#x}, phnum {phnum}) run past the file")
+            }
+            LoadError::NoExecSegment => write!(f, "no executable PT_LOAD segment"),
+            LoadError::SegmentOutOfBounds { index, offset, filesz } => {
+                write!(
+                    f,
+                    "segment {index} (offset {offset:#x}, filesz {filesz:#x}) runs past the file"
+                )
+            }
+            LoadError::FileszExceedsMemsz { index } => {
+                write!(f, "segment {index} has p_filesz > p_memsz")
+            }
+            LoadError::SegmentTooLarge { index, vaddr, memsz } => {
+                write!(f, "segment {index} (vaddr {vaddr:#x}, memsz {memsz:#x}) exceeds limits")
+            }
+            LoadError::MisalignedText { index, vaddr } => {
+                write!(f, "executable segment {index} at {vaddr:#x} is not 4-byte aligned")
+            }
+            LoadError::BadEntry { entry } => {
+                write!(f, "entry {entry:#x} is misaligned or outside every executable segment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// `PT_LOAD`.
+const PT_LOAD: u32 = 1;
+/// `PF_X`.
+const PF_X: u32 = 1;
+/// ELF64 header size.
+const EHDR_SIZE: usize = 64;
+/// ELF64 program-header entry size.
+const PHDR_SIZE: u64 = 56;
+
+fn read_u16(bytes: &[u8], at: usize) -> Result<u16, LoadError> {
+    match bytes.get(at..at + 2) {
+        Some(b) => Ok(u16::from_le_bytes([b[0], b[1]])),
+        None => Err(LoadError::Truncated { need: at + 2, got: bytes.len() }),
+    }
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> Result<u32, LoadError> {
+    match bytes.get(at..at + 4) {
+        Some(b) => Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        None => Err(LoadError::Truncated { need: at + 4, got: bytes.len() }),
+    }
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> Result<u64, LoadError> {
+    match bytes.get(at..at + 8) {
+        Some(b) => Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])),
+        None => Err(LoadError::Truncated { need: at + 8, got: bytes.len() }),
+    }
+}
+
+/// Parses an ELF64 `ET_EXEC` RISC-V image into its loadable segments.
+///
+/// Only the fields the frontend needs are interpreted: identification,
+/// type, machine, entry, and the `PT_LOAD` program headers. Section
+/// headers, dynamic linking and relocations are out of scope — static
+/// executables only.
+///
+/// # Errors
+///
+/// A [`LoadError`] naming the first validation that failed; malformed
+/// input of any shape returns an error, never panics.
+pub fn load_elf(bytes: &[u8]) -> Result<GuestImage, LoadError> {
+    if bytes.len() > MAX_FILE_BYTES {
+        return Err(LoadError::FileTooLarge { got: bytes.len() });
+    }
+    if bytes.len() < EHDR_SIZE {
+        return Err(LoadError::Truncated { need: EHDR_SIZE, got: bytes.len() });
+    }
+    if &bytes[0..4] != b"\x7fELF" {
+        return Err(LoadError::BadMagic);
+    }
+    let (class, data) = (bytes[4], bytes[5]);
+    if class != 2 || data != 1 {
+        return Err(LoadError::BadFormat { class, data });
+    }
+    let e_type = read_u16(bytes, 16)?;
+    if e_type != 2 {
+        return Err(LoadError::BadType { e_type });
+    }
+    let e_machine = read_u16(bytes, 18)?;
+    if e_machine != 243 {
+        return Err(LoadError::BadMachine { e_machine });
+    }
+    let entry = read_u64(bytes, 24)?;
+    let phoff = read_u64(bytes, 32)?;
+    let phentsize = read_u16(bytes, 54)?;
+    if phentsize != PHDR_SIZE as u16 {
+        return Err(LoadError::BadPhentsize { phentsize });
+    }
+    let phnum = read_u16(bytes, 56)?;
+    let table_end = phoff
+        .checked_add(u64::from(phnum) * PHDR_SIZE)
+        .filter(|&end| end <= bytes.len() as u64)
+        .ok_or(LoadError::PhdrOutOfBounds { phoff, phnum })?;
+    let _ = table_end;
+
+    let mut segments = Vec::new();
+    for index in 0..phnum {
+        let at = (phoff + u64::from(index) * PHDR_SIZE) as usize;
+        let p_type = read_u32(bytes, at)?;
+        if p_type != PT_LOAD {
+            continue;
+        }
+        let p_flags = read_u32(bytes, at + 4)?;
+        let offset = read_u64(bytes, at + 8)?;
+        let vaddr = read_u64(bytes, at + 16)?;
+        let filesz = read_u64(bytes, at + 32)?;
+        let memsz = read_u64(bytes, at + 40)?;
+        if filesz > memsz {
+            return Err(LoadError::FileszExceedsMemsz { index });
+        }
+        if memsz > MAX_SEGMENT_BYTES || vaddr.checked_add(memsz).is_none_or(|end| end > MAX_VADDR) {
+            return Err(LoadError::SegmentTooLarge { index, vaddr, memsz });
+        }
+        let end = offset
+            .checked_add(filesz)
+            .filter(|&end| end <= bytes.len() as u64)
+            .ok_or(LoadError::SegmentOutOfBounds { index, offset, filesz })?;
+        let exec = p_flags & PF_X != 0;
+        if exec && (vaddr % 4 != 0 || filesz % 4 != 0) {
+            return Err(LoadError::MisalignedText { index, vaddr });
+        }
+        segments.push(Segment {
+            vaddr,
+            data: bytes[offset as usize..end as usize].to_vec(),
+            memsz,
+            exec,
+        });
+    }
+
+    let entry_ok = entry % 4 == 0
+        && segments
+            .iter()
+            .any(|s| s.exec && entry >= s.vaddr && entry < s.vaddr + s.data.len() as u64);
+    if !segments.iter().any(|s| s.exec) {
+        return Err(LoadError::NoExecSegment);
+    }
+    if !entry_ok {
+        return Err(LoadError::BadEntry { entry });
+    }
+    Ok(GuestImage { entry, segments })
+}
+
+/// Wraps a raw flat binary — instruction words only, no header — as a
+/// guest image based at `base` with entry at its first word.
+///
+/// # Errors
+///
+/// Rejects empty, oversized, misaligned or non-word-multiple inputs.
+pub fn load_flat(bytes: &[u8], base: u64) -> Result<GuestImage, LoadError> {
+    if bytes.len() > MAX_FILE_BYTES {
+        return Err(LoadError::FileTooLarge { got: bytes.len() });
+    }
+    if bytes.is_empty() {
+        return Err(LoadError::Truncated { need: 4, got: 0 });
+    }
+    if !base.is_multiple_of(4) || !bytes.len().is_multiple_of(4) {
+        return Err(LoadError::MisalignedText { index: 0, vaddr: base });
+    }
+    if bytes.len() as u64 > MAX_SEGMENT_BYTES
+        || base.checked_add(bytes.len() as u64).is_none_or(|end| end > MAX_VADDR)
+    {
+        return Err(LoadError::SegmentTooLarge {
+            index: 0,
+            vaddr: base,
+            memsz: bytes.len() as u64,
+        });
+    }
+    Ok(GuestImage {
+        entry: base,
+        segments: vec![Segment {
+            vaddr: base,
+            data: bytes.to_vec(),
+            memsz: bytes.len() as u64,
+            exec: true,
+        }],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_loader_validates() {
+        assert!(matches!(load_flat(&[], 0x1000), Err(LoadError::Truncated { .. })));
+        assert!(matches!(load_flat(&[0; 6], 0x1000), Err(LoadError::MisalignedText { .. })));
+        assert!(matches!(load_flat(&[0; 4], 0x1002), Err(LoadError::MisalignedText { .. })));
+        assert!(matches!(load_flat(&[0; 4], MAX_VADDR), Err(LoadError::SegmentTooLarge { .. })));
+        let img = load_flat(&[0x13, 0, 0, 0], 0x1000).unwrap();
+        assert_eq!(img.entry, 0x1000);
+        assert_eq!(img.segments.len(), 1);
+        assert!(img.segments[0].exec);
+    }
+
+    #[test]
+    fn elf_loader_rejects_garbage_prefixes() {
+        assert!(matches!(load_elf(&[]), Err(LoadError::Truncated { .. })));
+        assert!(matches!(load_elf(b"MZ\x90\x00"), Err(LoadError::Truncated { .. })));
+        assert!(matches!(load_elf(&[0u8; 64]), Err(LoadError::BadMagic)));
+        let mut h = vec![0u8; 64];
+        h[0..4].copy_from_slice(b"\x7fELF");
+        h[4] = 1; // 32-bit
+        h[5] = 1;
+        assert!(matches!(load_elf(&h), Err(LoadError::BadFormat { class: 1, .. })));
+    }
+}

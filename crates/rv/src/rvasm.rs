@@ -1,0 +1,283 @@
+//! A tiny RISC-V assembler and ELF writer for building the checked-in
+//! test fixtures.
+//!
+//! The container has no RISC-V cross-compiler, so the fixture binaries in
+//! `fixtures/` are produced by this module: guest programs are written
+//! against [`RvAsm`] (labels, the usual pseudo-instructions) and packed
+//! into minimal `ET_EXEC` ELF64 images by [`build_elf`]. A regeneration
+//! test pins the checked-in bytes to this generator, so the fixtures are
+//! reproducible from source.
+
+use crate::decode::{encode, RvBranch, RvInst, RvOp, RvWidth, XReg};
+use std::collections::HashMap;
+
+/// Conventional guest link addresses for fixtures: text low, data high,
+/// both far below the shim's stack.
+pub const TEXT_BASE: u64 = 0x1_0000;
+/// Fixture data segment base (see [`TEXT_BASE`]).
+pub const DATA_BASE: u64 = 0x8_0000;
+
+/// One assembly item: a finished instruction or a label-relative one.
+enum Item {
+    Inst(RvInst),
+    Branch { cond: RvBranch, rs1: XReg, rs2: XReg, label: String },
+    Jal { rd: XReg, label: String },
+}
+
+/// A label-resolving RV64 program builder (guest side; contrast with
+/// `hpa_asm::Asm`, which builds internal programs).
+#[derive(Default)]
+pub struct RvAsm {
+    items: Vec<Item>,
+    labels: HashMap<String, usize>,
+}
+
+impl RvAsm {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> RvAsm {
+        RvAsm::default()
+    }
+
+    /// Defines a label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a duplicate definition (fixtures are compiled-in, so
+    /// this is a build-time bug, not input validation).
+    pub fn label(&mut self, name: &str) -> &mut RvAsm {
+        let prev = self.labels.insert(name.to_string(), self.items.len());
+        assert!(prev.is_none(), "duplicate label `{name}`");
+        self
+    }
+
+    /// Appends a raw instruction.
+    pub fn inst(&mut self, inst: RvInst) -> &mut RvAsm {
+        self.items.push(Item::Inst(inst));
+        self
+    }
+
+    /// `op rd, rs1, rs2` (R-type).
+    pub fn op(&mut self, op: RvOp, rd: XReg, rs1: XReg, rs2: XReg) -> &mut RvAsm {
+        self.inst(RvInst::Op { op, rd, rs1, rs2 })
+    }
+
+    /// `opi rd, rs1, imm` (I-type; `addi`, shifts, ...).
+    pub fn opi(&mut self, op: RvOp, rd: XReg, rs1: XReg, imm: i16) -> &mut RvAsm {
+        self.inst(RvInst::OpImm { op, rd, rs1, imm })
+    }
+
+    /// Loads a constant: one `addi` when it fits 12 bits, else the
+    /// standard `lui`+`addiw` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in 32 bits (fixtures never need
+    /// more).
+    pub fn li(&mut self, rd: XReg, value: i64) -> &mut RvAsm {
+        if let Ok(imm) = i16::try_from(value) {
+            if (-2048..2048).contains(&imm) {
+                return self.opi(RvOp::Add, rd, 0, imm);
+            }
+        }
+        let v = i32::try_from(value).expect("fixture constants fit in 32 bits");
+        let hi = v.wrapping_add(0x800) & !0xFFF;
+        let lo = v.wrapping_sub(hi) as i16;
+        self.inst(RvInst::Lui { rd, imm: hi });
+        if lo != 0 {
+            self.opi(RvOp::Addw, rd, rd, lo);
+        }
+        self
+    }
+
+    /// `mv rd, rs` (canonical `addi rd, rs, 0`).
+    pub fn mv(&mut self, rd: XReg, rs: XReg) -> &mut RvAsm {
+        self.opi(RvOp::Add, rd, rs, 0)
+    }
+
+    /// A load of the given width.
+    pub fn load(&mut self, width: RvWidth, rd: XReg, rs1: XReg, offset: i16) -> &mut RvAsm {
+        self.inst(RvInst::Load { width, rd, rs1, offset })
+    }
+
+    /// A store of the given width.
+    pub fn store(&mut self, width: RvWidth, rs2: XReg, rs1: XReg, offset: i16) -> &mut RvAsm {
+        self.inst(RvInst::Store { width, rs2, rs1, offset })
+    }
+
+    /// A conditional branch to a label.
+    pub fn branch(&mut self, cond: RvBranch, rs1: XReg, rs2: XReg, label: &str) -> &mut RvAsm {
+        self.items.push(Item::Branch { cond, rs1, rs2, label: label.to_string() });
+        self
+    }
+
+    /// `jal rd, label` (use `rd = 0` for a plain jump, `rd = 1` for a
+    /// call).
+    pub fn jal(&mut self, rd: XReg, label: &str) -> &mut RvAsm {
+        self.items.push(Item::Jal { rd, label: label.to_string() });
+        self
+    }
+
+    /// `jalr rd, offset(rs1)`.
+    pub fn jalr(&mut self, rd: XReg, rs1: XReg, offset: i16) -> &mut RvAsm {
+        self.inst(RvInst::Jalr { rd, rs1, offset })
+    }
+
+    /// `ret` (`jalr x0, 0(ra)`).
+    pub fn ret(&mut self) -> &mut RvAsm {
+        self.jalr(0, 1, 0)
+    }
+
+    /// `ecall`.
+    pub fn ecall(&mut self) -> &mut RvAsm {
+        self.inst(RvInst::Ecall)
+    }
+
+    /// The exit idiom every fixture ends with: `a0 = code; a7 = 93;
+    /// ecall`.
+    pub fn exit(&mut self, code: i16) -> &mut RvAsm {
+        self.li(10, i64::from(code));
+        self.li(17, 93);
+        self.ecall()
+    }
+
+    /// Resolves labels against `base` (the text load address) and encodes
+    /// the program into little-endian words.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an undefined label or an out-of-range branch — fixture
+    /// build bugs, caught by the fixture tests.
+    #[must_use]
+    pub fn assemble(&self, base: u64) -> Vec<u32> {
+        let resolve = |label: &str, at: usize| -> i32 {
+            let target =
+                *self.labels.get(label).unwrap_or_else(|| panic!("undefined label `{label}`"));
+            (target as i64 - at as i64) as i32 * 4
+        };
+        let _ = base;
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(at, item)| {
+                let inst = match item {
+                    Item::Inst(i) => *i,
+                    Item::Branch { cond, rs1, rs2, label } => RvInst::Branch {
+                        cond: *cond,
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        offset: resolve(label, at),
+                    },
+                    Item::Jal { rd, label } => RvInst::Jal { rd: *rd, offset: resolve(label, at) },
+                };
+                encode(&inst)
+            })
+            .collect()
+    }
+}
+
+/// Packs text and data into a minimal static RISC-V ELF64 executable:
+/// header, two `PT_LOAD` program headers (R+X text, R+W data), then the
+/// segment bytes. `bss` extends the data segment's memory footprint past
+/// its file bytes.
+#[must_use]
+pub fn build_elf(text: &[u32], data: &[u8], bss: u64) -> Vec<u8> {
+    const EHDR: usize = 64;
+    const PHDR: usize = 56;
+    let text_bytes: Vec<u8> = text.iter().flat_map(|w| w.to_le_bytes()).collect();
+    let text_off = (EHDR + 2 * PHDR) as u64;
+    let data_off = text_off + text_bytes.len() as u64;
+
+    let mut out = Vec::with_capacity(text_off as usize + text_bytes.len() + data.len());
+    // ELF identification: magic, 64-bit, little-endian, version 1.
+    out.extend_from_slice(b"\x7fELF\x02\x01\x01");
+    out.resize(16, 0);
+    out.extend_from_slice(&2u16.to_le_bytes()); // e_type = ET_EXEC
+    out.extend_from_slice(&243u16.to_le_bytes()); // e_machine = EM_RISCV
+    out.extend_from_slice(&1u32.to_le_bytes()); // e_version
+    out.extend_from_slice(&TEXT_BASE.to_le_bytes()); // e_entry
+    out.extend_from_slice(&(EHDR as u64).to_le_bytes()); // e_phoff
+    out.extend_from_slice(&0u64.to_le_bytes()); // e_shoff
+    out.extend_from_slice(&0u32.to_le_bytes()); // e_flags
+    out.extend_from_slice(&(EHDR as u16).to_le_bytes()); // e_ehsize
+    out.extend_from_slice(&(PHDR as u16).to_le_bytes()); // e_phentsize
+    out.extend_from_slice(&2u16.to_le_bytes()); // e_phnum
+    out.extend_from_slice(&[0; 6]); // e_shentsize, e_shnum, e_shstrndx
+
+    let phdr = |out: &mut Vec<u8>, flags: u32, off: u64, vaddr: u64, filesz: u64, memsz: u64| {
+        out.extend_from_slice(&1u32.to_le_bytes()); // p_type = PT_LOAD
+        out.extend_from_slice(&flags.to_le_bytes());
+        out.extend_from_slice(&off.to_le_bytes());
+        out.extend_from_slice(&vaddr.to_le_bytes()); // p_vaddr
+        out.extend_from_slice(&vaddr.to_le_bytes()); // p_paddr
+        out.extend_from_slice(&filesz.to_le_bytes());
+        out.extend_from_slice(&memsz.to_le_bytes());
+        out.extend_from_slice(&0x1000u64.to_le_bytes()); // p_align
+    };
+    let text_len = text_bytes.len() as u64;
+    let data_len = data.len() as u64;
+    phdr(&mut out, 0b101, text_off, TEXT_BASE, text_len, text_len); // R+X
+    phdr(&mut out, 0b110, data_off, DATA_BASE, data_len, data_len + bss); // R+W
+
+    out.extend_from_slice(&text_bytes);
+    out.extend_from_slice(data);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elf::load_elf;
+
+    #[test]
+    fn assembled_elf_loads_back() {
+        let mut a = RvAsm::new();
+        a.label("start");
+        a.li(5, 7);
+        a.branch(RvBranch::Ne, 5, 0, "start");
+        a.exit(0);
+        let words = a.assemble(TEXT_BASE);
+        let elf = build_elf(&words, &[1, 2, 3], 64);
+        let img = load_elf(&elf).expect("own ELF loads");
+        assert_eq!(img.entry, TEXT_BASE);
+        assert_eq!(img.segments.len(), 2);
+        let text = &img.segments[0];
+        assert!(text.exec);
+        assert_eq!(text.vaddr, TEXT_BASE);
+        assert_eq!(text.data.len(), words.len() * 4);
+        let data = &img.segments[1];
+        assert!(!data.exec);
+        assert_eq!(data.vaddr, DATA_BASE);
+        assert_eq!(data.data, vec![1, 2, 3]);
+        assert_eq!(data.memsz, 3 + 64);
+    }
+
+    #[test]
+    fn li_covers_the_32_bit_range() {
+        // Spot-check that li's lui+addiw pairs decode back to the right
+        // constant under the architectural semantics.
+        for v in
+            [0i64, 1, -1, 2047, -2048, 2048, -2049, 0x8_0000, 0xF_0000, 0x7FFF_F7FF, -0x8000_0000]
+        {
+            let mut a = RvAsm::new();
+            a.li(7, v);
+            let mut x7 = 0xDEAD_BEEFu64;
+            for w in a.assemble(TEXT_BASE) {
+                match crate::decode::decode(w).expect("li emits valid words") {
+                    RvInst::OpImm { op: RvOp::Add, rd: 7, rs1, imm } => {
+                        let base = if rs1 == 0 { 0 } else { x7 };
+                        x7 = base.wrapping_add_signed(i64::from(imm));
+                    }
+                    RvInst::OpImm { op: RvOp::Addw, rd: 7, rs1: 7, imm } => {
+                        x7 = x7.wrapping_add_signed(i64::from(imm)) as i32 as i64 as u64;
+                    }
+                    RvInst::Lui { rd: 7, imm } => {
+                        x7 = i64::from(imm) as u64;
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            assert_eq!(x7, v as u64, "li {v:#x}");
+        }
+    }
+}

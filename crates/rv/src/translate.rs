@@ -1,0 +1,419 @@
+//! Guest-to-internal translation: RV64I(+M) text becomes an
+//! `hpa_isa` [`Program`].
+//!
+//! Every guest instruction gets a label `g<hex-addr>` in the internal
+//! program, and each one expands to zero or more internal instructions
+//! (an expansion is contiguous, so a guest fall-through is an internal
+//! fall-through). Branch displacements, `li` constant expansion and range
+//! checks are all delegated to the [`Asm`] builder.
+//!
+//! ## ABI shim contract
+//!
+//! - The translator prepends a startup shim: `sp` (guest `x2`) is set to
+//!   [`STACK_TOP`] and control branches to the guest entry point.
+//! - `ecall` with `a7 == 93` (exit) halts the machine; any other `a7` is
+//!   treated as a successful `write` — it returns `a2` in `a0` and is
+//!   otherwise a no-op (the machine has no file descriptors).
+//! - Guest `x31` (`t6`, internal `r30`) is the shim's scratch register:
+//!   the `ecall` and signed-`div` expansions clobber it. Compiled code
+//!   treats `t6` as caller-saved, so this is invisible to conforming
+//!   guests.
+//! - Link registers hold *internal* return addresses (`jal`/`jalr` link
+//!   the internal fall-through), so `ret` and computed returns work.
+//!   Function pointers materialized from *data* (jump tables, vtables)
+//!   would hold guest text addresses and are unsupported; `auipc`+`jalr`
+//!   pairs are folded to direct internal calls instead.
+
+use crate::decode::{self, RvBranch, RvInst, RvOp, RvWidth, XReg};
+use crate::elf::GuestImage;
+use hpa_asm::{Asm, AsmError, Program};
+use hpa_isa::{AluOp, CmpCond, Inst, JumpKind, MemWidth, Reg, RegOrLit};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Initial guest stack pointer. Grows down; sits far above the fixture
+/// data segments and far below the emulator's address limit.
+pub const STACK_TOP: u64 = 0x00F0_0000;
+
+/// The Linux riscv64 `exit` syscall number the shim recognizes.
+pub const SYS_EXIT: u64 = 93;
+
+/// Why a guest image could not be translated.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TranslateError {
+    /// A text word is not in the supported RV64I+M subset.
+    Unsupported {
+        /// Guest address of the word.
+        addr: u64,
+        /// The word itself.
+        word: u32,
+    },
+    /// The image has no executable words at all.
+    EmptyText,
+    /// The entry point is not the address of a decoded instruction.
+    BadEntry {
+        /// The entry address.
+        entry: u64,
+    },
+    /// A branch or jump targets an address outside the text.
+    BadTarget {
+        /// Guest address of the branching instruction.
+        addr: u64,
+        /// The target it names.
+        target: u64,
+    },
+    /// The assembler rejected the expansion (e.g. a compare-branch whose
+    /// expanded displacement overflows its 13-bit field).
+    Asm(AsmError),
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslateError::Unsupported { addr, word } => {
+                write!(f, "unsupported instruction {word:#010x} at {addr:#x}")
+            }
+            TranslateError::EmptyText => write!(f, "image has no executable words"),
+            TranslateError::BadEntry { entry } => {
+                write!(f, "entry {entry:#x} is not a decoded instruction")
+            }
+            TranslateError::BadTarget { addr, target } => {
+                write!(f, "branch at {addr:#x} targets {target:#x}, outside the text")
+            }
+            TranslateError::Asm(e) => write!(f, "expansion: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+impl From<AsmError> for TranslateError {
+    fn from(e: AsmError) -> TranslateError {
+        TranslateError::Asm(e)
+    }
+}
+
+/// Maps a guest register to its internal home: `x0` is the hard-wired
+/// zero (`r31`), `x1..x31` shift down one to `r0..r30`.
+#[must_use]
+pub fn xreg(x: XReg) -> Reg {
+    if x == 0 {
+        Reg::ZERO
+    } else {
+        Reg::new(x - 1)
+    }
+}
+
+/// The shim's scratch register: guest `t6` (`x31`).
+const SCRATCH: Reg = Reg::R30;
+
+fn glabel(addr: u64) -> String {
+    format!("g{addr:x}")
+}
+
+fn alu_op(op: RvOp) -> AluOp {
+    match op {
+        RvOp::Add => AluOp::Add,
+        RvOp::Sub => AluOp::Sub,
+        RvOp::Sll => AluOp::Sll,
+        RvOp::Slt => AluOp::CmpLt,
+        RvOp::Sltu => AluOp::CmpUlt,
+        RvOp::Xor => AluOp::Xor,
+        RvOp::Srl => AluOp::Srl,
+        RvOp::Sra => AluOp::Sra,
+        RvOp::Or => AluOp::Or,
+        RvOp::And => AluOp::And,
+        RvOp::Addw => AluOp::AddW,
+        RvOp::Subw => AluOp::SubW,
+        RvOp::Sllw => AluOp::SllW,
+        RvOp::Srlw => AluOp::SrlW,
+        RvOp::Sraw => AluOp::SraW,
+        RvOp::Mul => AluOp::Mul,
+        RvOp::Mulh => AluOp::MulH,
+        RvOp::Mulhsu => AluOp::MulHSU,
+        RvOp::Mulhu => AluOp::MulHU,
+        RvOp::Div => AluOp::Div,
+        RvOp::Divu => AluOp::DivU,
+        RvOp::Rem => AluOp::Rem,
+        RvOp::Remu => AluOp::RemU,
+        RvOp::Mulw => AluOp::MulW,
+        RvOp::Divw => AluOp::DivW,
+        RvOp::Divuw => AluOp::DivUW,
+        RvOp::Remw => AluOp::RemW,
+        RvOp::Remuw => AluOp::RemUW,
+    }
+}
+
+fn cmp_cond(cond: RvBranch) -> CmpCond {
+    match cond {
+        RvBranch::Eq => CmpCond::Eq,
+        RvBranch::Ne => CmpCond::Ne,
+        RvBranch::Lt => CmpCond::Lt,
+        RvBranch::Ge => CmpCond::Ge,
+        RvBranch::Ltu => CmpCond::Ltu,
+        RvBranch::Geu => CmpCond::Geu,
+    }
+}
+
+fn load_width(width: RvWidth) -> MemWidth {
+    match width {
+        RvWidth::B => MemWidth::SByte,
+        RvWidth::Bu => MemWidth::Byte,
+        RvWidth::H => MemWidth::SHalf,
+        RvWidth::Hu => MemWidth::Half,
+        RvWidth::W => MemWidth::Long,
+        RvWidth::Wu => MemWidth::ULong,
+        RvWidth::D => MemWidth::Quad,
+    }
+}
+
+fn store_width(width: RvWidth) -> MemWidth {
+    match width {
+        RvWidth::B | RvWidth::Bu => MemWidth::Byte,
+        RvWidth::H | RvWidth::Hu => MemWidth::Half,
+        RvWidth::W | RvWidth::Wu => MemWidth::Long,
+        RvWidth::D => MemWidth::Quad,
+    }
+}
+
+/// Translates a loaded guest image into an internal program.
+///
+/// The returned program starts with the startup shim, contains one
+/// labelled expansion per guest instruction in address order, and carries
+/// every guest segment (text included, for rodata pools) as an initial
+/// data image at its guest virtual address.
+///
+/// # Errors
+///
+/// See [`TranslateError`]; malformed or unsupported input never panics.
+pub fn translate(image: &GuestImage) -> Result<Program, TranslateError> {
+    // Decode every executable word first so branch targets can be
+    // validated against the full text before any code is emitted.
+    let mut text: Vec<(u64, RvInst)> = Vec::new();
+    for seg in image.segments.iter().filter(|s| s.exec) {
+        for (k, word) in seg.data.chunks_exact(4).enumerate() {
+            let addr = seg.vaddr + 4 * k as u64;
+            let word = u32::from_le_bytes([word[0], word[1], word[2], word[3]]);
+            let inst =
+                decode::decode(word).map_err(|_| TranslateError::Unsupported { addr, word })?;
+            text.push((addr, inst));
+        }
+    }
+    if text.is_empty() {
+        return Err(TranslateError::EmptyText);
+    }
+    text.sort_by_key(|&(addr, _)| addr);
+    let addrs: HashSet<u64> = text.iter().map(|&(a, _)| a).collect();
+    if !addrs.contains(&image.entry) {
+        return Err(TranslateError::BadEntry { entry: image.entry });
+    }
+    let target_of = |addr: u64, target: u64| -> Result<String, TranslateError> {
+        if addrs.contains(&target) {
+            Ok(glabel(target))
+        } else {
+            Err(TranslateError::BadTarget { addr, target })
+        }
+    };
+
+    let mut a = Asm::new();
+    // Startup shim: stack, then jump to the guest entry.
+    a.li(xreg(2), STACK_TOP as i64);
+    a.br(glabel(image.entry));
+
+    // `auipc rd, hi` remembered across one instruction, for the
+    // `auipc`+`jalr` direct-call fold.
+    let mut prev_auipc: Option<(u64, XReg, i32)> = None;
+    for &(addr, inst) in &text {
+        a.label(glabel(addr));
+        let this_auipc = match inst {
+            RvInst::Auipc { rd, imm } => Some((addr, rd, imm)),
+            _ => None,
+        };
+        match inst {
+            RvInst::Lui { rd, imm } => {
+                a.li(xreg(rd), i64::from(imm));
+            }
+            RvInst::Auipc { rd, imm } => {
+                // The guest PC is a link-time constant, so fold it. The
+                // result is a guest address: valid for data, folded away
+                // for the `jalr` call idiom below.
+                a.li(xreg(rd), addr.wrapping_add_signed(i64::from(imm)) as i64);
+            }
+            RvInst::Jal { rd, offset } => {
+                let target = target_of(addr, addr.wrapping_add_signed(i64::from(offset)))?;
+                if rd == 0 {
+                    a.br(target);
+                } else {
+                    a.bsr(xreg(rd), target);
+                }
+            }
+            RvInst::Jalr { rd, rs1, offset } => {
+                let fold = prev_auipc.and_then(|(pa, prd, pimm)| {
+                    (prd == rs1 && rs1 != 0).then(|| {
+                        pa.wrapping_add_signed(i64::from(pimm))
+                            .wrapping_add_signed(i64::from(offset))
+                            & !1
+                    })
+                });
+                match fold {
+                    Some(target) if addrs.contains(&target) => {
+                        if rd == 0 {
+                            a.br(glabel(target));
+                        } else {
+                            a.bsr(xreg(rd), glabel(target));
+                        }
+                    }
+                    _ => {
+                        // The base register holds an internal address
+                        // (written by a `bsr`/`jsr` link), so an indirect
+                        // jump through it is exact.
+                        let kind = if rd == 0 && rs1 == 1 && offset == 0 {
+                            JumpKind::Ret
+                        } else if rd == 1 {
+                            JumpKind::Jsr
+                        } else {
+                            JumpKind::Jmp
+                        };
+                        a.raw(Inst::Jump { kind, rt: xreg(rd), base: xreg(rs1), disp: offset });
+                    }
+                }
+            }
+            RvInst::Branch { cond, rs1, rs2, offset } => {
+                let target = target_of(addr, addr.wrapping_add_signed(i64::from(offset)))?;
+                a.cbranch_to(cmp_cond(cond), xreg(rs1), xreg(rs2), target);
+            }
+            RvInst::Load { width, rd, rs1, offset } => {
+                a.raw(Inst::Load {
+                    width: load_width(width),
+                    rt: xreg(rd),
+                    base: xreg(rs1),
+                    disp: offset,
+                });
+            }
+            RvInst::Store { width, rs2, rs1, offset } => {
+                a.raw(Inst::Store {
+                    width: store_width(width),
+                    rt: xreg(rs2),
+                    base: xreg(rs1),
+                    disp: offset,
+                });
+            }
+            RvInst::OpImm { op, rd, rs1, imm } => {
+                a.raw(Inst::Op {
+                    op: alu_op(op),
+                    ra: xreg(rs1),
+                    rb: RegOrLit::Lit(imm),
+                    rc: xreg(rd),
+                });
+            }
+            RvInst::Op { op: RvOp::Div, rd, rs1, rs2 } if rd != 0 => {
+                // The legacy `div` yields 0 on division by zero where
+                // RISC-V requires all-ones; patch the quotient with -1
+                // when the divisor was zero. The divisor is snapshotted
+                // first if the quotient overwrites it.
+                let skip = format!("g{addr:x}q");
+                if rd == rs2 {
+                    a.mov(SCRATCH, xreg(rs2));
+                    a.div(xreg(rd), xreg(rs1), xreg(rs2));
+                    a.cbranch_to(CmpCond::Ne, SCRATCH, Reg::ZERO, skip.clone());
+                } else {
+                    a.div(xreg(rd), xreg(rs1), xreg(rs2));
+                    a.cbranch_to(CmpCond::Ne, xreg(rs2), Reg::ZERO, skip.clone());
+                }
+                a.add(xreg(rd), xreg(rd), -1i16);
+                a.label(skip);
+            }
+            RvInst::Op { op, rd, rs1, rs2 } => {
+                a.raw(Inst::Op {
+                    op: alu_op(op),
+                    ra: xreg(rs1),
+                    rb: RegOrLit::Reg(xreg(rs2)),
+                    rc: xreg(rd),
+                });
+            }
+            RvInst::Fence => {
+                // Single hart, in-order commit: nothing to order.
+            }
+            RvInst::Ecall => {
+                // a7 == SYS_EXIT stops the machine; anything else is the
+                // `write` path: report a2 bytes written in a0.
+                let not_exit = format!("g{addr:x}s");
+                a.li(SCRATCH, SYS_EXIT as i64);
+                a.cbranch_to(CmpCond::Ne, xreg(17), SCRATCH, not_exit.clone());
+                a.halt();
+                a.label(not_exit);
+                a.mov(xreg(10), xreg(12));
+            }
+            RvInst::Ebreak => {
+                a.halt();
+            }
+        }
+        prev_auipc = this_auipc;
+    }
+    // Falling off the end of the text stops the machine instead of
+    // running into unmapped internal addresses.
+    a.halt();
+
+    // Every guest segment is an initial data image at its guest address;
+    // text segments ride along so rodata pools inside them stay readable.
+    // BSS (memsz > filesz) needs nothing: guest memory reads as zero.
+    for seg in &image.segments {
+        if !seg.data.is_empty() {
+            a.data_bytes(seg.vaddr, &seg.data);
+        }
+    }
+    Ok(a.assemble()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elf::load_flat;
+
+    fn flat_program(words: &[u32]) -> Result<Program, TranslateError> {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        translate(&load_flat(&bytes, 0x1_0000).expect("valid flat image"))
+    }
+
+    #[test]
+    fn minimal_exit_program_translates() {
+        // li a7, 93; ecall
+        let p = flat_program(&[
+            decode::encode(&RvInst::OpImm { op: RvOp::Add, rd: 17, rs1: 0, imm: 93 }),
+            decode::encode(&RvInst::Ecall),
+        ])
+        .expect("translates");
+        // Shim (li sp = 2 insts for a 24-bit constant, br) + addi + the
+        // 4-inst ecall expansion + trailing halt; exact length is not a
+        // contract, the labels are.
+        assert!(p.label_addr("g10000").is_some());
+        assert!(p.label_addr("g10004").is_some());
+        assert!(p.insts().contains(&Inst::Halt));
+    }
+
+    #[test]
+    fn unsupported_word_is_a_structured_error() {
+        let err = flat_program(&[0xFFFF_FFFF]).unwrap_err();
+        assert_eq!(err, TranslateError::Unsupported { addr: 0x1_0000, word: 0xFFFF_FFFF });
+    }
+
+    #[test]
+    fn branch_outside_text_is_rejected() {
+        // beq x0, x0, +64 with only two words of text.
+        let err = flat_program(&[
+            decode::encode(&RvInst::Branch { cond: RvBranch::Eq, rs1: 0, rs2: 0, offset: 64 }),
+            decode::encode(&RvInst::Ecall),
+        ])
+        .unwrap_err();
+        assert_eq!(err, TranslateError::BadTarget { addr: 0x1_0000, target: 0x1_0040 });
+    }
+
+    #[test]
+    fn register_map_pins_the_abi() {
+        assert_eq!(xreg(0), Reg::ZERO);
+        assert_eq!(xreg(1), Reg::R0); // ra
+        assert_eq!(xreg(2), Reg::R1); // sp
+        assert_eq!(xreg(11), Reg::R10); // a1 = the workload checksum register
+        assert_eq!(xreg(31), SCRATCH); // t6 = shim scratch
+    }
+}

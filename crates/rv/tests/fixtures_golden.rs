@@ -1,0 +1,67 @@
+//! Pins the checked-in fixture ELFs to their in-repo generator and runs
+//! every fixture end-to-end through the reference emulator against its
+//! host-side Rust model.
+
+use hpa_emu::{Emulator, RunOutcome};
+use hpa_isa::Reg;
+use hpa_rv::{fixtures, load_elf, translate};
+use std::path::PathBuf;
+
+/// `a1` (guest checksum register) maps to internal `r10`.
+const CHECKSUM_REG: Reg = Reg::R10;
+
+/// The checked-in binaries must be exactly what the generator produces
+/// today. Regenerate with `REGEN_FIXTURES=1 cargo test -p hpa-rv`.
+#[test]
+fn checked_in_fixtures_match_generator() {
+    let regen = std::env::var_os("REGEN_FIXTURES").is_some();
+    for f in fixtures::all() {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(f.file);
+        if regen {
+            std::fs::write(&path, &f.elf).expect("write fixture");
+            continue; // include_bytes can only match on the next build
+        }
+        let checked_in = std::fs::read(&path).expect("read checked-in fixture");
+        assert_eq!(
+            checked_in, f.elf,
+            "fixture `{}` is stale; rerun with REGEN_FIXTURES=1 cargo test -p hpa-rv",
+            f.name
+        );
+        assert_eq!(f.checked_in, f.elf, "include_bytes out of date for `{}`", f.name);
+    }
+}
+
+/// Every fixture loads, translates, runs to a clean halt inside budget,
+/// and leaves the host model's checksum in `a1`.
+#[test]
+fn fixtures_run_end_to_end_in_the_emulator() {
+    for f in fixtures::all() {
+        let image = load_elf(&f.elf).expect("fixture ELF loads");
+        let program = translate(&image).expect("fixture translates");
+        let mut emu = Emulator::new(&program);
+        match emu.run(f.budget).expect("fixture runs without faulting") {
+            RunOutcome::Halted { executed } => {
+                assert!(executed > 0);
+                assert_eq!(
+                    emu.reg(CHECKSUM_REG),
+                    f.expected_checksum,
+                    "fixture `{}` checksum diverged from host model",
+                    f.name
+                );
+            }
+            other => panic!("fixture `{}` did not halt: {other:?}", f.name),
+        }
+    }
+}
+
+/// The shim's exit convention: `a0` at exit is the guest's exit code.
+#[test]
+fn fixtures_exit_zero() {
+    for f in fixtures::all() {
+        let image = load_elf(&f.elf).expect("fixture ELF loads");
+        let program = translate(&image).expect("fixture translates");
+        let mut emu = Emulator::new(&program);
+        emu.run(f.budget).expect("fixture runs");
+        assert_eq!(emu.reg(hpa_rv::xreg(10)), 0, "fixture `{}` exit code", f.name);
+    }
+}

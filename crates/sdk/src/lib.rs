@@ -24,6 +24,12 @@
 //! }
 //! # Ok::<(), hpa_sdk::ClientError>(())
 //! ```
+//!
+//! Besides registry workloads, jobs can carry assembly text
+//! ([`hpa_serve::proto::JobProgram::Source`]) or raw RISC-V ELF bytes
+//! ([`JobRequest::binary`]) — the daemon translates the binary through
+//! the `hpa-rv` frontend, and the result cache keys on the *translated*
+//! program, so resubmitting the same bytes is a bit-identical cache hit.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

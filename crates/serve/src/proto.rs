@@ -14,7 +14,8 @@ use hpa_sim::SampleUnits;
 use hpa_workloads::Scale;
 use std::fmt::Write as _;
 
-/// What a job simulates: a built-in workload or assembled source text.
+/// What a job simulates: a built-in workload, assembled source text, or a
+/// raw RISC-V binary.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum JobProgram {
     /// One of the twelve built-in benchmarks at a given scale.
@@ -26,6 +27,9 @@ pub enum JobProgram {
     },
     /// Assembly source text, assembled server-side.
     Source(String),
+    /// A compiled RV64I(+M) ELF image, loaded and translated server-side
+    /// by the `hpa-rv` frontend. Travels as plain lowercase hex.
+    Binary(Vec<u8>),
 }
 
 /// A simulation job: program, machine, scheme set, seed and mode.
@@ -75,6 +79,22 @@ impl JobRequest {
         }
     }
 
+    /// A full-detail job for a raw RISC-V ELF image under one scheme
+    /// with defaults everywhere else.
+    #[must_use]
+    pub fn binary(bytes: Vec<u8>, scheme: Scheme) -> JobRequest {
+        JobRequest {
+            program: JobProgram::Binary(bytes),
+            width: MachineWidth::Four,
+            schemes: vec![scheme],
+            seed: 0,
+            sampled: None,
+            deadline_ms: None,
+            cycle_budget: DEFAULT_CYCLE_BUDGET,
+            pc_table_entries: None,
+        }
+    }
+
     /// Renders the request as JSON.
     #[must_use]
     pub fn to_json(&self) -> String {
@@ -89,6 +109,11 @@ impl JobRequest {
             JobProgram::Source(text) => {
                 out.push_str("\"source\":\"");
                 escape_into(&mut out, text);
+                out.push('"');
+            }
+            JobProgram::Binary(bytes) => {
+                out.push_str("\"binary\":\"");
+                out.push_str(&bytes_to_hex(bytes));
                 out.push('"');
             }
         }
@@ -121,8 +146,8 @@ impl JobRequest {
     ///
     /// A description of the first missing or malformed field.
     pub fn from_json(v: &Json) -> Result<JobRequest, String> {
-        let program = match (v.get("workload"), v.get("source")) {
-            (Some(w), None) => {
+        let program = match (v.get("workload"), v.get("source"), v.get("binary")) {
+            (Some(w), None, None) => {
                 let name = w.as_str().ok_or_else(|| "`workload` must be a string".to_string())?;
                 let scale = match v.get("scale") {
                     None => Scale::Default,
@@ -134,10 +159,21 @@ impl JobRequest {
                 };
                 JobProgram::Workload { name: name.to_string(), scale }
             }
-            (None, Some(s)) => JobProgram::Source(
+            (None, Some(s), None) => JobProgram::Source(
                 s.as_str().ok_or_else(|| "`source` must be a string".to_string())?.to_string(),
             ),
-            _ => return Err("exactly one of `workload` / `source` is required".to_string()),
+            (None, None, Some(b)) => {
+                let hex = b.as_str().ok_or_else(|| "`binary` must be a string".to_string())?;
+                JobProgram::Binary(
+                    bytes_from_hex(hex)
+                        .ok_or_else(|| "`binary` must be an even-length hex string".to_string())?,
+                )
+            }
+            _ => {
+                return Err(
+                    "exactly one of `workload` / `source` / `binary` is required".to_string()
+                )
+            }
         };
         let width = match v.get("width").and_then(Json::as_u64) {
             None | Some(4) => MachineWidth::Four,
@@ -396,6 +432,37 @@ pub fn parse_hex(s: &str) -> Option<u64> {
     u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
 }
 
+/// Renders a byte blob as plain lowercase hex (no `0x` prefix — the
+/// prefix convention marks exact 64-bit values, not blobs).
+#[must_use]
+pub fn bytes_to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(out, "{b:02x}");
+    }
+    out
+}
+
+/// Parses [`bytes_to_hex`] output (either case); `None` on odd length or
+/// a non-hex digit.
+#[must_use]
+pub fn bytes_from_hex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    // from_str_radix alone would also accept `+`/`-` signs.
+    if !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    s.as_bytes()
+        .chunks_exact(2)
+        .map(|pair| {
+            let text = std::str::from_utf8(pair).ok()?;
+            u8::from_str_radix(text, 16).ok()
+        })
+        .collect()
+}
+
 /// Renders a cell array (`[{scheme, cached, result}, ...]`) into `out`.
 /// Payloads are embedded verbatim: they are already JSON, and
 /// re-rendering could perturb byte identity with the cache. Shared by
@@ -532,6 +599,10 @@ mod tests {
             cycle_budget: 123,
             pc_table_entries: Some(256),
         });
+        round_trip_request(&JobRequest::binary(
+            vec![0x7f, b'E', b'L', b'F', 0, 255, 16],
+            Scheme::Combined,
+        ));
     }
 
     #[test]
@@ -539,6 +610,10 @@ mod tests {
         let bad = |s: &str| JobRequest::from_json(&hpa_obs::json::parse(s).unwrap());
         assert!(bad("{}").is_err(), "no program");
         assert!(bad(r#"{"workload":"gcc","source":"x"}"#).is_err(), "both programs");
+        assert!(bad(r#"{"workload":"gcc","binary":"7f"}"#).is_err(), "workload + binary");
+        assert!(bad(r#"{"source":"x","binary":"7f"}"#).is_err(), "source + binary");
+        assert!(bad(r#"{"binary":"7f4"}"#).is_err(), "odd-length hex");
+        assert!(bad(r#"{"binary":"7g"}"#).is_err(), "non-hex digit");
         assert!(bad(r#"{"workload":"gcc","width":6}"#).is_err(), "bad width");
         assert!(bad(r#"{"workload":"gcc","schemes":[]}"#).is_err(), "empty schemes");
         assert!(bad(r#"{"workload":"gcc","schemes":["nonesuch"]}"#).is_err(), "bad scheme");
@@ -616,5 +691,16 @@ mod tests {
             assert_eq!(parse_hex(&format_hex(v)), Some(v));
         }
         assert_eq!(parse_hex("123"), None, "missing 0x prefix");
+    }
+
+    #[test]
+    fn byte_hex_round_trips() {
+        for bytes in [vec![], vec![0u8], vec![0x7f, 0x45, 0x4c, 0x46, 0x00, 0xff]] {
+            assert_eq!(bytes_from_hex(&bytes_to_hex(&bytes)), Some(bytes));
+        }
+        assert_eq!(bytes_from_hex("ABcd"), Some(vec![0xab, 0xcd]), "either case");
+        assert_eq!(bytes_from_hex("abc"), None, "odd length");
+        assert_eq!(bytes_from_hex("zz"), None, "non-hex");
+        assert_eq!(bytes_from_hex("+1"), None, "sign accepted by from_str_radix alone");
     }
 }

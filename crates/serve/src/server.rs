@@ -579,6 +579,11 @@ fn resolve_program(request: &JobRequest) -> Result<ResolvedProgram, String> {
             let program = hpa_asm::parse_program(text).map_err(|e| format!("assembly: {e}"))?;
             Ok(ResolvedProgram { program, checksum: None })
         }
+        JobProgram::Binary(bytes) => {
+            let image = hpa_core::rv::load_elf(bytes).map_err(|e| format!("elf: {e}"))?;
+            let program = hpa_core::rv::translate(&image).map_err(|e| format!("translate: {e}"))?;
+            Ok(ResolvedProgram { program, checksum: None })
+        }
     }
 }
 
@@ -811,6 +816,7 @@ fn render_payload(
             let _ = write!(out, "\",\"scale\":\"{}\"", scale.key());
         }
         JobProgram::Source(_) => out.push_str("\"program\":\"source\""),
+        JobProgram::Binary(_) => out.push_str("\"program\":\"binary\""),
     }
     let _ = write!(
         out,
@@ -908,6 +914,22 @@ mod tests {
         assert!(resolve_program(&request).unwrap_err().contains("nonesuch"));
         request.program = JobProgram::Source("this is not assembly !!".into());
         assert!(resolve_program(&request).unwrap_err().contains("assembly"));
+        request.program = JobProgram::Binary(vec![0x7f, b'E', b'L', b'F', 9, 9]);
+        assert!(resolve_program(&request).unwrap_err().contains("elf"));
+    }
+
+    #[test]
+    fn binary_programs_resolve_and_run_without_a_checksum_oracle() {
+        let mut request = tiny_request();
+        request.program = JobProgram::Binary(hpa_core::rv::fixtures::SIEVE_ELF.to_vec());
+        let resolved = resolve_program(&request).expect("checked-in fixture resolves");
+        assert_eq!(resolved.checksum, None);
+        let config = cell_config(&request, Scheme::Base);
+        let key = cell_key(&resolved.program, &config, Scheme::Base, 0, None);
+        let payload = run_cell(&request, &resolved, Scheme::Base, &config, key).unwrap();
+        let v = hpa_obs::json::parse(&payload).unwrap();
+        assert_eq!(v.get("program").and_then(|x| x.as_str()), Some("binary"));
+        assert!(v.get("cycles").and_then(|x| x.as_u64()).unwrap() > 0);
     }
 
     #[test]

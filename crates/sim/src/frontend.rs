@@ -69,7 +69,7 @@ impl BranchWarmth {
     pub fn observe(&mut self, step: &StepRecord) {
         let fallthrough = step.pc + INST_BYTES;
         match step.inst {
-            Inst::Branch { .. } | Inst::FBranch { .. } => {
+            Inst::Branch { .. } | Inst::FBranch { .. } | Inst::BranchCmp { .. } => {
                 self.direction.update(step.pc, step.taken);
             }
             Inst::Br { ra, .. } if !ra.is_zero() => {
@@ -254,7 +254,7 @@ impl FrontEnd {
     fn predict(&mut self, step: &StepRecord, stats: &mut SimStats) -> bool {
         let fallthrough = step.pc + INST_BYTES;
         match step.inst {
-            Inst::Branch { .. } | Inst::FBranch { .. } => {
+            Inst::Branch { .. } | Inst::FBranch { .. } | Inst::BranchCmp { .. } => {
                 stats.branches += 1;
                 let predicted_taken = self.direction.predict(step.pc);
                 self.direction.update(step.pc, step.taken);
@@ -304,8 +304,9 @@ fn store_image(emu: &Emulator, step: &StepRecord) -> Option<u64> {
     let addr = step.mem_addr?;
     match step.inst {
         Inst::Store { width, .. } => Some(match width {
-            MemWidth::Byte => u64::from(emu.memory().read_u8(addr)),
-            MemWidth::Long => u64::from(emu.memory().read_u32(addr)),
+            MemWidth::Byte | MemWidth::SByte => u64::from(emu.memory().read_u8(addr)),
+            MemWidth::Half | MemWidth::SHalf => u64::from(emu.memory().read_u16(addr)),
+            MemWidth::Long | MemWidth::ULong => u64::from(emu.memory().read_u32(addr)),
             MemWidth::Quad => emu.memory().read_u64(addr),
         }),
         Inst::FStore { .. } => Some(emu.memory().read_u64(addr)),

@@ -39,7 +39,7 @@ const FP_POOL: [FReg; 6] = [FReg::F1, FReg::F2, FReg::F3, FReg::F4, FReg::F5, FR
 
 /// ALU operations the generator draws from (all of them; division and
 /// remainder by zero are architecturally defined, so nothing is excluded).
-const ALU_OPS: [AluOp; 19] = AluOp::ALL;
+const ALU_OPS: [AluOp; 34] = AluOp::ALL;
 
 /// One generated body instruction, kept abstract so the shrinker can
 /// delete entries without re-resolving branch targets (forward skips are
@@ -236,7 +236,15 @@ impl GenInst {
                 rb: ir(rng),
             },
             4..=5 => GenInst::AluRI {
-                op: ALU_OPS[rng.below(ALU_OPS.len() as u64) as usize],
+                // Only the ops with a literal-form encoding (legacy set plus
+                // the W-form add/shifts); the rest are register-register only.
+                op: {
+                    let mut op = ALU_OPS[rng.below(ALU_OPS.len() as u64) as usize];
+                    while !op.has_lit_form() {
+                        op = ALU_OPS[rng.below(ALU_OPS.len() as u64) as usize];
+                    }
+                    op
+                },
                 rc: ir(rng),
                 ra: ir(rng),
                 imm: (rng.below(512) as i16) - 256,

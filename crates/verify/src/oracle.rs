@@ -44,8 +44,9 @@ impl LockstepOracle {
         let mem = self.shadow.memory();
         match inst {
             Inst::Store { width, .. } => Some(match width {
-                MemWidth::Byte => u64::from(mem.read_u8(addr)),
-                MemWidth::Long => u64::from(mem.read_u32(addr)),
+                MemWidth::Byte | MemWidth::SByte => u64::from(mem.read_u8(addr)),
+                MemWidth::Half | MemWidth::SHalf => u64::from(mem.read_u16(addr)),
+                MemWidth::Long | MemWidth::ULong => u64::from(mem.read_u32(addr)),
                 MemWidth::Quad => mem.read_u64(addr),
             }),
             Inst::FStore { .. } => Some(mem.read_u64(addr)),

@@ -191,9 +191,13 @@ impl Workload {
 /// Builds one workload by name.
 ///
 /// Valid names are the twelve SPEC CINT2000 benchmark names listed in the
-/// [crate docs](crate); returns `None` otherwise.
+/// [crate docs](crate) plus the real-binary RISC-V workloads in
+/// [`RISCV_WORKLOAD_NAMES`]; returns `None` otherwise.
 #[must_use]
 pub fn workload(name: &str, scale: Scale) -> Option<Workload> {
+    if name.starts_with("rv-") {
+        return riscv_workload(name);
+    }
     Some(match name {
         "bzip" => kernels::bzip::build(scale),
         "crafty" => kernels::crafty::build(scale),
@@ -217,6 +221,29 @@ pub const WORKLOAD_NAMES: [&str; 12] = [
     "vpr",
 ];
 
+/// Workloads backed by real compiled RISC-V guest binaries, translated by
+/// the `hpa-rv` frontend from the checked-in fixture ELFs. These are kept
+/// out of [`WORKLOAD_NAMES`] (and therefore out of the paper-figure
+/// experiment sweeps) on purpose: they validate the real-binary pipeline,
+/// not the SPEC stand-in set.
+pub const RISCV_WORKLOAD_NAMES: [&str; 3] = hpa_rv::fixtures::FIXTURE_NAMES;
+
+/// Builds a real-binary workload from a checked-in RISC-V fixture ELF.
+/// Real binaries are fixed programs, so `Scale` does not apply; every
+/// scale yields the identical translated program.
+fn riscv_workload(name: &str) -> Option<Workload> {
+    let f = hpa_rv::fixtures::by_name(name)?;
+    let image = hpa_rv::load_elf(f.checked_in).expect("checked-in fixture is a valid RISC-V ELF");
+    let program = hpa_rv::translate(&image).expect("checked-in fixture translates");
+    Some(Workload {
+        name: f.name,
+        description: f.description,
+        program,
+        expected_checksum: f.expected_checksum,
+        budget: f.budget,
+    })
+}
+
 /// Builds all twelve workloads at the given scale.
 #[must_use]
 pub fn all_workloads(scale: Scale) -> Vec<Workload> {
@@ -233,6 +260,19 @@ mod tests {
             assert!(workload(name, Scale::Tiny).is_some(), "{name}");
         }
         assert!(workload("specrand", Scale::Tiny).is_none());
+        assert!(workload("rv-nonesuch", Scale::Tiny).is_none());
+    }
+
+    #[test]
+    fn riscv_workloads_resolve_and_verify() {
+        for name in RISCV_WORKLOAD_NAMES {
+            let w = workload(name, Scale::Tiny).expect("riscv name resolves");
+            assert_eq!(w.name, name);
+            w.verify().unwrap_or_else(|e| panic!("{name}: {e}"));
+            // Real binaries are scale-invariant: same program at any scale.
+            let large = workload(name, Scale::Large).expect("riscv name resolves");
+            assert_eq!(w.program.insts(), large.program.insts());
+        }
     }
 
     #[test]

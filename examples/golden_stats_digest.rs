@@ -39,6 +39,15 @@ fn main() {
         }
     }
     println!("];\n");
+    println!("const RISCV_GOLDEN: [(&str, Scheme, u64); 12] = [");
+    for name in half_price::workloads::RISCV_WORKLOAD_NAMES {
+        for scheme in COUNTER_SCHEMES {
+            let r = run_workload(name, Scale::Tiny, MachineWidth::Four, scheme)
+                .unwrap_or_else(|e| panic!("{e}"));
+            println!("    (\"{name}\", Scheme::{scheme:?}, {:#018x}),", digest(&r.stats));
+        }
+    }
+    println!("];\n");
     let units = SampleUnits::parse("500:2000:7500").expect("valid units");
     let r = run_workload_sampled("gcc", Scale::Tiny, MachineWidth::Four, Scheme::Base, units, 42)
         .unwrap_or_else(|e| panic!("{e}"));

@@ -50,7 +50,7 @@ const COMMANDS: &[Subcommand] = &[
     Subcommand {
         name: "run",
         help: "functional execution, dump registers",
-        usage: "hpa run <file.s> [--insts N]",
+        usage: "hpa run <file.s|file.elf> [--insts N] [--sampled W:D:F [--seed S]]",
         run: cmd_run,
     },
     Subcommand {
@@ -82,7 +82,7 @@ const COMMANDS: &[Subcommand] = &[
     Subcommand {
         name: "verify",
         help: "lockstep-check a program or replay a corpus",
-        usage: "hpa verify <file.s|dir> [--scheme S|all] [--width 4|8]",
+        usage: "hpa verify <file.s|file.elf|dir> [--scheme S|all] [--width 4|8]",
         run: cmd_verify,
     },
     Subcommand {
@@ -107,7 +107,8 @@ const COMMANDS: &[Subcommand] = &[
     Subcommand {
         name: "submit",
         help: "submit a job to a running daemon",
-        usage: "hpa submit <bench|file.s> [--addr HOST:PORT] [--scheme S|all] [--scale K] \
+        usage:
+            "hpa submit <bench|file.s|file.elf> [--addr HOST:PORT] [--scheme S|all] [--scale K] \
                 [--width 4|8] [--seed N] [--sampled W:D:F] [--deadline-ms N] [--wait-secs N] \
                 [--cycle-budget N] [--no-wait] [--json]",
         run: cmd_submit,
@@ -204,6 +205,11 @@ fn cmd_list(_args: &[String]) -> CliResult {
         let w = workload(name, Scale::Tiny).expect("known");
         println!("  {name:8} {}", w.description);
     }
+    println!("\nworkloads (real RISC-V binaries, scale-invariant):");
+    for name in half_price::workloads::RISCV_WORKLOAD_NAMES {
+        let w = workload(name, Scale::Tiny).expect("known");
+        println!("  {name:12} {}", w.description);
+    }
     println!("\nschemes:");
     for s in Scheme::ALL {
         println!("  {:22} (--scheme {})", s.label(), s.key());
@@ -258,7 +264,16 @@ fn load_program(args: &[String]) -> Result<half_price::asm::Program, CliError> {
         .iter()
         .find(|a| !a.starts_with("--") && !is_flag_value(args, a))
         .ok_or_else(|| usage("missing program file argument"))?;
-    let source = std::fs::read_to_string(path).map_err(|e| other(format_args!("{path}: {e}")))?;
+    let bytes = std::fs::read(path).map_err(|e| other(format_args!("{path}: {e}")))?;
+    // Real RISC-V binaries go through the hpa-rv frontend; anything else
+    // is internal assembly text.
+    if bytes.starts_with(b"\x7fELF") {
+        let image =
+            half_price::rv::load_elf(&bytes).map_err(|e| other(format_args!("{path}: {e}")))?;
+        return half_price::rv::translate(&image).map_err(|e| other(format_args!("{path}: {e}")));
+    }
+    let source = String::from_utf8(bytes)
+        .map_err(|e| other(format_args!("{path}: not an ELF and not UTF-8 assembly: {e}")))?;
     parse_program(&source).map_err(|e| other(format_args!("{path}: {e}")))
 }
 
@@ -271,6 +286,21 @@ fn cmd_asm(args: &[String]) -> CliResult {
 
 fn cmd_run(args: &[String]) -> CliResult {
     let program = load_program(args)?;
+    // `--sampled W:D:F` switches from functional execution to the sampled
+    // simulator — the quick way to get timing out of a real binary.
+    if let Some((units, seed)) = sampled_flag(args)? {
+        let scheme = parse_scheme(&flag(args, "--scheme").unwrap_or_else(|| "base".into()))?;
+        let width = machine_width(args)?;
+        let runner = SampledRunner::new(scheme.configure(width), units).with_seed(seed);
+        let out = runner.run(&program).map_err(|e| CliError::Fault(e.to_string()))?;
+        println!(
+            "{} on the {} machine (sampled {units}, seed {seed}):",
+            scheme.label(),
+            width.label()
+        );
+        print_sampled(&out.estimate);
+        return Ok(());
+    }
     let budget: u64 = num_flag(args, "--insts", 100_000_000)?;
     let mut emu = Emulator::new(&program);
     let outcome = emu.run(budget).map_err(other)?;
@@ -558,7 +588,19 @@ fn cmd_verify(args: &[String]) -> CliResult {
         return Ok(());
     }
 
-    let case = verify::load_case(path).map_err(other)?;
+    // ELF binaries go through the hpa-rv frontend (no corpus header);
+    // corpus `.s` cases keep their recorded scheme/width.
+    let is_elf = std::fs::read(path).is_ok_and(|b| b.starts_with(b"\x7fELF"));
+    let case = if is_elf {
+        verify::CorpusCase {
+            path: path.to_path_buf(),
+            program: load_program(args)?,
+            scheme: None,
+            width: MachineWidth::Four,
+        }
+    } else {
+        verify::load_case(path).map_err(other)?
+    };
     let width = if flag(args, "--width").is_some() { machine_width(args)? } else { case.width };
     let variant = verify::Variant { width, selective_recovery: false, small_pc_table: false };
     match flag(args, "--scheme").as_deref() {
@@ -812,12 +854,23 @@ fn cmd_submit(args: &[String]) -> CliResult {
         if scheme_key == "all" { Scheme::ALL.to_vec() } else { vec![parse_scheme(&scheme_key)?] };
     let scale = scale_flag(args)?;
     let program = if std::path::Path::new(target).is_file() {
-        let source =
-            std::fs::read_to_string(target).map_err(|e| other(format_args!("{target}: {e}")))?;
-        // Assemble locally first so syntax errors surface with the usual
-        // message instead of a daemon-side 400.
-        parse_program(&source).map_err(|e| other(format_args!("{target}: {e}")))?;
-        JobProgram::Source(source)
+        let bytes = std::fs::read(target).map_err(|e| other(format_args!("{target}: {e}")))?;
+        if bytes.starts_with(b"\x7fELF") {
+            // Load + translate locally first so a bad binary surfaces
+            // with the usual message instead of a daemon-side 400; the
+            // daemon re-translates the raw bytes itself.
+            let image = half_price::rv::load_elf(&bytes)
+                .map_err(|e| other(format_args!("{target}: {e}")))?;
+            half_price::rv::translate(&image).map_err(|e| other(format_args!("{target}: {e}")))?;
+            JobProgram::Binary(bytes)
+        } else {
+            let source = String::from_utf8(bytes)
+                .map_err(|e| other(format_args!("{target}: not an ELF and not UTF-8: {e}")))?;
+            // Assemble locally first so syntax errors surface with the
+            // usual message instead of a daemon-side 400.
+            parse_program(&source).map_err(|e| other(format_args!("{target}: {e}")))?;
+            JobProgram::Source(source)
+        }
     } else {
         JobProgram::Workload { name: target.clone(), scale }
     };

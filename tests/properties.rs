@@ -68,13 +68,17 @@ fn gen_step(rng: &mut SplitMix64) -> Step {
     // Weights mirror the old proptest distribution: 5 ALU, 1 unary,
     // 2 load, 2 store, 1 branch, 1 nop.
     match rng.below(12) {
-        0..=4 => Step::Alu {
-            op: pick(rng, &AluOp::ALL),
-            ra: gen_reg(rng),
-            rb: if rng.below(2) == 0 { Some(gen_reg(rng)) } else { None },
-            lit: rng.next_u64() as i16,
-            rc: gen_reg(rng),
-        },
+        0..=4 => {
+            let op = pick(rng, &AluOp::ALL);
+            Step::Alu {
+                op,
+                ra: gen_reg(rng),
+                // Literal forms only exist for the ops that encode them.
+                rb: if rng.below(2) == 0 || !op.has_lit_form() { Some(gen_reg(rng)) } else { None },
+                lit: rng.next_u64() as i16,
+                rc: gen_reg(rng),
+            }
+        }
         5 => Step::Unary { op: pick(rng, &UnaryOp::ALL), ra: gen_reg(rng), rc: gen_reg(rng) },
         6 | 7 => Step::Load {
             width: pick(rng, &[MemWidth::Byte, MemWidth::Long, MemWidth::Quad]),

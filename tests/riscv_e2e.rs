@@ -1,0 +1,71 @@
+//! Lockstep-oracle regression suite over the real-binary RISC-V
+//! fixtures.
+//!
+//! Every checked-in fixture ELF is translated by the `hpa-rv` frontend
+//! and driven through the cycle-level simulator with the commit-by-commit
+//! lockstep oracle attached, under the base machine and the paper's three
+//! headline half-price configurations. The oracle compares every
+//! committed instruction against an independent reference emulation, so a
+//! pass means the commit stream is bit-identical to the emulator's — and
+//! the cross-scheme check below means it is bit-identical *across all
+//! four schemes* too.
+
+use half_price::asm::Program;
+use half_price::rv::{fixtures, load_elf, translate};
+use half_price::verify::{run_differential, run_lockstep, Variant, FUZZ_SCHEMES};
+use half_price::workloads::CHECKSUM_REG;
+use half_price::{MachineWidth, Scheme};
+
+fn translated(f: &fixtures::Fixture) -> Program {
+    let image = load_elf(f.checked_in).expect("checked-in fixture ELF loads");
+    translate(&image).expect("checked-in fixture translates")
+}
+
+/// Fixture × scheme lockstep matrix: every commit checked against the
+/// reference emulator, final architectural state identical across
+/// schemes, and the checksum register holding the host model's answer.
+#[test]
+fn fixtures_hold_lockstep_across_all_schemes() {
+    for f in fixtures::all() {
+        let program = translated(&f);
+        let mut outcomes = Vec::new();
+        for scheme in FUZZ_SCHEMES {
+            let config = scheme.configure(MachineWidth::Four);
+            let out = run_lockstep(&program, config)
+                .unwrap_or_else(|d| panic!("{}/{scheme:?}: {d:?}", f.name));
+            assert!(out.committed > 0, "{}/{scheme:?} committed nothing", f.name);
+            assert_eq!(
+                out.state.regs[CHECKSUM_REG.number() as usize],
+                f.expected_checksum,
+                "{}/{scheme:?}: checksum diverged from host model",
+                f.name
+            );
+            outcomes.push((scheme, out));
+        }
+        // Timing schemes may take different cycle counts but must retire
+        // the same instruction stream into the same final state.
+        let (base_scheme, base) = &outcomes[0];
+        assert_eq!(*base_scheme, Scheme::Base);
+        for (scheme, out) in &outcomes[1..] {
+            assert_eq!(out.committed, base.committed, "{}/{scheme:?}", f.name);
+            assert_eq!(out.state, base.state, "{}/{scheme:?}", f.name);
+        }
+    }
+}
+
+/// The differential harness (the fuzzer's own cross-compare, with its
+/// reduced-resource variants) accepts the translated fixtures too.
+#[test]
+fn fixtures_pass_the_differential_harness() {
+    let variants = [
+        Variant { width: MachineWidth::Four, selective_recovery: false, small_pc_table: false },
+        Variant { width: MachineWidth::Eight, selective_recovery: true, small_pc_table: true },
+    ];
+    for f in fixtures::all() {
+        let program = translated(&f);
+        for variant in variants {
+            run_differential(&program, variant)
+                .unwrap_or_else(|(s, d)| panic!("{}/{variant:?}/{s:?}: {d:?}", f.name));
+        }
+    }
+}

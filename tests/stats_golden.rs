@@ -60,6 +60,25 @@ const COUNTER_GOLDEN: [(&str, Scheme, u64); 12] = [
     ("perl", Scheme::Combined, 0x612147d326218a57),
 ];
 
+/// Digests for the real-binary RISC-V workloads (checked-in fixture ELFs
+/// translated by the `hpa-rv` frontend) under the base machine and the
+/// paper's three headline half-price configurations. Pins the whole
+/// frontend: a decode, translation or ABI-shim change moves these.
+const RISCV_GOLDEN: [(&str, Scheme, u64); 12] = [
+    ("rv-quicksort", Scheme::Base, 0x29306637d1764c41),
+    ("rv-quicksort", Scheme::SeqWakeupPredictor, 0x2cb304d78713b717),
+    ("rv-quicksort", Scheme::SeqRegAccess, 0xa429ab8a0446aeb0),
+    ("rv-quicksort", Scheme::Combined, 0x6f3362dcb471f73f),
+    ("rv-matmul", Scheme::Base, 0x4f3c4aba62bea02e),
+    ("rv-matmul", Scheme::SeqWakeupPredictor, 0xa7ef0370d16be4d8),
+    ("rv-matmul", Scheme::SeqRegAccess, 0x24844db3ddea91a6),
+    ("rv-matmul", Scheme::Combined, 0xbcbf62fb1c83c145),
+    ("rv-sieve", Scheme::Base, 0x726c8560d23f8b3e),
+    ("rv-sieve", Scheme::SeqWakeupPredictor, 0xa7efadf75172edd6),
+    ("rv-sieve", Scheme::SeqRegAccess, 0xc0199a50f89ff629),
+    ("rv-sieve", Scheme::Combined, 0x470404a40abf7387),
+];
+
 /// Digest of one fixed sampled run (`gcc` tiny, 4-wide base, units
 /// 500:2000:7500, seed 42) over the full `SampledEstimate` debug
 /// formatting — window placement, every per-sample (committed, cycles)
@@ -82,6 +101,24 @@ fn stats_match_pre_rewrite_golden_digests() {
         }
     }
     assert!(failures.is_empty(), "stats diverged from golden:\n{}", failures.join("\n"));
+}
+
+/// The translated real-binary workloads are as pinned as the hand-written
+/// kernels: every fixture × scheme cell must stay bit-identical (and
+/// `run_workload` itself verifies the architectural checksum against the
+/// host-side reference model on every run).
+#[test]
+fn riscv_stats_match_golden_digests() {
+    let mut failures = Vec::new();
+    for &(name, scheme, expected) in &RISCV_GOLDEN {
+        let r = run_workload(name, Scale::Tiny, MachineWidth::Four, scheme)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let got = digest(&r.stats);
+        if got != expected {
+            failures.push(format!("{name}/{scheme:?}: {got:#018x} != {expected:#018x}"));
+        }
+    }
+    assert!(failures.is_empty(), "riscv stats diverged from golden:\n{}", failures.join("\n"));
 }
 
 /// Enabling the observability registry changes no stats digest — the

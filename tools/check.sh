@@ -51,6 +51,40 @@ echo "== corpus replay =="
 # Replay every checked-in reproducer through the full differential check.
 cargo run --release -q --bin hpa -- verify tests/corpus
 
+echo "== real-binary fixture gate (emu vs sim) =="
+# The hpa-rv frontend end to end through real processes: a checked-in
+# RISC-V fixture ELF must (a) run to completion in the functional
+# emulator with the host model's checksum in the guest a1 register,
+# (b) hold commit-by-commit lockstep against that same emulator under
+# all four schemes, and (c) produce a detailed-sim stats digest from
+# the on-disk ELF that is bit-identical to the registry's `rv-sieve`
+# workload — the two decode paths must yield the same program.
+rv_elf="crates/rv/fixtures/sieve.elf"
+rv_run="$(cargo run --release -q --bin hpa -- run "$rv_elf")"
+printf '%s\n' "$rv_run" | grep -q '^Halted' || {
+  echo "ERROR: $rv_elf did not halt in the emulator:" >&2
+  printf '%s\n' "$rv_run" >&2
+  exit 1
+}
+rv_sum="$(printf '%s\n' "$rv_run" | awk '$1 == "r10" {print $3}')"
+if [ "$rv_sum" != "0x1295f" ]; then  # sum of the primes below 1000
+  echo "ERROR: $rv_elf emulator checksum ($rv_sum) != host model (0x1295f)" >&2
+  exit 1
+fi
+cargo run --release -q --bin hpa -- verify "$rv_elf" | grep -q 'agree in lockstep' || {
+  echo "ERROR: $rv_elf diverged under the lockstep oracle" >&2
+  exit 1
+}
+rv_elf_digest="$(cargo run --release -q --bin hpa -- sim "$rv_elf" |
+  awk '/^stats digest/ {print $3}')"
+rv_reg_digest="$(cargo run --release -q --bin hpa -- bench rv-sieve |
+  awk '/^stats digest/ {print $3}')"
+if [ -z "$rv_elf_digest" ] || [ "$rv_elf_digest" != "$rv_reg_digest" ]; then
+  echo "ERROR: ELF sim digest ($rv_elf_digest) != rv-sieve workload digest ($rv_reg_digest)" >&2
+  exit 1
+fi
+echo "hpa-rv: emu checksum $rv_sum, lockstep clean, sim digest $rv_elf_digest matches registry"
+
 echo "== cycle-accounting smoke =="
 # The observability layer end to end: run one benchmark with counters on
 # and check the books balance — the JSON must report the CPI stack summing
@@ -106,10 +140,33 @@ if [ -z "$first_digest" ] || [ "$first_digest" != "$direct_digest" ] ||
   echo "ERROR: daemon stats digests ($first_digest, $second_digest) != direct run ($direct_digest)" >&2
   exit 1
 fi
+# Raw-binary jobs through the same daemon: submit a checked-in fixture
+# ELF twice and require the resubmission to be a bit-identical cache
+# hit — the content-addressed key is the *translated* program, so the
+# same bytes must land on the same entry — with both payloads carrying
+# the exact digest the direct-ELF simulation printed above.
+bin_first="$(cargo run --release -q --bin hpa -- submit "$rv_elf" --addr "$serve_addr" --json)"
+bin_second="$(cargo run --release -q --bin hpa -- submit "$rv_elf" --addr "$serve_addr" --json)"
+if [ "$(json_scalar "$bin_first" cached)" != "false" ]; then
+  echo "ERROR: first binary submission reported a cache hit on an empty cache: $bin_first" >&2
+  exit 1
+fi
+if [ "$(json_scalar "$bin_second" cached)" != "true" ]; then
+  echo "ERROR: binary resubmission was not served from the result cache: $bin_second" >&2
+  exit 1
+fi
+bin_first_digest="$(json_scalar "$bin_first" stats_digest)"
+bin_second_digest="$(json_scalar "$bin_second" stats_digest)"
+if [ -z "$bin_first_digest" ] || [ "$bin_first_digest" != "$rv_elf_digest" ] ||
+   [ "$bin_second_digest" != "$rv_elf_digest" ]; then
+  echo "ERROR: binary-job digests ($bin_first_digest, $bin_second_digest) != direct ELF run ($rv_elf_digest)" >&2
+  exit 1
+fi
 cargo run --release -q --bin hpa -- serve --stop --addr "$serve_addr"
 wait "$serve_pid"
 rm -rf "$serve_cache"
 echo "hpa serve: cache hit on resubmission, digest $direct_digest matches direct run, clean shutdown"
+echo "hpa serve: binary job cache hit on resubmission, digest $bin_first_digest matches direct ELF run"
 
 echo "== serve crash-recovery gate =="
 # Durability gate, end to end through real processes and a real SIGKILL:
